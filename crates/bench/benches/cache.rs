@@ -1,0 +1,53 @@
+//! Microbenchmarks for the depot (§5.2): hit path, miss path, and LRU
+//! eviction pressure.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use eon_cache::FileCache;
+use eon_storage::{FileSystem, MemFs};
+use std::sync::Arc;
+
+fn bench_cache(c: &mut Criterion) {
+    let backing = Arc::new(MemFs::new());
+    for i in 0..256 {
+        backing
+            .write(&format!("obj/{i:04}"), Bytes::from(vec![0u8; 4096]))
+            .unwrap();
+    }
+
+    c.bench_function("cache_hit", |b| {
+        let cache = FileCache::new(Arc::new(MemFs::new()), backing.clone(), 64 << 20);
+        cache.read_with("obj/0000", Default::default()).unwrap();
+        b.iter(|| cache.read_with("obj/0000", Default::default()).unwrap().len())
+    });
+
+    c.bench_function("cache_miss_faultin", |b| {
+        let mut i = 0usize;
+        let cache = FileCache::new(Arc::new(MemFs::new()), backing.clone(), 64 << 20);
+        b.iter(|| {
+            i = (i + 1) % 256;
+            cache.evict(&format!("obj/{i:04}")).unwrap();
+            cache.read_with(&format!("obj/{i:04}"), Default::default()).unwrap().len()
+        })
+    });
+
+    c.bench_function("cache_eviction_churn", |b| {
+        // Capacity for ~8 objects: every insert evicts.
+        let cache = FileCache::new(Arc::new(MemFs::new()), backing.clone(), 8 * 4096);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 256;
+            cache.read_with(&format!("obj/{i:04}"), Default::default()).unwrap().len()
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbenchmarks for the catalog (§2.4, §6.3): OCC commit latency and
+//! checkpoint+replay recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eon_catalog::{Catalog, CatalogOp, CatalogStore, Checkpoint, ContainerMeta};
+use eon_storage::MemFs;
+use eon_types::{Oid, ShardId};
+use std::sync::Arc;
+
+fn add_container_op(cat: &Catalog) -> CatalogOp {
+    CatalogOp::AddContainer(ContainerMeta {
+        oid: cat.next_oid(),
+        key: "data/aa/bench".into(),
+        table: Oid(1),
+        projection: Oid(2),
+        shard: ShardId(0),
+        rows: 1000,
+        size_bytes: 1 << 20,
+        col_minmax: vec![],
+    })
+}
+
+fn bench_catalog(c: &mut Criterion) {
+    c.bench_function("occ_commit", |b| {
+        let cat = Catalog::new();
+        b.iter(|| {
+            let mut t = cat.begin();
+            t.push(add_container_op(&cat));
+            cat.commit(t).unwrap().version
+        })
+    });
+
+    c.bench_function("recovery_replay_100_txns", |b| {
+        let local = Arc::new(MemFs::new());
+        let shared = Arc::new(MemFs::new());
+        let store = CatalogStore::new(local, shared, "bench");
+        let cat = Catalog::new();
+        for _ in 0..100 {
+            let mut t = cat.begin();
+            t.push(add_container_op(&cat));
+            let rec = cat.commit(t).unwrap();
+            store.append_local(&rec).unwrap();
+        }
+        b.iter(|| store.recover_local().unwrap().1)
+    });
+
+    c.bench_function("checkpoint_write", |b| {
+        let local = Arc::new(MemFs::new());
+        let shared = Arc::new(MemFs::new());
+        let store = CatalogStore::new(local, shared, "bench");
+        let cat = Catalog::new();
+        for _ in 0..200 {
+            let mut t = cat.begin();
+            t.push(add_container_op(&cat));
+            cat.commit(t).unwrap();
+        }
+        let snap = (*cat.snapshot()).clone();
+        let version = cat.version();
+        b.iter(|| {
+            store
+                .write_checkpoint(&Checkpoint {
+                    version,
+                    state: snap.clone(),
+                })
+                .unwrap()
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_catalog);
+criterion_main!(benches);

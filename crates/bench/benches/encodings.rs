@@ -1,0 +1,74 @@
+//! Microbenchmarks for the column block encodings (§2.1): encode/decode
+//! throughput per encoding on representative blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eon_columnar::encoding::{decode_column, encode_with, Encoding};
+use eon_columnar::format::{Reader, Writer};
+use eon_types::Value;
+
+fn blocks() -> Vec<(&'static str, Vec<Value>)> {
+    vec![
+        ("sorted_ints", (0..4096i64).map(Value::Int).collect()),
+        (
+            "low_card_strings",
+            (0..4096).map(|i| Value::Str(format!("cat{}", i % 9))).collect(),
+        ),
+        (
+            "runs",
+            (0..4096).map(|i| Value::Int((i / 512) as i64)).collect(),
+        ),
+        (
+            "random_floats",
+            (0..4096).map(|i| Value::Float((i as f64 * 0.7919).fract())).collect(),
+        ),
+    ]
+}
+
+fn fits(enc: Encoding, vals: &[Value]) -> bool {
+    enc != Encoding::Delta
+        || vals.iter().all(|v| matches!(v, Value::Int(_) | Value::Date(_)))
+}
+
+fn bench_encodings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for (name, vals) in blocks() {
+        for enc in [Encoding::Plain, Encoding::Rle, Encoding::Dict, Encoding::Delta] {
+            if !fits(enc, &vals) {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(format!("{enc:?}"), name),
+                &vals,
+                |b, vals| {
+                    b.iter(|| {
+                        let mut w = Writer::new();
+                        encode_with(vals, enc, &mut w);
+                        w.len()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("decode");
+    for (name, vals) in blocks() {
+        let mut w = Writer::new();
+        eon_columnar::encode_column(&vals, &mut w);
+        let bytes = w.into_bytes();
+        g.bench_with_input(BenchmarkId::new("auto", name), &bytes, |b, bytes| {
+            b.iter(|| decode_column(&mut Reader::new(bytes)).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_encodings);
+criterion_main!(benches);

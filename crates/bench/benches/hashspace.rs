@@ -1,0 +1,37 @@
+//! Microbenchmarks for the segmentation hash (§3.1): the load path
+//! hashes every row, so this sits on the hot path of Fig 11b.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eon_columnar::split_rows_by_shard;
+use eon_types::{hash_row_32, Value};
+
+fn bench_hash(c: &mut Criterion) {
+    let int_row = vec![Value::Int(123_456_789)];
+    let str_row = vec![Value::Str("customer#000001234".into()), Value::Int(42)];
+    c.bench_function("hash_row_int", |b| b.iter(|| hash_row_32(&int_row, &[0])));
+    c.bench_function("hash_row_str_int", |b| {
+        b.iter(|| hash_row_32(&str_row, &[0, 1]))
+    });
+
+    c.bench_function("split_10k_rows_4_shards", |b| {
+        let rows: Vec<Vec<Value>> = (0..10_000i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 3)])
+            .collect();
+        b.iter(|| {
+            split_rows_by_shard(rows.clone(), &[0], 4)
+                .iter()
+                .map(|b| b.len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_hash);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmark for the §4.1 participant-selection solver at growing
+//! cluster sizes: selection runs per query, so it must stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eon_shard::{select_participants, AssignmentProblem};
+use eon_types::{NodeId, ShardId};
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("select_participants");
+    for (nodes, shards) in [(4usize, 4u64), (16, 8), (64, 16), (128, 32)] {
+        let ns: Vec<NodeId> = (0..nodes as u64).map(NodeId).collect();
+        let ss: Vec<ShardId> = (0..shards).map(ShardId).collect();
+        let can = ns
+            .iter()
+            .flat_map(|&n| ss.iter().map(move |&s| (n, s)))
+            .collect();
+        let p = AssignmentProblem::flat(ss, ns, can);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{shards}s")),
+            &p,
+            |b, p| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    select_participants(p, seed).unwrap().len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmarks for the tuple mover (§2.3, §6.2): strata planning
+//! and the k-way merge, across strata factors (the ablation DESIGN.md
+//! calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eon_tm::mergeout::{plan_mergeout, MergeInput, MergeoutPolicy};
+use eon_tm::merge_sorted_rows;
+use eon_types::{Oid, Value};
+
+fn bench_mergeout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_mergeout");
+    for factor in [2u64, 4, 8, 16] {
+        let policy = MergeoutPolicy {
+            base_rows: 1000,
+            factor,
+            fanin: 4,
+            purge_threshold_pct: 20,
+        };
+        let containers: Vec<MergeInput> = (0..64)
+            .map(|i| MergeInput {
+                oid: Oid(i),
+                rows: 1000 * (1 + i % 7),
+                deleted: if i % 9 == 0 { 400 } else { 0 },
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("factor{factor}")),
+            &(containers, policy),
+            |b, (cs, p)| b.iter(|| plan_mergeout(cs, p).len()),
+        );
+    }
+    g.finish();
+
+    c.bench_function("kway_merge_4x4096", |b| {
+        let inputs: Vec<Vec<Vec<Value>>> = (0..4)
+            .map(|k| {
+                (0..4096)
+                    .map(|i| vec![Value::Int(i * 4 + k), Value::Int(i)])
+                    .collect()
+            })
+            .collect();
+        b.iter(|| merge_sorted_rows(inputs.clone(), &[0]).len())
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_mergeout);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Ablation (§4.4): crunch scaling. When nodes outnumber shards,
+//! Elastic Throughput Scaling helps concurrency but "does not improve
+//! the running time of an individual query". Crunch scaling spreads
+//! each shard across several workers via a hash-filter predicate.
+//!
+//! This harness measures single-query latency with and without crunch
+//! on a 6-node / 2-shard cluster, plus the hash-filter vs
+//! container-split row-partitioning cost on raw data.
+
+use std::sync::Arc;
+
+use eon_bench::{print_json, print_table, time_best_of};
+use eon_core::{EonConfig, EonDb, SessionOpts};
+use eon_exec::crunch::CrunchSlice;
+use eon_exec::{AggSpec, Expr, Plan, ScanSpec};
+use eon_storage::MemFs;
+use eon_types::Value;
+
+fn main() {
+    // A deliberately heavy aggregation so per-row work dominates.
+    let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(6, 2).exec_slots(8)).unwrap();
+    let s = eon_types::schema![("id", Int), ("grp", Int), ("v", Float)];
+    db.create_table(
+        "big",
+        s.clone(),
+        vec![eon_columnar::Projection::super_projection("p", &s, &[0], &[0])],
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..400_000i64)
+        .map(|i| vec![Value::Int(i), Value::Int(i % 1000), Value::Float(i as f64 * 0.5)])
+        .collect();
+    eprintln!("loading 400k rows…");
+    db.copy_into("big", rows).unwrap();
+
+    let plan = Plan::scan(ScanSpec::new("big")).aggregate(
+        vec![1],
+        vec![AggSpec::sum(Expr::col(2)), AggSpec::count_star()],
+    );
+    db.query(&plan).unwrap(); // warm
+
+    let t_plain = time_best_of(3, || {
+        db.query(&plan).unwrap();
+    });
+    let crunch = SessionOpts {
+        crunch: true,
+        ..Default::default()
+    };
+    db.query_with(&plan, &crunch).unwrap(); // warm remaining depots
+    let t_crunch = time_best_of(3, || {
+        db.query_with(&plan, &crunch).unwrap();
+    });
+
+    // Micro-comparison of the two §4.4 splitting mechanisms over raw
+    // rows: hash-filter pays a per-row hash; container-split pays
+    // nothing per row but loses the segmentation property.
+    let sample: Vec<Vec<Value>> = (0..200_000i64).map(|i| vec![Value::Int(i)]).collect();
+    let slice = CrunchSlice::new(0, 3);
+    let t_hash = time_best_of(3, || {
+        let kept = sample.iter().filter(|r| slice.keeps_row(r, &[0])).count();
+        assert!(kept > 0);
+    });
+    let t_split = time_best_of(3, || {
+        let idx = slice.container_indices(sample.len());
+        assert!(!idx.is_empty());
+    });
+
+    print_table(
+        "Ablation §4.4 — crunch scaling (6 nodes / 2 shards, 400k rows)",
+        &["configuration", "latency ms"],
+        &[
+            vec![
+                "plain (2 workers, 1 per shard)".into(),
+                format!("{:.1}", t_plain.as_secs_f64() * 1e3),
+            ],
+            vec![
+                "crunch hash-filter (all subscribers share shards)".into(),
+                format!("{:.1}", t_crunch.as_secs_f64() * 1e3),
+            ],
+        ],
+    );
+    print_table(
+        "Row-partitioning mechanism cost (200k rows, worker 0 of 3)",
+        &["mechanism", "time ms"],
+        &[
+            vec![
+                "hash-filter (keeps segmentation)".into(),
+                format!("{:.2}", t_hash.as_secs_f64() * 1e3),
+            ],
+            vec![
+                "container-split (loses segmentation)".into(),
+                format!("{:.3}", t_split.as_secs_f64() * 1e3),
+            ],
+        ],
+    );
+    print_json(
+        "ablate_crunch",
+        serde_json::json!({
+            "plain_ms": t_plain.as_secs_f64() * 1e3,
+            "crunch_ms": t_crunch.as_secs_f64() * 1e3,
+            "hash_filter_ms": t_hash.as_secs_f64() * 1e3,
+            "container_split_ms": t_split.as_secs_f64() * 1e3,
+        }),
+    );
+    println!(
+        "\ncrunch wall-clock ratio on one query: {:.2}x",
+        t_plain.as_secs_f64() / t_crunch.as_secs_f64()
+    );
+    println!(
+        "note: on a multi-core host the 3x-wider worker set turns into latency; on this\n         single-core benchmark machine the split shows up as per-worker work reduction\n         (each worker scans ~1/3 of its shard) plus the hash-filter overhead measured above."
+    );
+}

@@ -1,0 +1,517 @@
+//! The Eon-mode depot: a node-local disk cache of whole shared-storage
+//! files (paper §5.2).
+//!
+//! Key properties from the paper, all implemented here:
+//!
+//! * caches **entire data files**; files are immutable once written, so
+//!   the cache handles only add and drop — never invalidate;
+//! * **LRU** eviction;
+//! * **write-through**: loads put new files in the cache *and* upload
+//!   them, since fresh data is likely to be queried;
+//! * **shaping policies**: bypass the cache for a query, pin hot
+//!   objects, never-cache configured prefixes;
+//! * **peer warm-up**: a new subscriber asks a peer for its
+//!   most-recently-used file list within a capacity budget and
+//!   prefetches those files.
+//!
+//! [`FileCache`] implements [`FileSystem`], so the scan path simply
+//! reads "through" the cache: a hit is a local read, a miss faults the
+//! whole object in from shared storage first.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eon_storage::{with_retry, FileSystem, FsStats, RetryPolicy, SharedFs};
+use eon_types::{EonError, Result};
+use parking_lot::Mutex;
+
+/// Cache behaviour for a single request (§5.2's "don't use the cache
+/// for this query" and write-through-off for archive loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Normal: read through the cache, write through the cache.
+    #[default]
+    Normal,
+    /// Skip the cache entirely (large batch historical queries).
+    Bypass,
+}
+
+/// Counters for cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub bypasses: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    size: u64,
+    stamp: u64,
+    pinned: bool,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// LRU index: (stamp, key) ascending — oldest first.
+    lru: BTreeSet<(u64, String)>,
+    clock: u64,
+    used: u64,
+    stats: CacheStats,
+    never_prefixes: Vec<String>,
+}
+
+impl Inner {
+    fn touch(&mut self, key: &str) {
+        if let Some(e) = self.entries.get_mut(key) {
+            self.lru.remove(&(e.stamp, key.to_owned()));
+            self.clock += 1;
+            e.stamp = self.clock;
+            self.lru.insert((e.stamp, key.to_owned()));
+        }
+    }
+}
+
+/// The disk file cache. `local` is the node's cache directory (instance
+/// storage in the paper's deployments — loss is harmless, §8);
+/// `backing` is the shared storage.
+pub struct FileCache {
+    local: SharedFs,
+    backing: SharedFs,
+    capacity: u64,
+    /// Backoff policy for shared-storage access — §5.3's "properly
+    /// balanced retry loop". Every backing read/write below goes
+    /// through it, so transient S3 failures and throttles never reach
+    /// the engine.
+    retry: RetryPolicy,
+    inner: Mutex<Inner>,
+}
+
+impl FileCache {
+    pub fn new(local: SharedFs, backing: SharedFs, capacity_bytes: u64) -> Self {
+        FileCache {
+            local,
+            backing,
+            capacity: capacity_bytes,
+            retry: RetryPolicy::default(),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                lru: BTreeSet::new(),
+                clock: 0,
+                used: 0,
+                stats: CacheStats::default(),
+                never_prefixes: Vec::new(),
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn backing(&self) -> &SharedFs {
+        &self.backing
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.lock().entries.contains_key(key)
+    }
+
+    /// Configure a never-cache prefix ("never cache table T2", §5.2).
+    pub fn never_cache_prefix(&self, prefix: impl Into<String>) {
+        self.inner.lock().never_prefixes.push(prefix.into());
+    }
+
+    /// Pin or unpin a cached object (pinned objects skip eviction:
+    /// "cache recent partitions of table T").
+    pub fn set_pinned(&self, key: &str, pinned: bool) {
+        let mut g = self.inner.lock();
+        if let Some(e) = g.entries.get_mut(key) {
+            e.pinned = pinned;
+        }
+    }
+
+    /// Drop everything ("the cache can be cleared completely").
+    pub fn clear(&self) -> Result<()> {
+        let mut g = self.inner.lock();
+        let keys: Vec<String> = g.entries.keys().cloned().collect();
+        for k in keys {
+            self.local.delete(&k)?;
+        }
+        g.entries.clear();
+        g.lru.clear();
+        g.used = 0;
+        Ok(())
+    }
+
+    fn never_cached(&self, key: &str) -> bool {
+        self.inner
+            .lock()
+            .never_prefixes
+            .iter()
+            .any(|p| key.starts_with(p))
+    }
+
+    /// Insert a file into the local cache (no backing write), evicting
+    /// LRU entries as needed. Used by the fault-in path, by load
+    /// write-through, and by peer-shipped files (Fig 8 step 3).
+    pub fn insert_local(&self, key: &str, data: Bytes) -> Result<()> {
+        if self.never_cached(key) {
+            return Ok(());
+        }
+        let size = data.len() as u64;
+        if size > self.capacity {
+            return Ok(()); // larger than the whole cache: don't thrash
+        }
+        self.local.write(key, data)?;
+        let mut g = self.inner.lock();
+        if let Some(old) = g.entries.remove(key) {
+            g.lru.remove(&(old.stamp, key.to_owned()));
+            g.used -= old.size;
+        }
+        // Evict oldest unpinned entries until the new file fits.
+        while g.used + size > self.capacity {
+            let victim = g
+                .lru
+                .iter()
+                .find(|(_, k)| !g.entries[k].pinned)
+                .cloned();
+            match victim {
+                Some((stamp, k)) => {
+                    g.lru.remove(&(stamp, k.clone()));
+                    if let Some(e) = g.entries.remove(&k) {
+                        g.used -= e.size;
+                    }
+                    g.stats.evictions += 1;
+                    self.local.delete(&k)?;
+                }
+                None => break, // everything pinned; overshoot rather than fail
+            }
+        }
+        g.clock += 1;
+        let stamp = g.clock;
+        g.lru.insert((stamp, key.to_owned()));
+        g.entries.insert(
+            key.to_owned(),
+            Entry {
+                size,
+                stamp,
+                pinned: false,
+            },
+        );
+        g.used += size;
+        Ok(())
+    }
+
+    /// Remove one object from the cache (e.g. when its reference count
+    /// hits zero locally, §6.5 — the cached copy can go immediately).
+    pub fn evict(&self, key: &str) -> Result<()> {
+        let mut g = self.inner.lock();
+        if let Some(e) = g.entries.remove(key) {
+            g.lru.remove(&(e.stamp, key.to_owned()));
+            g.used -= e.size;
+            self.local.delete(key)?;
+        }
+        Ok(())
+    }
+
+    /// Read a whole object with an explicit cache mode.
+    pub fn read_with(&self, key: &str, mode: CacheMode) -> Result<Bytes> {
+        if mode == CacheMode::Bypass {
+            self.inner.lock().stats.bypasses += 1;
+            return with_retry(&self.retry, || self.backing.read(key));
+        }
+        if self.contains(key) {
+            let data = self.local.read(key)?;
+            let mut g = self.inner.lock();
+            g.stats.hits += 1;
+            g.touch(key);
+            return Ok(data);
+        }
+        let data = with_retry(&self.retry, || self.backing.read(key))?;
+        self.inner.lock().stats.misses += 1;
+        self.insert_local(key, data.clone())?;
+        Ok(data)
+    }
+
+    /// Write-through put: cache locally, upload to shared storage. The
+    /// data-load path (Fig 8 steps 2–3) calls this.
+    pub fn put_through(&self, key: &str, data: Bytes) -> Result<()> {
+        self.insert_local(key, data.clone())?;
+        with_retry(&self.retry, || self.backing.write(key, data.clone()))
+    }
+
+    /// Most-recently-used keys fitting in `budget` bytes — what a peer
+    /// sends a warming subscriber (§5.2). Newest first.
+    pub fn mru_list(&self, budget: u64) -> Vec<String> {
+        let g = self.inner.lock();
+        let mut out = Vec::new();
+        let mut total = 0u64;
+        for (_, key) in g.lru.iter().rev() {
+            let size = g.entries[key].size;
+            if total + size > budget {
+                continue;
+            }
+            total += size;
+            out.push(key.clone());
+        }
+        out
+    }
+
+    /// Warm this cache from a peer's MRU list: fetch each file (from
+    /// shared storage here; a real deployment may fetch from the peer
+    /// itself, §5.2 allows either). Missing files are skipped, not
+    /// fatal. Returns how many files landed.
+    pub fn warm_from(&self, peer_mru: &[String]) -> Result<usize> {
+        let mut n = 0;
+        // Oldest first so the *newest* files end up most recent in LRU.
+        for key in peer_mru.iter().rev() {
+            match with_retry(&self.retry, || self.backing.read(key)) {
+                Ok(data) => {
+                    self.insert_local(key, data)?;
+                    n += 1;
+                }
+                Err(EonError::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl FileSystem for FileCache {
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        self.put_through(path, data)
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        self.read_with(path, CacheMode::Normal)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        // Whole-file caching: fault the object in, then slice locally.
+        if !self.contains(path) && !self.never_cached(path) {
+            let data = with_retry(&self.retry, || self.backing.read(path))?;
+            self.inner.lock().stats.misses += 1;
+            self.insert_local(path, data)?;
+        }
+        if self.contains(path) {
+            let mut g = self.inner.lock();
+            g.stats.hits += 1;
+            g.touch(path);
+            drop(g);
+            self.local.read_range(path, offset, len)
+        } else {
+            with_retry(&self.retry, || self.backing.read_range(path, offset, len))
+        }
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        if self.contains(path) {
+            self.local.size(path)
+        } else {
+            with_retry(&self.retry, || self.backing.size(path))
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        with_retry(&self.retry, || self.backing.list(prefix))
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.evict(path)?;
+        with_retry(&self.retry, || self.backing.delete(path))
+    }
+
+    fn stats(&self) -> FsStats {
+        self.backing.stats()
+    }
+
+    fn kind(&self) -> &'static str {
+        "cache"
+    }
+}
+
+/// Convenience constructor for an in-memory cache over any backing
+/// store (tests, simulations).
+pub fn mem_cache(backing: SharedFs, capacity_bytes: u64) -> Arc<FileCache> {
+    Arc::new(FileCache::new(
+        Arc::new(eon_storage::MemFs::new()),
+        backing,
+        capacity_bytes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eon_storage::MemFs;
+
+    fn setup(capacity: u64) -> (Arc<MemFs>, FileCache) {
+        let backing = Arc::new(MemFs::new());
+        let cache = FileCache::new(Arc::new(MemFs::new()), backing.clone(), capacity);
+        (backing, cache)
+    }
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from(vec![7u8; n])
+    }
+
+    #[test]
+    fn read_through_faults_in_once() {
+        let (backing, cache) = setup(1000);
+        backing.write("k", payload(10)).unwrap();
+        assert_eq!(cache.read("k").unwrap().len(), 10);
+        assert_eq!(cache.read("k").unwrap().len(), 10);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // backing GETs: 1 (the fault-in)
+        assert_eq!(backing.stats().gets, 1);
+    }
+
+    #[test]
+    fn put_through_writes_both() {
+        let (backing, cache) = setup(1000);
+        cache.put_through("k", payload(5)).unwrap();
+        assert!(cache.contains("k"));
+        assert_eq!(backing.read("k").unwrap().len(), 5);
+        // Subsequent read is a pure hit: no backing GET.
+        let gets = backing.stats().gets;
+        cache.read("k").unwrap();
+        assert_eq!(backing.stats().gets, gets);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let (_, cache) = setup(30);
+        cache.insert_local("a", payload(10)).unwrap();
+        cache.insert_local("b", payload(10)).unwrap();
+        cache.insert_local("c", payload(10)).unwrap();
+        // Touch "a" so "b" is oldest, then overflow.
+        cache.read_with("a", CacheMode::Normal).unwrap_or_default();
+        cache.insert_local("d", payload(10)).unwrap();
+        assert!(!cache.contains("b"), "b should be evicted");
+        assert!(cache.contains("a") && cache.contains("c") && cache.contains("d"));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.used_bytes() <= 30);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction() {
+        let (_, cache) = setup(25);
+        cache.insert_local("pin", payload(10)).unwrap();
+        cache.set_pinned("pin", true);
+        cache.insert_local("x", payload(10)).unwrap();
+        cache.insert_local("y", payload(10)).unwrap(); // evicts x, not pin
+        assert!(cache.contains("pin"));
+        assert!(!cache.contains("x"));
+    }
+
+    #[test]
+    fn bypass_mode_skips_cache() {
+        let (backing, cache) = setup(1000);
+        backing.write("big", payload(100)).unwrap();
+        cache.read_with("big", CacheMode::Bypass).unwrap();
+        assert!(!cache.contains("big"));
+        assert_eq!(cache.stats().bypasses, 1);
+    }
+
+    #[test]
+    fn never_cache_prefix_respected() {
+        let (backing, cache) = setup(1000);
+        cache.never_cache_prefix("archive/");
+        backing.write("archive/old", payload(10)).unwrap();
+        cache.read("archive/old").unwrap();
+        assert!(!cache.contains("archive/old"));
+    }
+
+    #[test]
+    fn oversized_object_not_cached() {
+        let (backing, cache) = setup(10);
+        backing.write("huge", payload(100)).unwrap();
+        assert_eq!(cache.read("huge").unwrap().len(), 100);
+        assert!(!cache.contains("huge"));
+    }
+
+    #[test]
+    fn mru_list_respects_budget_and_order() {
+        let (_, cache) = setup(1000);
+        for (k, n) in [("a", 10), ("b", 20), ("c", 30)] {
+            cache.insert_local(k, payload(n)).unwrap();
+        }
+        // MRU order: c, b, a. Budget 55 fits c(30)+b(20) but skips a.
+        let mru = cache.mru_list(55);
+        assert_eq!(mru, vec!["c", "b"]);
+        let all = cache.mru_list(1000);
+        assert_eq!(all, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn peer_warming_fills_cache() {
+        let (backing, peer) = setup(1000);
+        for k in ["f1", "f2", "f3"] {
+            peer.put_through(k, payload(10)).unwrap();
+        }
+        let (_, newcomer) = {
+            let cache = FileCache::new(Arc::new(MemFs::new()), backing.clone(), 1000);
+            (backing.clone(), cache)
+        };
+        let warmed = newcomer.warm_from(&peer.mru_list(25)).unwrap();
+        assert_eq!(warmed, 2);
+        assert!(newcomer.contains("f3") && newcomer.contains("f2"));
+        // Missing files are skipped silently.
+        assert_eq!(newcomer.warm_from(&["ghost".into()]).unwrap(), 0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let (_, cache) = setup(1000);
+        cache.insert_local("a", payload(10)).unwrap();
+        cache.insert_local("b", payload(10)).unwrap();
+        cache.clear().unwrap();
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(!cache.contains("a"));
+    }
+
+    #[test]
+    fn ranged_reads_fault_in_whole_file() {
+        let (backing, cache) = setup(1000);
+        backing
+            .write("obj", Bytes::from_static(b"0123456789"))
+            .unwrap();
+        let got = cache.read_range("obj", 2, 3).unwrap();
+        assert_eq!(got.as_ref(), b"234");
+        assert!(cache.contains("obj"), "whole file cached");
+        // Second ranged read hits the cache only.
+        let gets = backing.stats().gets;
+        cache.read_range("obj", 5, 2).unwrap();
+        assert_eq!(backing.stats().gets, gets);
+    }
+
+    #[test]
+    fn delete_removes_both_copies() {
+        let (backing, cache) = setup(1000);
+        cache.put_through("k", payload(10)).unwrap();
+        FileSystem::delete(&cache, "k").unwrap();
+        assert!(!cache.contains("k"));
+        assert!(!backing.exists("k").unwrap());
+    }
+
+    #[test]
+    fn reinsert_same_key_updates_size_accounting() {
+        let (_, cache) = setup(100);
+        cache.insert_local("k", payload(10)).unwrap();
+        cache.insert_local("k", payload(30)).unwrap();
+        assert_eq!(cache.used_bytes(), 30);
+    }
+}

@@ -1,0 +1,152 @@
+//! Execution slots (paper §4.2): each node can run a bounded number of
+//! concurrent query fragments. "For a database with S shards, N nodes,
+//! and E execution slots per node, a running query requires S of the
+//! total N·E slots." Throughput scaling falls directly out of this
+//! accounting, so the semaphore is the load-bearing primitive of the
+//! Fig 11a experiment.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner {
+    available: Mutex<usize>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// A counting semaphore over a node's execution slots.
+#[derive(Clone)]
+pub struct ExecSlots {
+    inner: Arc<Inner>,
+}
+
+/// RAII guard holding `n` slots; released on drop.
+pub struct SlotGuard {
+    inner: Arc<Inner>,
+    n: usize,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        let mut avail = self.inner.available.lock();
+        *avail += self.n;
+        self.inner.cv.notify_all();
+    }
+}
+
+impl ExecSlots {
+    pub fn new(capacity: usize) -> Self {
+        ExecSlots {
+            inner: Arc::new(Inner {
+                available: Mutex::new(capacity),
+                cv: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    pub fn available(&self) -> usize {
+        *self.inner.available.lock()
+    }
+
+    /// Block until `n` slots are free, then take them. `n` is clamped
+    /// to capacity so a query needing more slots than the node has
+    /// still makes progress (it just serializes).
+    pub fn acquire(&self, n: usize) -> SlotGuard {
+        let n = n.min(self.inner.capacity).max(1);
+        let mut avail = self.inner.available.lock();
+        while *avail < n {
+            self.inner.cv.wait(&mut avail);
+        }
+        *avail -= n;
+        SlotGuard {
+            inner: self.inner.clone(),
+            n,
+        }
+    }
+
+    /// Non-blocking acquire; `None` when the node is saturated.
+    pub fn try_acquire(&self, n: usize) -> Option<SlotGuard> {
+        let n = n.min(self.inner.capacity).max(1);
+        let mut avail = self.inner.available.lock();
+        if *avail < n {
+            return None;
+        }
+        *avail -= n;
+        Some(SlotGuard {
+            inner: self.inner.clone(),
+            n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn acquire_and_release() {
+        let s = ExecSlots::new(4);
+        let g1 = s.acquire(3);
+        assert_eq!(s.available(), 1);
+        assert!(s.try_acquire(2).is_none());
+        drop(g1);
+        assert_eq!(s.available(), 4);
+        assert!(s.try_acquire(2).is_some());
+    }
+
+    #[test]
+    fn oversized_request_clamps() {
+        let s = ExecSlots::new(2);
+        let g = s.acquire(10);
+        assert_eq!(s.available(), 0);
+        drop(g);
+    }
+
+    #[test]
+    fn blocked_acquire_wakes_on_release() {
+        let s = ExecSlots::new(1);
+        let g = s.acquire(1);
+        let s2 = s.clone();
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = done.clone();
+        let h = std::thread::spawn(move || {
+            let _g = s2.acquire(1);
+            done2.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(done.load(Ordering::SeqCst), 0, "should be blocked");
+        drop(g);
+        h.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_capacity() {
+        let s = ExecSlots::new(3);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..12 {
+            let (s, peak, cur) = (s.clone(), peak.clone(), cur.clone());
+            handles.push(std::thread::spawn(move || {
+                let _g = s.acquire(1);
+                let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+                cur.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+}

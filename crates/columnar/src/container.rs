@@ -1,0 +1,463 @@
+//! ROS container format (paper §2.3).
+//!
+//! One immutable object per container:
+//!
+//! ```text
+//! [col 0: block, block, …][col 1: …] … [footer][footer_len u32][crc u64][magic u32]
+//! ```
+//!
+//! The footer is the *position index*: per column, per block — byte
+//! offset, length, row count, and min/max values used by the engine for
+//! block pruning (§2.1's "tracking minimum and maximum values of
+//! columns in each storage"). Column data is independently retrievable
+//! (true column store) via ranged reads, and trailer-last layout means a
+//! reader needs only the object size plus two ranged reads to open a
+//! container of any width.
+
+use bytes::Bytes;
+use eon_types::{EonError, Result, Value};
+
+use crate::encoding::{decode_column, encode_column};
+use crate::format::{checksum, Reader, Writer};
+
+const MAGIC: u32 = 0x524f_5331; // "ROS1"
+const TRAILER_LEN: u64 = 4 + 8 + 4;
+
+/// Rows per encoded block. Small enough that min/max pruning has
+/// resolution, large enough to amortize per-block headers.
+pub const DEFAULT_BLOCK_ROWS: usize = 4096;
+
+/// Metadata for one encoded block of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeta {
+    /// Byte offset of the block within the container object.
+    pub offset: u64,
+    /// Encoded length in bytes.
+    pub len: u64,
+    /// Number of rows in the block.
+    pub rows: u64,
+    /// Minimum non-null value (`Null` iff the block is all null).
+    pub min: Value,
+    /// Maximum non-null value (`Null` iff the block is all null).
+    pub max: Value,
+    /// Whether the block contains any nulls.
+    pub has_null: bool,
+}
+
+/// Metadata for one column of a container.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnMeta {
+    pub blocks: Vec<BlockMeta>,
+}
+
+impl ColumnMeta {
+    /// Column-level min over block minimums (None if all-null).
+    pub fn min(&self) -> Option<&Value> {
+        self.blocks
+            .iter()
+            .map(|b| &b.min)
+            .filter(|v| !v.is_null())
+            .min()
+    }
+
+    pub fn max(&self) -> Option<&Value> {
+        self.blocks
+            .iter()
+            .map(|b| &b.max)
+            .filter(|v| !v.is_null())
+            .max()
+    }
+}
+
+/// The parsed footer of a ROS container.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RosFooter {
+    pub total_rows: u64,
+    pub columns: Vec<ColumnMeta>,
+}
+
+fn minmax(values: &[Value]) -> (Value, Value, bool) {
+    let mut min: Option<&Value> = None;
+    let mut max: Option<&Value> = None;
+    let mut has_null = false;
+    for v in values {
+        if v.is_null() {
+            has_null = true;
+            continue;
+        }
+        if min.map(|m| v < m).unwrap_or(true) {
+            min = Some(v);
+        }
+        if max.map(|m| v > m).unwrap_or(true) {
+            max = Some(v);
+        }
+    }
+    (
+        min.cloned().unwrap_or(Value::Null),
+        max.cloned().unwrap_or(Value::Null),
+        has_null,
+    )
+}
+
+/// Encodes column-major data into the container format.
+pub struct RosWriter {
+    block_rows: usize,
+}
+
+impl Default for RosWriter {
+    fn default() -> Self {
+        RosWriter {
+            block_rows: DEFAULT_BLOCK_ROWS,
+        }
+    }
+}
+
+impl RosWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_block_rows(block_rows: usize) -> Self {
+        assert!(block_rows > 0);
+        RosWriter { block_rows }
+    }
+
+    /// Encode `columns` (column-major, equal lengths, already sorted by
+    /// the projection sort order) into one container object.
+    pub fn encode(&self, columns: &[Vec<Value>]) -> Result<(Bytes, RosFooter)> {
+        let total_rows = columns.first().map(|c| c.len()).unwrap_or(0) as u64;
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() as u64 != total_rows {
+                return Err(EonError::Internal(format!(
+                    "column {i} has {} rows, expected {total_rows}",
+                    c.len()
+                )));
+            }
+        }
+
+        let mut w = Writer::with_capacity(1024);
+        let mut footer = RosFooter {
+            total_rows,
+            columns: Vec::with_capacity(columns.len()),
+        };
+
+        for col in columns {
+            let mut meta = ColumnMeta::default();
+            for chunk in col.chunks(self.block_rows.max(1)) {
+                let offset = w.len() as u64;
+                encode_column(chunk, &mut w);
+                let (min, max, has_null) = minmax(chunk);
+                meta.blocks.push(BlockMeta {
+                    offset,
+                    len: w.len() as u64 - offset,
+                    rows: chunk.len() as u64,
+                    min,
+                    max,
+                    has_null,
+                });
+            }
+            // Zero-row container still records the column.
+            footer.columns.push(meta);
+        }
+
+        // Footer.
+        let footer_start = w.len();
+        w.put_varint(footer.total_rows);
+        w.put_varint(footer.columns.len() as u64);
+        for col in &footer.columns {
+            w.put_varint(col.blocks.len() as u64);
+            for b in &col.blocks {
+                w.put_u64(b.offset);
+                w.put_varint(b.len);
+                w.put_varint(b.rows);
+                w.put_value(&b.min);
+                w.put_value(&b.max);
+                w.put_u8(b.has_null as u8);
+            }
+        }
+        let footer_len = (w.len() - footer_start) as u32;
+        let crc = checksum(&w.as_slice()[footer_start..]);
+        w.put_u32(footer_len);
+        w.put_u64(crc);
+        w.put_u32(MAGIC);
+        Ok((w.into_bytes(), footer))
+    }
+}
+
+fn parse_footer(buf: &[u8]) -> Result<RosFooter> {
+    let mut r = Reader::new(buf);
+    let total_rows = r.get_varint()?;
+    let ncols = r.get_varint()? as usize;
+    if ncols > 100_000 {
+        return Err(EonError::Corrupt("absurd column count".into()));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let nblocks = r.get_varint()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            blocks.push(BlockMeta {
+                offset: r.get_u64()?,
+                len: r.get_varint()?,
+                rows: r.get_varint()?,
+                min: r.get_value()?,
+                max: r.get_value()?,
+                has_null: r.get_u8()? != 0,
+            });
+        }
+        columns.push(ColumnMeta { blocks });
+    }
+    Ok(RosFooter {
+        total_rows,
+        columns,
+    })
+}
+
+/// Read access to one container object through any UDFS filesystem.
+///
+/// The reader keeps no data, only the footer; every `read_*` call goes
+/// back to the filesystem, so placing a [`eon_storage::PosixFs`]-backed
+/// cache in front is what makes repeated scans fast (§5.2).
+pub struct RosReader {
+    key: String,
+    footer: RosFooter,
+}
+
+impl RosReader {
+    /// Open by reading the trailer + footer (two ranged reads).
+    pub fn open(fs: &dyn eon_storage::FileSystem, key: &str) -> Result<Self> {
+        let size = fs.size(key)?;
+        if size < TRAILER_LEN {
+            return Err(EonError::Corrupt(format!("{key}: too small ({size}B)")));
+        }
+        let trailer = fs.read_range(key, size - TRAILER_LEN, TRAILER_LEN)?;
+        let mut tr = Reader::new(&trailer);
+        let footer_len = tr.get_u32()? as u64;
+        let crc = tr.get_u64()?;
+        let magic = tr.get_u32()?;
+        if magic != MAGIC {
+            return Err(EonError::Corrupt(format!("{key}: bad magic {magic:#x}")));
+        }
+        if footer_len + TRAILER_LEN > size {
+            return Err(EonError::Corrupt(format!("{key}: bad footer length")));
+        }
+        let footer_buf = fs.read_range(key, size - TRAILER_LEN - footer_len, footer_len)?;
+        if checksum(&footer_buf) != crc {
+            return Err(EonError::Corrupt(format!("{key}: footer checksum mismatch")));
+        }
+        Ok(RosReader {
+            key: key.to_owned(),
+            footer: parse_footer(&footer_buf)?,
+        })
+    }
+
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    pub fn footer(&self) -> &RosFooter {
+        &self.footer
+    }
+
+    pub fn total_rows(&self) -> u64 {
+        self.footer.total_rows
+    }
+
+    pub fn column_count(&self) -> usize {
+        self.footer.columns.len()
+    }
+
+    /// Read one whole column.
+    pub fn read_column(&self, fs: &dyn eon_storage::FileSystem, col: usize) -> Result<Vec<Value>> {
+        let keep = vec![true; self.footer.columns[col].blocks.len()];
+        let blocks = self.read_column_blocks(fs, col, &keep)?;
+        Ok(blocks.into_iter().flatten().flatten().collect())
+    }
+
+    /// Read a column with block pruning: `keep[i] == false` skips block
+    /// `i` (returning `None` in its slot so positions stay alignable).
+    pub fn read_column_blocks(
+        &self,
+        fs: &dyn eon_storage::FileSystem,
+        col: usize,
+        keep: &[bool],
+    ) -> Result<Vec<Option<Vec<Value>>>> {
+        let meta = self
+            .footer
+            .columns
+            .get(col)
+            .ok_or_else(|| EonError::Query(format!("column {col} out of range")))?;
+        if keep.len() != meta.blocks.len() {
+            return Err(EonError::Internal("keep mask length mismatch".into()));
+        }
+        let mut out = Vec::with_capacity(meta.blocks.len());
+        for (b, &k) in meta.blocks.iter().zip(keep) {
+            if !k {
+                out.push(None);
+                continue;
+            }
+            let raw = fs.read_range(&self.key, b.offset, b.len)?;
+            let vals = decode_column(&mut Reader::new(&raw))?;
+            if vals.len() as u64 != b.rows {
+                return Err(EonError::Corrupt(format!(
+                    "{}: block decoded {} rows, footer says {}",
+                    self.key,
+                    vals.len(),
+                    b.rows
+                )));
+            }
+            out.push(Some(vals));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eon_storage::{FileSystem, MemFs};
+
+    fn sample_columns() -> Vec<Vec<Value>> {
+        let n = 10_000i64;
+        vec![
+            (0..n).map(Value::Int).collect(),
+            (0..n).map(|i| Value::Str(format!("cust{}", i % 13))).collect(),
+            (0..n).map(|i| Value::Float(i as f64 * 0.5)).collect(),
+        ]
+    }
+
+    fn write_sample(fs: &MemFs, key: &str) -> RosFooter {
+        let (bytes, footer) = RosWriter::new().encode(&sample_columns()).unwrap();
+        fs.write(key, bytes).unwrap();
+        footer
+    }
+
+    #[test]
+    fn roundtrip_all_columns() {
+        let fs = MemFs::new();
+        write_sample(&fs, "c1");
+        let r = RosReader::open(&fs, "c1").unwrap();
+        assert_eq!(r.total_rows(), 10_000);
+        assert_eq!(r.column_count(), 3);
+        let cols = sample_columns();
+        for (i, expect) in cols.iter().enumerate() {
+            assert_eq!(&r.read_column(&fs, i).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn footer_matches_reader() {
+        let fs = MemFs::new();
+        let footer = write_sample(&fs, "c1");
+        let r = RosReader::open(&fs, "c1").unwrap();
+        assert_eq!(r.footer(), &footer);
+    }
+
+    #[test]
+    fn block_minmax_enable_pruning() {
+        let fs = MemFs::new();
+        write_sample(&fs, "c1");
+        let r = RosReader::open(&fs, "c1").unwrap();
+        let col0 = &r.footer().columns[0];
+        // 10k rows / 4096 per block = 3 blocks
+        assert_eq!(col0.blocks.len(), 3);
+        assert_eq!(col0.blocks[0].min, Value::Int(0));
+        assert_eq!(col0.blocks[0].max, Value::Int(4095));
+        assert_eq!(col0.blocks[2].max, Value::Int(9999));
+        assert_eq!(col0.min(), Some(&Value::Int(0)));
+        assert_eq!(col0.max(), Some(&Value::Int(9999)));
+    }
+
+    #[test]
+    fn pruned_read_skips_blocks() {
+        let fs = MemFs::new();
+        write_sample(&fs, "c1");
+        let r = RosReader::open(&fs, "c1").unwrap();
+        let blocks = r
+            .read_column_blocks(&fs, 0, &[false, true, false])
+            .unwrap();
+        assert!(blocks[0].is_none());
+        assert!(blocks[2].is_none());
+        let mid = blocks[1].as_ref().unwrap();
+        assert_eq!(mid[0], Value::Int(4096));
+        assert_eq!(mid.len(), 4096);
+    }
+
+    #[test]
+    fn empty_container() {
+        let fs = MemFs::new();
+        let (bytes, _) = RosWriter::new()
+            .encode(&[Vec::new(), Vec::new()])
+            .unwrap();
+        fs.write("empty", bytes).unwrap();
+        let r = RosReader::open(&fs, "empty").unwrap();
+        assert_eq!(r.total_rows(), 0);
+        assert_eq!(r.column_count(), 2);
+        assert!(r.read_column(&fs, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let cols = vec![vec![Value::Int(1)], vec![]];
+        assert!(RosWriter::new().encode(&cols).is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let fs = MemFs::new();
+        write_sample(&fs, "c1");
+        let mut data = fs.read("c1").unwrap().to_vec();
+        let n = data.len();
+        data[n - 1] ^= 0xff;
+        fs.write("c1", Bytes::from(data)).unwrap();
+        assert!(matches!(
+            RosReader::open(&fs, "c1"),
+            Err(EonError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_footer_checksum_rejected() {
+        let fs = MemFs::new();
+        write_sample(&fs, "c1");
+        let mut data = fs.read("c1").unwrap().to_vec();
+        let n = data.len();
+        // Flip a byte inside the footer (just before the trailer).
+        data[n - 20] ^= 0x01;
+        fs.write("c1", Bytes::from(data)).unwrap();
+        assert!(RosReader::open(&fs, "c1").is_err());
+    }
+
+    #[test]
+    fn nulls_tracked_in_block_meta() {
+        let cols = vec![vec![Value::Null, Value::Int(5), Value::Null]];
+        let (bytes, footer) = RosWriter::new().encode(&cols).unwrap();
+        let b = &footer.columns[0].blocks[0];
+        assert!(b.has_null);
+        assert_eq!(b.min, Value::Int(5));
+        assert_eq!(b.max, Value::Int(5));
+        let fs = MemFs::new();
+        fs.write("n", bytes).unwrap();
+        let r = RosReader::open(&fs, "n").unwrap();
+        assert_eq!(r.read_column(&fs, 0).unwrap(), cols[0]);
+    }
+
+    #[test]
+    fn all_null_block_meta() {
+        let cols = vec![vec![Value::Null, Value::Null]];
+        let (_, footer) = RosWriter::new().encode(&cols).unwrap();
+        let b = &footer.columns[0].blocks[0];
+        assert!(b.min.is_null() && b.max.is_null() && b.has_null);
+    }
+
+    #[test]
+    fn custom_block_size() {
+        let cols: Vec<Vec<Value>> = vec![(0..100i64).map(Value::Int).collect()];
+        let (bytes, footer) = RosWriter::with_block_rows(10).encode(&cols).unwrap();
+        assert_eq!(footer.columns[0].blocks.len(), 10);
+        let fs = MemFs::new();
+        fs.write("k", bytes).unwrap();
+        let r = RosReader::open(&fs, "k").unwrap();
+        assert_eq!(r.read_column(&fs, 0).unwrap(), cols[0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Delete vectors (paper §2.3): tombstones recording the positions of
+//! deleted tuples within one ROS container. They are storage objects in
+//! their own right — written once, never modified — and an UPDATE is a
+//! delete-vector write plus an insert. Deleted rows are physically
+//! purged later by mergeout.
+
+use bytes::Bytes;
+use eon_types::{EonError, Result};
+
+use crate::format::{Reader, Writer};
+
+const MAGIC: u32 = 0x4456_3031; // "DV01"
+
+/// Positions of deleted rows in one container, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeleteVector {
+    positions: Vec<u64>,
+}
+
+impl DeleteVector {
+    /// Build from positions (deduplicated and sorted here, so callers
+    /// can hand in match positions in scan order).
+    pub fn new(mut positions: Vec<u64>) -> Self {
+        positions.sort_unstable();
+        positions.dedup();
+        DeleteVector { positions }
+    }
+
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+
+    /// Is row `pos` deleted?
+    pub fn contains(&self, pos: u64) -> bool {
+        self.positions.binary_search(&pos).is_ok()
+    }
+
+    /// Union of two delete vectors (a container can accumulate several
+    /// delete vectors before mergeout compacts it).
+    pub fn merge(&self, other: &DeleteVector) -> DeleteVector {
+        let mut merged = Vec::with_capacity(self.positions.len() + other.positions.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.positions.len() && j < other.positions.len() {
+            match self.positions[i].cmp(&other.positions[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.positions[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.positions[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.positions[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.positions[i..]);
+        merged.extend_from_slice(&other.positions[j..]);
+        DeleteVector { positions: merged }
+    }
+
+    /// A keep-mask over `total_rows`: `mask[i] == true` means row `i`
+    /// survives. Scans apply this after reading blocks.
+    pub fn keep_mask(&self, total_rows: u64) -> Vec<bool> {
+        let mut mask = vec![true; total_rows as usize];
+        for &p in &self.positions {
+            if let Some(slot) = mask.get_mut(p as usize) {
+                *slot = false;
+            }
+        }
+        mask
+    }
+
+    /// Serialize in the same column format as regular data (the paper
+    /// notes delete vectors are "stored using the same format as regular
+    /// columns") — here: delta-varint positions behind a magic header.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(8 + self.positions.len());
+        w.put_u32(MAGIC);
+        w.put_varint(self.positions.len() as u64);
+        let mut prev = 0u64;
+        for &p in &self.positions {
+            w.put_varint(p - prev);
+            prev = p;
+        }
+        w.into_bytes()
+    }
+
+    pub fn decode(data: &[u8]) -> Result<DeleteVector> {
+        let mut r = Reader::new(data);
+        if r.get_u32()? != MAGIC {
+            return Err(EonError::Corrupt("bad delete vector magic".into()));
+        }
+        let n = r.get_varint()? as usize;
+        let mut positions = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for _ in 0..n {
+            prev += r.get_varint()?;
+            positions.push(prev);
+        }
+        Ok(DeleteVector { positions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dedup_and_sort_on_construction() {
+        let dv = DeleteVector::new(vec![5, 1, 5, 3]);
+        assert_eq!(dv.positions(), &[1, 3, 5]);
+        assert!(dv.contains(3));
+        assert!(!dv.contains(2));
+    }
+
+    #[test]
+    fn merge_unions() {
+        let a = DeleteVector::new(vec![1, 3, 5]);
+        let b = DeleteVector::new(vec![2, 3, 9]);
+        assert_eq!(a.merge(&b).positions(), &[1, 2, 3, 5, 9]);
+        // merge with empty is identity
+        assert_eq!(a.merge(&DeleteVector::default()), a);
+    }
+
+    #[test]
+    fn keep_mask_marks_survivors() {
+        let dv = DeleteVector::new(vec![0, 2]);
+        assert_eq!(dv.keep_mask(4), vec![false, true, false, true]);
+        // positions beyond range are ignored, not a panic
+        let dv2 = DeleteVector::new(vec![10]);
+        assert_eq!(dv2.keep_mask(2), vec![true, true]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let dv = DeleteVector::new((0..1000).filter(|i| i % 7 == 0).collect());
+        let enc = dv.encode();
+        assert_eq!(DeleteVector::decode(&enc).unwrap(), dv);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(DeleteVector::decode(b"nonsense").is_err());
+        assert!(DeleteVector::decode(b"").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(mut ps in proptest::collection::vec(0u64..1_000_000, 0..500)) {
+            let dv = DeleteVector::new(ps.clone());
+            let back = DeleteVector::decode(&dv.encode()).unwrap();
+            prop_assert_eq!(&back, &dv);
+            ps.sort_unstable();
+            ps.dedup();
+            prop_assert_eq!(back.positions(), &ps[..]);
+        }
+
+        #[test]
+        fn prop_merge_is_union(
+            a in proptest::collection::vec(0u64..200, 0..100),
+            b in proptest::collection::vec(0u64..200, 0..100),
+        ) {
+            let m = DeleteVector::new(a.clone()).merge(&DeleteVector::new(b.clone()));
+            let mut expect: Vec<u64> = a.into_iter().chain(b).collect();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(m.positions(), &expect[..]);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Compact binary codec for on-disk structures: a little-endian writer
+//! over `Vec<u8>` and a checked cursor over `Bytes`. All ROS container
+//! payloads, footers, and delete vectors flow through this module so the
+//! wire format lives in exactly one place.
+
+use bytes::Bytes;
+use eon_types::{EonError, Result, Value};
+
+/// Append-only binary writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_bytes(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// LEB128 unsigned varint; the workhorse for delta encoding.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-encoded signed varint.
+    pub fn put_signed_varint(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Tagged value. Tags: 0 null, 1 int, 2 float, 3 str, 4 bool,
+    /// 5 date.
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.put_u8(0),
+            Value::Int(i) => {
+                self.put_u8(1);
+                self.put_signed_varint(*i);
+            }
+            Value::Float(f) => {
+                self.put_u8(2);
+                self.put_f64(*f);
+            }
+            Value::Str(s) => {
+                self.put_u8(3);
+                self.put_str(s);
+            }
+            Value::Bool(b) => {
+                self.put_u8(4);
+                self.put_u8(*b as u8);
+            }
+            Value::Date(d) => {
+                self.put_u8(5);
+                self.put_signed_varint(*d as i64);
+            }
+        }
+    }
+
+    /// Raw access for checksums and length back-patching.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Checked binary reader over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(EonError::Corrupt(format!(
+                "short read: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = self.get_u8()?;
+            if shift >= 64 {
+                return Err(EonError::Corrupt("varint overflow".into()));
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    pub fn get_signed_varint(&mut self) -> Result<i64> {
+        let z = self.get_varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_varint()? as usize;
+        self.take(len)
+    }
+
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| EonError::Corrupt("invalid utf8".into()))
+    }
+
+    pub fn get_value(&mut self) -> Result<Value> {
+        Ok(match self.get_u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.get_signed_varint()?),
+            2 => Value::Float(self.get_f64()?),
+            3 => Value::Str(self.get_str()?),
+            4 => Value::Bool(self.get_u8()? != 0),
+            5 => Value::Date(self.get_signed_varint()? as i32),
+            t => return Err(EonError::Corrupt(format!("bad value tag {t}"))),
+        })
+    }
+}
+
+/// FNV-1a content checksum used by container footers.
+pub fn checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX);
+        w.put_i64(-12345);
+        w.put_f64(2.5);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -12345);
+        assert_eq!(r.get_f64().unwrap(), 2.5);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn short_read_is_error_not_panic() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.get_u64().is_err());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut w = Writer::new();
+            w.put_varint(v);
+            let b = w.into_bytes();
+            assert_eq!(Reader::new(&b).get_varint().unwrap(), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_signed_varint_roundtrip(v: i64) {
+            let mut w = Writer::new();
+            w.put_signed_varint(v);
+            let b = w.into_bytes();
+            prop_assert_eq!(Reader::new(&b).get_signed_varint().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_value_roundtrip(tag in 0u8..6, i: i64, f: f64, s in ".{0,40}", b: bool, d: i32) {
+            let v = match tag {
+                0 => Value::Null,
+                1 => Value::Int(i),
+                2 => Value::Float(f),
+                3 => Value::Str(s),
+                4 => Value::Bool(b),
+                _ => Value::Date(d),
+            };
+            let mut w = Writer::new();
+            w.put_value(&v);
+            let bytes = w.into_bytes();
+            let got = Reader::new(&bytes).get_value().unwrap();
+            // Compare via the total order so NaN == NaN.
+            prop_assert_eq!(got.cmp(&v), std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn checksum_detects_flips() {
+        let a = checksum(b"hello world");
+        let b = checksum(b"hello worle");
+        assert_ne!(a, b);
+        assert_eq!(a, checksum(b"hello world"));
+    }
+}

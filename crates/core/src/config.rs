@@ -1,0 +1,88 @@
+//! Database configuration.
+
+/// Configuration for an Eon-mode database. The segment shard count is
+/// fixed at creation (§3.1); everything else can vary over the
+/// database's life.
+#[derive(Debug, Clone)]
+pub struct EonConfig {
+    pub database: String,
+    /// Initial node count.
+    pub num_nodes: usize,
+    /// Segment shard count — immutable after creation.
+    pub num_shards: usize,
+    /// Node failures tolerated (shards get `k_safety + 1` subscribers).
+    pub k_safety: usize,
+    /// Execution slots per node (the `E` of §4.2).
+    pub exec_slots: usize,
+    /// Depot capacity per node, bytes.
+    pub cache_bytes: u64,
+    /// Lease duration stamped into `cluster_info.json`, milliseconds.
+    pub lease_ms: u64,
+    /// Simulated per-fragment service time, milliseconds (0 = off).
+    /// Models each node's fixed compute capacity: a query fragment
+    /// occupies its execution slots for at least this long. Needed for
+    /// throughput experiments because in-process simulated nodes share
+    /// the host CPU (DESIGN.md §1) — without it, 3 simulated nodes and
+    /// 9 simulated nodes have identical total compute.
+    pub fragment_ms: u64,
+}
+
+impl Default for EonConfig {
+    fn default() -> Self {
+        EonConfig {
+            database: "eon".into(),
+            num_nodes: 3,
+            num_shards: 3,
+            k_safety: 1,
+            exec_slots: 4,
+            cache_bytes: 256 << 20,
+            lease_ms: 10_000,
+            fragment_ms: 0,
+        }
+    }
+}
+
+impl EonConfig {
+    pub fn new(num_nodes: usize, num_shards: usize) -> Self {
+        EonConfig {
+            num_nodes,
+            num_shards,
+            ..Default::default()
+        }
+    }
+
+    pub fn k_safety(mut self, k: usize) -> Self {
+        self.k_safety = k;
+        self
+    }
+
+    pub fn exec_slots(mut self, e: usize) -> Self {
+        self.exec_slots = e;
+        self
+    }
+
+    pub fn cache_bytes(mut self, b: u64) -> Self {
+        self.cache_bytes = b;
+        self
+    }
+
+    pub fn fragment_ms(mut self, ms: u64) -> Self {
+        self.fragment_ms = ms;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder() {
+        let c = EonConfig::new(4, 3).k_safety(2).exec_slots(8).cache_bytes(1024);
+        assert_eq!(c.num_nodes, 4);
+        assert_eq!(c.num_shards, 3);
+        assert_eq!(c.k_safety, 2);
+        assert_eq!(c.exec_slots, 8);
+        assert_eq!(c.cache_bytes, 1024);
+    }
+}

@@ -1,0 +1,333 @@
+//! The [`EonDb`] handle: cluster bootstrap and the commit protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use eon_catalog::{CatalogOp, CatalogState, ShardDef, ShardKind, SubState, Subscription, Txn, TxnRecord};
+use eon_cluster::{Membership, NodeRuntime};
+use eon_shard::rebalance_plan;
+use eon_storage::SharedFs;
+use eon_types::{EonError, HashRange, NodeId, Result, ShardId, TxnVersion};
+
+use crate::config::EonConfig;
+use crate::maintenance::Reaper;
+
+/// An Eon-mode database over a shared storage.
+pub struct EonDb {
+    pub(crate) shared: SharedFs,
+    pub(crate) config: EonConfig,
+    pub(crate) membership: Membership,
+    /// Hex incarnation id; changes on revive (§3.5).
+    pub(crate) incarnation: Mutex<String>,
+    /// Serializes cluster commits (stand-in for the distributed commit
+    /// protocol; Vertica's global catalog lock plays the same role).
+    pub(crate) commit_lock: Mutex<()>,
+    /// Session counter: varies participant selection per query (§4.1).
+    pub(crate) session_counter: AtomicU64,
+    pub(crate) next_node_id: AtomicU64,
+    pub(crate) instance_seed: AtomicU64,
+    pub(crate) reaper: Reaper,
+}
+
+impl EonDb {
+    /// Create a brand-new database on empty shared storage: commission
+    /// nodes, define the shard layout (segment shards + one replica
+    /// shard), and subscribe nodes via the ring rebalance.
+    pub fn create(shared: SharedFs, config: EonConfig) -> Result<Arc<EonDb>> {
+        assert!(config.num_nodes > 0 && config.num_shards > 0);
+        // Uniform §5.3 retry loop around every shared-storage access.
+        let shared = eon_storage::RetryFs::wrap(shared);
+        let incarnation = format!("inc{:08x}", 0xe0ee_0000u32);
+        let db = Arc::new(EonDb {
+            shared: shared.clone(),
+            membership: Membership::new(),
+            incarnation: Mutex::new(incarnation.clone()),
+            commit_lock: Mutex::new(()),
+            session_counter: AtomicU64::new(1),
+            next_node_id: AtomicU64::new(config.num_nodes as u64),
+            instance_seed: AtomicU64::new(1),
+            reaper: Reaper::default(),
+            config,
+        });
+        for i in 0..db.config.num_nodes {
+            let node = db.commission_node(NodeId(i as u64));
+            db.membership.add(node);
+        }
+
+        // Bootstrap transaction: shard layout + subscriptions.
+        let coord = db.membership.leader().expect("fresh cluster has nodes");
+        let mut txn = coord.catalog.begin();
+        txn.push(CatalogOp::DefineShards(db.shard_defs()));
+        db.commit_cluster(txn, &coord)?;
+
+        // Subscriptions: segment shards via the ring plan, replica
+        // shard on every node; a fresh cluster has no metadata or cache
+        // to transfer, so promote straight to ACTIVE.
+        let mut txn = coord.catalog.begin();
+        for op in rebalance_plan(
+            &coord.catalog.snapshot(),
+            &db.membership.up_ids(),
+            db.config.k_safety,
+        ) {
+            let op = match op {
+                CatalogOp::UpsertSubscription(mut s) => {
+                    s.state = SubState::Active;
+                    CatalogOp::UpsertSubscription(s)
+                }
+                other => other,
+            };
+            txn.push(op);
+        }
+        for node in db.membership.up_ids() {
+            txn.push(CatalogOp::UpsertSubscription(Subscription {
+                node,
+                shard: db.replica_shard(),
+                state: SubState::Active,
+            }));
+        }
+        db.commit_cluster(txn, &coord)?;
+        Ok(db)
+    }
+
+    pub fn config(&self) -> &EonConfig {
+        &self.config
+    }
+
+    pub fn shared(&self) -> &SharedFs {
+        &self.shared
+    }
+
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    pub fn incarnation(&self) -> String {
+        self.incarnation.lock().clone()
+    }
+
+    /// The replica shard holding replicated-projection storage (§3.1).
+    pub fn replica_shard(&self) -> ShardId {
+        ShardId(self.config.num_shards as u64)
+    }
+
+    /// Segment shard ids.
+    pub fn segment_shards(&self) -> Vec<ShardId> {
+        (0..self.config.num_shards as u64).map(ShardId).collect()
+    }
+
+    pub(crate) fn shard_defs(&self) -> Vec<ShardDef> {
+        let mut defs: Vec<ShardDef> = HashRange::split_even(self.config.num_shards)
+            .into_iter()
+            .enumerate()
+            .map(|(i, range)| ShardDef {
+                id: ShardId(i as u64),
+                kind: ShardKind::Segment,
+                range,
+            })
+            .collect();
+        defs.push(ShardDef {
+            id: self.replica_shard(),
+            kind: ShardKind::Replica,
+            range: HashRange::full(),
+        });
+        defs
+    }
+
+    pub(crate) fn commission_node(&self, id: NodeId) -> Arc<NodeRuntime> {
+        let seed = self.instance_seed.fetch_add(1, Ordering::Relaxed);
+        NodeRuntime::new(
+            id,
+            self.shared.clone(),
+            &format!("{}/node{}", self.incarnation(), id.0),
+            self.config.cache_bytes,
+            self.config.exec_slots,
+            seed,
+        )
+    }
+
+    /// Any up node, rotated by the session counter — clients connect to
+    /// different nodes, and the connection target is the coordinator.
+    pub(crate) fn pick_coordinator(&self) -> Result<Arc<NodeRuntime>> {
+        let up = self.membership.up_nodes();
+        if up.is_empty() {
+            return Err(EonError::ClusterDown("no nodes up".into()));
+        }
+        let i = self.session_counter.fetch_add(1, Ordering::Relaxed) as usize % up.len();
+        Ok(up[i].clone())
+    }
+
+    /// Next session seed (drives assignment edge-order variation).
+    pub(crate) fn next_session_seed(&self) -> u64 {
+        self.session_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The cluster commit protocol: commit on the coordinator (OCC
+    /// validation, §6.3), persist to its local log, then distribute the
+    /// record to every other up node (§3.2's eager metadata
+    /// redistribution — all subscribers have the metadata at commit).
+    /// Down nodes miss records and repair via re-subscription (§3.3).
+    pub(crate) fn commit_cluster(&self, txn: Txn, coordinator: &NodeRuntime) -> Result<TxnRecord> {
+        let _g = self.commit_lock.lock();
+        self.commit_cluster_locked(txn, coordinator)
+    }
+
+    /// Commit with the lock already held (used by the load path, which
+    /// re-validates subscription stability under the lock, §4.5).
+    pub(crate) fn commit_cluster_locked(
+        &self,
+        txn: Txn,
+        coordinator: &NodeRuntime,
+    ) -> Result<TxnRecord> {
+        // Collect the shared-storage keys this transaction's drops
+        // *might* orphan — the snapshot still holds them. After apply
+        // they are checked against the new state: `copy_table` can put
+        // the same file under several tables (§5.1), so a key only
+        // feeds the §6.5 reaper when its catalog reference count
+        // actually reaches zero.
+        let dropped_keys = Self::dropped_keys(&txn);
+        let rec = coordinator.catalog.commit(txn)?;
+        coordinator.store.append_local(&rec)?;
+        for node in self.membership.up_nodes() {
+            if node.id == coordinator.id {
+                continue;
+            }
+            // All up nodes advance in lockstep; failure here would mean
+            // divergence, which §3.4 says must shut the cluster down.
+            node.catalog.apply_committed(&rec).map_err(|e| {
+                EonError::ClusterDown(format!("metadata divergence on {}: {e}", node.id))
+            })?;
+            node.store.append_local(&rec)?;
+        }
+        // Reference count (§6.5): only keys with no remaining catalog
+        // reference become deletion candidates.
+        let post = coordinator.catalog.snapshot();
+        let orphaned: Vec<String> = dropped_keys
+            .into_iter()
+            .filter(|k| {
+                !post.containers.values().any(|c| &c.key == k)
+                    && !post.delete_vectors.values().any(|d| &d.key == k)
+            })
+            .collect();
+        self.reaper.note_dropped(orphaned, rec.version);
+        Ok(rec)
+    }
+
+    /// Shared-storage keys orphaned by a transaction's drop ops,
+    /// resolved against the transaction's snapshot (before apply).
+    fn dropped_keys(txn: &Txn) -> Vec<String> {
+        let snap = txn.snapshot();
+        let mut keys = Vec::new();
+        for op in txn.ops() {
+            match op {
+                CatalogOp::DropContainer(oid) => {
+                    if let Some(c) = snap.containers.get(oid) {
+                        keys.push(c.key.clone());
+                    }
+                    for dv in snap.delete_vectors_for(*oid) {
+                        keys.push(dv.key.clone());
+                    }
+                }
+                CatalogOp::DropDeleteVector(oid) => {
+                    if let Some(d) = snap.delete_vectors.get(oid) {
+                        keys.push(d.key.clone());
+                    }
+                }
+                CatalogOp::DropTable(oid) => {
+                    for c in snap.containers.values().filter(|c| c.table == *oid) {
+                        keys.push(c.key.clone());
+                        for dv in snap.delete_vectors_for(c.oid) {
+                            keys.push(dv.key.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        keys
+    }
+
+    /// A consistent catalog snapshot (from any up node; they are in
+    /// lockstep).
+    pub fn snapshot(&self) -> Result<Arc<CatalogState>> {
+        Ok(self.pick_coordinator()?.catalog.snapshot())
+    }
+
+    /// The global catalog version (§3.4).
+    pub fn version(&self) -> TxnVersion {
+        self.membership
+            .up_nodes()
+            .first()
+            .map(|n| n.catalog.version())
+            .unwrap_or(TxnVersion::ZERO)
+    }
+
+    /// §3.4 viability check; most public operations call this first.
+    pub fn ensure_viable(&self) -> Result<()> {
+        let snapshot = self
+            .membership
+            .up_nodes()
+            .first()
+            .map(|n| n.catalog.snapshot())
+            .ok_or_else(|| EonError::ClusterDown("no nodes up".into()))?;
+        self.membership.check_viable(&snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eon_storage::MemFs;
+
+    fn db() -> Arc<EonDb> {
+        EonDb::create(Arc::new(MemFs::new()), EonConfig::new(4, 3)).unwrap()
+    }
+
+    #[test]
+    fn create_bootstraps_shards_and_subscriptions() {
+        let db = db();
+        let snap = db.snapshot().unwrap();
+        assert_eq!(snap.shards.len(), 4); // 3 segment + 1 replica
+        assert_eq!(snap.segment_shard_count(), 3);
+        // Every segment shard has k+1 = 2 ACTIVE subscribers.
+        for s in db.segment_shards() {
+            assert_eq!(snap.subscribers_in(s, SubState::Active).len(), 2);
+        }
+        // Replica shard on all nodes.
+        assert_eq!(
+            snap.subscribers_in(db.replica_shard(), SubState::Active).len(),
+            4
+        );
+        db.ensure_viable().unwrap();
+    }
+
+    #[test]
+    fn all_nodes_share_catalog_version() {
+        let db = db();
+        let versions: Vec<TxnVersion> = db
+            .membership
+            .all()
+            .iter()
+            .map(|n| n.catalog.version())
+            .collect();
+        assert!(versions.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(db.version(), TxnVersion(2)); // shards + subscriptions
+    }
+
+    #[test]
+    fn viability_fails_when_shard_uncovered() {
+        let db = db();
+        // Kill the two subscribers of shard 0 (ring layout: nodes 0,1).
+        db.membership.get(NodeId(0)).unwrap().kill();
+        db.membership.get(NodeId(1)).unwrap().kill();
+        assert!(db.ensure_viable().is_err());
+    }
+
+    #[test]
+    fn single_node_down_keeps_cluster_viable() {
+        let db = db();
+        db.membership.get(NodeId(0)).unwrap().kill();
+        db.ensure_viable().unwrap();
+    }
+}

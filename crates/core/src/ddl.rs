@@ -1,0 +1,350 @@
+//! DDL: tables, projections, ADD COLUMN under OCC (§6.3).
+
+use eon_catalog::{CatalogOp, Table};
+use eon_columnar::Projection;
+use eon_types::{EonError, Field, Oid, Result, Value};
+
+use crate::db::EonDb;
+
+impl EonDb {
+    /// CREATE TABLE with a set of projections. Every table needs at
+    /// least one projection — it is the only physical data structure
+    /// (§2.1). Convenience: pass the output of
+    /// [`Projection::super_projection`] / [`Projection::replicated`].
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: eon_types::Schema,
+        projections: Vec<Projection>,
+    ) -> Result<Oid> {
+        if projections.is_empty() {
+            return Err(EonError::Catalog(
+                "a table needs at least one projection".into(),
+            ));
+        }
+        self.ensure_viable()?;
+        let coord = self.pick_coordinator()?;
+        let table_oid = coord.catalog.next_oid();
+        let mut txn = coord.catalog.begin();
+        let defaults = vec![Value::Null; schema.len()];
+        let projections: Vec<(Oid, Projection)> = projections
+            .into_iter()
+            .map(|p| {
+                p.validate(&schema)?;
+                Ok((coord.catalog.next_oid(), p))
+            })
+            .collect::<Result<_>>()?;
+        txn.push(CatalogOp::CreateTable(Table {
+            oid: table_oid,
+            name: name.to_owned(),
+            schema,
+            projections,
+            defaults,
+        }));
+        self.commit_cluster(txn, &coord)?;
+        Ok(table_oid)
+    }
+
+    /// CREATE PROJECTION on an existing table. New projections start
+    /// empty; a production system would backfill from an existing
+    /// projection (refresh), which `copy_into` effectively does for
+    /// subsequent loads.
+    pub fn create_projection(&self, table: &str, projection: Projection) -> Result<Oid> {
+        self.ensure_viable()?;
+        let coord = self.pick_coordinator()?;
+        let mut txn = coord.catalog.begin();
+        let t = txn
+            .snapshot()
+            .table_by_name(table)
+            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
+        let table_oid = t.oid;
+        projection.validate(&t.schema)?;
+        let proj_oid = coord.catalog.next_oid();
+        txn.push(CatalogOp::AddProjection {
+            table: table_oid,
+            oid: proj_oid,
+            projection,
+        });
+        self.commit_cluster(txn, &coord)?;
+        Ok(proj_oid)
+    }
+
+    /// ALTER TABLE … ADD COLUMN with a default, the §6.3 OCC showcase:
+    /// metadata is prepared against a snapshot without holding the
+    /// global catalog lock; the write set validates at commit and the
+    /// transaction rolls back on conflict.
+    pub fn add_column(&self, table: &str, field: Field, default: Value) -> Result<()> {
+        self.ensure_viable()?;
+        let coord = self.pick_coordinator()?;
+        let mut txn = coord.catalog.begin();
+        let t = txn
+            .snapshot()
+            .table_by_name(table)
+            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
+        let table_oid = t.oid;
+        txn.push(CatalogOp::AddColumn {
+            table: table_oid,
+            field,
+            default,
+        });
+        self.commit_cluster(txn, &coord)
+            .map(|_| ())
+    }
+
+    /// `copy_table` (§5.1): create `dst` as a snapshot copy of `src`
+    /// **without copying any data** — the new table's containers and
+    /// delete vectors reference the *same* shared-storage files, which
+    /// is exactly why SIDs are globally unique and why file deletion
+    /// reference-counts catalog references (§6.5). Copy-on-write
+    /// follows naturally: subsequent loads/deletes against either table
+    /// create new objects without touching the shared ones.
+    pub fn copy_table(&self, src: &str, dst: &str) -> Result<Oid> {
+        self.ensure_viable()?;
+        let coord = self.pick_coordinator()?;
+        let mut txn = coord.catalog.begin();
+        let t = txn
+            .snapshot()
+            .table_by_name(src)
+            .cloned()
+            .ok_or_else(|| EonError::UnknownTable(src.to_owned()))?;
+        txn.observe(t.oid);
+
+        // New table object with fresh OIDs but identical definitions.
+        let dst_oid = coord.catalog.next_oid();
+        let proj_map: Vec<(Oid, Oid, Projection)> = t
+            .projections
+            .iter()
+            .map(|(old, p)| (*old, coord.catalog.next_oid(), p.clone()))
+            .collect();
+        txn.push(CatalogOp::CreateTable(Table {
+            oid: dst_oid,
+            name: dst.to_owned(),
+            schema: t.schema.clone(),
+            projections: proj_map.iter().map(|(_, new, p)| (*new, p.clone())).collect(),
+            defaults: t.defaults.clone(),
+        }));
+
+        // Containers + delete vectors referencing the same files.
+        let snapshot = txn.snapshot().clone();
+        for (old_proj, new_proj, _) in &proj_map {
+            for c in snapshot.containers_for_projection(*old_proj) {
+                let new_container = coord.catalog.next_oid();
+                txn.push(CatalogOp::AddContainer(eon_catalog::ContainerMeta {
+                    oid: new_container,
+                    projection: *new_proj,
+                    table: dst_oid,
+                    ..c.clone()
+                }));
+                for dv in snapshot.delete_vectors_for(c.oid) {
+                    txn.push(CatalogOp::AddDeleteVector(eon_catalog::DeleteVectorMeta {
+                        oid: coord.catalog.next_oid(),
+                        container: new_container,
+                        ..dv.clone()
+                    }));
+                }
+            }
+        }
+        self.commit_cluster(txn, &coord)?;
+        Ok(dst_oid)
+    }
+
+    /// DROP TABLE. Storage files become deletion candidates via the
+    /// reaper (§6.5) once no query references them.
+    pub fn drop_table(&self, table: &str) -> Result<()> {
+        self.ensure_viable()?;
+        let coord = self.pick_coordinator()?;
+        let mut txn = coord.catalog.begin();
+        let t = txn
+            .snapshot()
+            .table_by_name(table)
+            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
+        let oid = t.oid;
+        txn.push(CatalogOp::DropTable(oid));
+        self.commit_cluster(txn, &coord).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EonConfig;
+    use eon_storage::MemFs;
+    use eon_types::{schema, DataType};
+    use std::sync::Arc;
+
+    fn db() -> Arc<EonDb> {
+        EonDb::create(Arc::new(MemFs::new()), EonConfig::new(3, 3)).unwrap()
+    }
+
+    fn sales_schema() -> eon_types::Schema {
+        schema![("id", Int), ("cust", Str), ("price", Int)]
+    }
+
+    #[test]
+    fn create_table_visible_on_all_nodes() {
+        let db = db();
+        let s = sales_schema();
+        db.create_table(
+            "sales",
+            s.clone(),
+            vec![Projection::super_projection("sales_p", &s, &[0], &[0])],
+        )
+        .unwrap();
+        for node in db.membership().all() {
+            assert!(node.catalog.snapshot().table_by_name("sales").is_some());
+        }
+    }
+
+    #[test]
+    fn table_needs_projection() {
+        let db = db();
+        assert!(db.create_table("t", sales_schema(), vec![]).is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = db();
+        let s = sales_schema();
+        let p = || vec![Projection::super_projection("p", &s, &[0], &[0])];
+        db.create_table("t", s.clone(), p()).unwrap();
+        assert!(db.create_table("t", s.clone(), p()).is_err());
+    }
+
+    #[test]
+    fn add_column_and_projection() {
+        let db = db();
+        let s = sales_schema();
+        db.create_table(
+            "sales",
+            s.clone(),
+            vec![Projection::super_projection("p", &s, &[0], &[0])],
+        )
+        .unwrap();
+        db.add_column("sales", Field::new("region", DataType::Str), Value::Str("NA".into()))
+            .unwrap();
+        let snap = db.snapshot().unwrap();
+        let t = snap.table_by_name("sales").unwrap();
+        assert_eq!(t.schema.len(), 4);
+        assert_eq!(t.defaults[3], Value::Str("NA".into()));
+        // Super-projection grew with the table.
+        assert_eq!(t.projections[0].1.columns.len(), 4);
+    }
+
+    #[test]
+    fn drop_table_removes_everywhere() {
+        let db = db();
+        let s = sales_schema();
+        db.create_table(
+            "sales",
+            s.clone(),
+            vec![Projection::super_projection("p", &s, &[0], &[0])],
+        )
+        .unwrap();
+        db.drop_table("sales").unwrap();
+        for node in db.membership().all() {
+            assert!(node.catalog.snapshot().table_by_name("sales").is_none());
+        }
+        assert!(db.drop_table("sales").is_err());
+    }
+}
+
+#[cfg(test)]
+mod copy_table_tests {
+    use super::*;
+    use crate::config::EonConfig;
+    use eon_columnar::pruning::CmpOp;
+    use eon_columnar::Predicate;
+    use eon_exec::{AggSpec, Plan, ScanSpec};
+    use eon_storage::MemFs;
+    use eon_types::{schema, Value};
+    use std::sync::Arc;
+
+    fn db_loaded() -> Arc<EonDb> {
+        let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(3, 3)).unwrap();
+        let s = schema![("id", Int), ("v", Int)];
+        db.create_table(
+            "src",
+            s.clone(),
+            vec![Projection::super_projection("p", &s, &[0], &[0])],
+        )
+        .unwrap();
+        db.copy_into(
+            "src",
+            (0..500).map(|i| vec![Value::Int(i), Value::Int(i % 7)]).collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn count(db: &EonDb, table: &str) -> i64 {
+        let plan = Plan::scan(ScanSpec::new(table)).aggregate(vec![], vec![AggSpec::count_star()]);
+        db.query(&plan).unwrap()[0][0].as_int().unwrap()
+    }
+
+    #[test]
+    fn copy_shares_files_without_copying_data() {
+        let db = db_loaded();
+        let files_before = db.shared().list("data/").unwrap().len();
+        db.copy_table("src", "dst").unwrap();
+        // Zero new data files: the copy is pure metadata (§5.1).
+        assert_eq!(db.shared().list("data/").unwrap().len(), files_before);
+        assert_eq!(count(&db, "dst"), 500);
+        assert_eq!(count(&db, "src"), 500);
+        // Same keys, distinct catalog objects.
+        let snap = db.snapshot().unwrap();
+        let mut keys: Vec<&str> = snap.containers.values().map(|c| c.key.as_str()).collect();
+        keys.sort();
+        let distinct: std::collections::HashSet<&&str> = keys.iter().collect();
+        assert_eq!(keys.len(), distinct.len() * 2, "each file referenced twice");
+    }
+
+    #[test]
+    fn drop_of_one_table_keeps_shared_files() {
+        let db = db_loaded();
+        db.copy_table("src", "dst").unwrap();
+        db.drop_table("src").unwrap();
+        db.sync_metadata(1_000).unwrap();
+        let reaped = db.reap_files().unwrap();
+        assert!(reaped.is_empty(), "shared files must survive: {reaped:?}");
+        assert_eq!(count(&db, "dst"), 500);
+
+        // Dropping the last reference releases the files.
+        db.drop_table("dst").unwrap();
+        db.sync_metadata(2_000).unwrap();
+        let reaped = db.reap_files().unwrap();
+        assert!(!reaped.is_empty());
+        assert!(db.shared().list("data/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn copies_diverge_copy_on_write() {
+        let db = db_loaded();
+        db.copy_table("src", "dst").unwrap();
+        // Mutate dst only: delete vectors attach to dst's containers.
+        db.delete_where("dst", &Predicate::cmp(0, CmpOp::Lt, 100i64)).unwrap();
+        assert_eq!(count(&db, "dst"), 400);
+        assert_eq!(count(&db, "src"), 500, "src unaffected");
+        // Load into src only.
+        db.copy_into("src", (1000..1100).map(|i| vec![Value::Int(i), Value::Int(0)]).collect())
+            .unwrap();
+        assert_eq!(count(&db, "src"), 600);
+        assert_eq!(count(&db, "dst"), 400);
+    }
+
+    #[test]
+    fn copy_preserves_existing_delete_vectors() {
+        let db = db_loaded();
+        db.delete_where("src", &Predicate::cmp(0, CmpOp::Lt, 50i64)).unwrap();
+        db.copy_table("src", "dst").unwrap();
+        assert_eq!(count(&db, "dst"), 450);
+    }
+
+    #[test]
+    fn copy_missing_source_fails() {
+        let db = db_loaded();
+        assert!(db.copy_table("ghost", "dst").is_err());
+        // Duplicate destination fails too.
+        db.copy_table("src", "dst").unwrap();
+        assert!(db.copy_table("src", "dst").is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! DML: DELETE and UPDATE via delete vectors (paper §2.3, §4.5).
+//!
+//! "Deletes and updates are implemented with a tombstone-like mechanism
+//! called a delete vector … An update is modeled as a delete followed
+//! by an insert." Delete vectors are storage objects: written to shared
+//! storage before commit like any data file, cached write-through, and
+//! associated with the shard of the container they tombstone.
+
+use eon_cache::CacheMode;
+use eon_catalog::CatalogOp;
+use eon_columnar::{DeleteVector, Predicate};
+use eon_exec::crunch::CrunchSlice;
+use eon_exec::{Plan, ScanSpec};
+use eon_types::{EonError, Result, Value};
+
+use crate::db::EonDb;
+use crate::provider::NodeProvider;
+
+impl EonDb {
+    /// DELETE FROM `table` WHERE `predicate`. Returns rows deleted.
+    pub fn delete_where(&self, table: &str, predicate: &Predicate) -> Result<u64> {
+        self.ensure_viable()?;
+        let coord = self.pick_coordinator()?;
+        let mut txn = coord.catalog.begin();
+        let snapshot = txn.snapshot().clone();
+        let t = snapshot
+            .table_by_name(table)
+            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
+        // §2.1: Live Aggregate Projections "trade-off … against
+        // restrictions on how the base table can be updated" — a delete
+        // vector cannot be applied to pre-aggregated rows.
+        if t.projections.iter().any(|(_, p)| p.is_live_aggregate()) {
+            return Err(EonError::Query(format!(
+                "{table} has a live aggregate projection; DELETE/UPDATE are restricted"
+            )));
+        }
+        txn.observe(t.oid);
+
+        // Find matching positions per container (coordinator-side scan;
+        // §4.5 would distribute this, which changes performance, not
+        // outcomes).
+        let provider = NodeProvider {
+            node: coord.clone(),
+            snapshot: std::sync::Arc::new(snapshot),
+            my_shards: self.segment_shards(),
+            all_shards: self.segment_shards(),
+            replica_shard: self.replica_shard(),
+            cache_mode: CacheMode::Normal,
+            crunch: None,
+        };
+        let hits = provider.matching_positions(table, predicate)?;
+        let mut total = 0u64;
+        for (container_oid, shard, positions) in hits {
+            total += positions.len() as u64;
+            let dv = DeleteVector::new(positions);
+            let key = coord.next_sid().object_key_with("dv");
+            // Delete marks are files too: cache + upload before commit.
+            coord.cache.put_through(&key, dv.encode())?;
+            txn.push(CatalogOp::AddDeleteVector(eon_catalog::DeleteVectorMeta {
+                oid: coord.catalog.next_oid(),
+                key,
+                container: container_oid,
+                shard,
+                deleted_rows: dv.len() as u64,
+            }));
+        }
+        if total == 0 {
+            return Ok(0);
+        }
+        self.commit_cluster(txn, &coord)?;
+        Ok(total)
+    }
+
+    /// UPDATE `table` SET `col = value, …` WHERE `predicate`: delete
+    /// then insert (§2.3).
+    pub fn update_where(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        set: &[(usize, Value)],
+    ) -> Result<u64> {
+        self.ensure_viable()?;
+        // Read the matching rows first (full rows, all columns).
+        let plan = Plan::scan(ScanSpec::new(table).predicate(predicate.clone()).global());
+        let mut rows = {
+            let coord = self.pick_coordinator()?;
+            let provider = NodeProvider {
+                node: coord.clone(),
+                snapshot: coord.catalog.snapshot(),
+                my_shards: self.segment_shards(),
+                all_shards: self.segment_shards(),
+                replica_shard: self.replica_shard(),
+                cache_mode: CacheMode::Normal,
+                crunch: None,
+            };
+            let slice = CrunchSlice::all();
+            let _ = slice;
+            eon_exec::execute(&plan, &provider)?
+        };
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        for row in &mut rows {
+            for (col, v) in set {
+                row[*col] = v.clone();
+            }
+        }
+        let n = self.delete_where(table, predicate)?;
+        self.copy_into(table, rows)?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EonConfig;
+    use crate::query::SessionOpts;
+    use eon_columnar::pruning::CmpOp;
+    use eon_columnar::Projection;
+    use eon_exec::{AggSpec, Expr, SortKey};
+    use eon_storage::MemFs;
+    use eon_types::schema;
+    use std::sync::Arc;
+
+    fn db_loaded() -> Arc<EonDb> {
+        let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(3, 3)).unwrap();
+        let s = schema![("id", Int), ("price", Int)];
+        db.create_table(
+            "t",
+            s.clone(),
+            vec![Projection::super_projection("p", &s, &[0], &[0])],
+        )
+        .unwrap();
+        db.copy_into(
+            "t",
+            (0..100).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn count_all(db: &EonDb) -> i64 {
+        let plan = Plan::scan(ScanSpec::new("t")).aggregate(vec![], vec![AggSpec::count_star()]);
+        db.query(&plan).unwrap()[0][0].as_int().unwrap()
+    }
+
+    #[test]
+    fn delete_removes_matching_rows() {
+        let db = db_loaded();
+        let n = db
+            .delete_where("t", &Predicate::cmp(0, CmpOp::Lt, 10i64))
+            .unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(count_all(&db), 90);
+        // Idempotent second delete finds nothing.
+        assert_eq!(
+            db.delete_where("t", &Predicate::cmp(0, CmpOp::Lt, 10i64)).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn delete_everything() {
+        let db = db_loaded();
+        assert_eq!(db.delete_where("t", &Predicate::True).unwrap(), 100);
+        assert_eq!(count_all(&db), 0);
+    }
+
+    #[test]
+    fn deleted_rows_invisible_with_cache_bypass_too() {
+        let db = db_loaded();
+        db.delete_where("t", &Predicate::eq(0, 5i64)).unwrap();
+        let plan = Plan::scan(ScanSpec::new("t").predicate(Predicate::eq(0, 5i64)));
+        let opts = SessionOpts {
+            bypass_cache: true,
+            ..Default::default()
+        };
+        assert!(db.query_with(&plan, &opts).unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_rewrites_rows() {
+        let db = db_loaded();
+        let n = db
+            .update_where(
+                "t",
+                &Predicate::eq(0, 7i64),
+                &[(1, Value::Int(9999))],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let plan = Plan::scan(ScanSpec::new("t").predicate(Predicate::eq(0, 7i64)))
+            .sort(vec![SortKey::asc(0)]);
+        let rows = db.query(&plan).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(7), Value::Int(9999)]]);
+        assert_eq!(count_all(&db), 100); // no net row change
+    }
+
+    #[test]
+    fn aggregate_respects_deletes() {
+        let db = db_loaded();
+        let sum_before: i64 = (0..100).map(|i| i * 10).sum();
+        let plan = Plan::scan(ScanSpec::new("t")).aggregate(vec![], vec![AggSpec::sum(Expr::col(1))]);
+        assert_eq!(db.query(&plan).unwrap()[0][0], Value::Int(sum_before));
+        db.delete_where("t", &Predicate::cmp(0, CmpOp::Ge, 50i64)).unwrap();
+        let sum_after: i64 = (0..50).map(|i| i * 10).sum();
+        assert_eq!(db.query(&plan).unwrap()[0][0], Value::Int(sum_after));
+    }
+
+    #[test]
+    fn delete_vectors_are_catalog_objects_on_shared_storage() {
+        let db = db_loaded();
+        db.delete_where("t", &Predicate::cmp(0, CmpOp::Lt, 30i64)).unwrap();
+        let snap = db.snapshot().unwrap();
+        assert!(!snap.delete_vectors.is_empty());
+        for dv in snap.delete_vectors.values() {
+            assert!(db.shared().exists(&dv.key).unwrap());
+            assert!(dv.deleted_rows > 0);
+        }
+    }
+}

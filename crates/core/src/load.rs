@@ -1,0 +1,385 @@
+//! Data load: the Fig 8 workflow.
+//!
+//! 1. ingest rows;
+//! 2. split per projection by segmentation hash so each container holds
+//!    exactly one shard's rows (§4.5);
+//! 3. write each container through the writer's cache (write-through,
+//!    §5.2) — uploading to shared storage — and ship the bytes to the
+//!    shard's other subscribers' caches so a node-down failover finds a
+//!    warm cache;
+//! 4. commit, re-validating under the commit lock that every writer
+//!    still subscribes to the shard it wrote (§4.5's rollback rule).
+//!
+//! All data reaches shared storage *before* commit, so committed
+//! transactions never lose files (§3.5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eon_catalog::{CatalogOp, ContainerMeta, SubState};
+use eon_cluster::NodeRuntime;
+use eon_columnar::{split_rows_by_shard, Projection, RosWriter};
+use eon_shard::{select_participants, AssignmentProblem};
+use eon_types::{EonError, NodeId, Result, ShardId, Value};
+
+use crate::db::EonDb;
+
+/// Fold base-table rows into a Live Aggregate Projection's layout:
+/// one row per group — group values followed by aggregate values.
+pub(crate) fn fold_live_aggregate(
+    rows: &[Vec<Value>],
+    lap: &eon_columnar::LiveAggregate,
+) -> Vec<Vec<Value>> {
+    use eon_columnar::LapFunc;
+    let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+    for row in rows {
+        let key: Vec<Value> = lap.group_by.iter().map(|&c| row[c].clone()).collect();
+        let accs = groups.entry(key).or_insert_with(|| {
+            lap.aggs
+                .iter()
+                .map(|(f, _)| match f {
+                    LapFunc::CountStar => Value::Int(0),
+                    _ => Value::Null,
+                })
+                .collect()
+        });
+        for (acc, (f, col)) in accs.iter_mut().zip(&lap.aggs) {
+            let v = &row[*col];
+            match f {
+                LapFunc::CountStar => {
+                    *acc = Value::Int(acc.as_int().unwrap_or(0) + 1);
+                }
+                _ if v.is_null() => {}
+                LapFunc::Sum => {
+                    *acc = match (&*acc, v) {
+                        (Value::Null, x) => x.clone(),
+                        (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+                        (a, b) => Value::Float(
+                            a.as_float().unwrap_or(0.0) + b.as_float().unwrap_or(0.0),
+                        ),
+                    };
+                }
+                LapFunc::Min => {
+                    if acc.is_null() || v < acc {
+                        *acc = v.clone();
+                    }
+                }
+                LapFunc::Max => {
+                    if acc.is_null() || v > acc {
+                        *acc = v.clone();
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs);
+            key
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+impl EonDb {
+    /// Bulk-load rows into a table (COPY). Returns the number of rows
+    /// loaded. Rows are validated against the schema; every projection
+    /// of the table receives the data.
+    pub fn copy_into(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64> {
+        self.ensure_viable()?;
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        let coord = self.pick_coordinator()?;
+        let mut txn = coord.catalog.begin();
+        let t = txn
+            .snapshot()
+            .table_by_name(table)
+            .cloned()
+            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
+        txn.observe(t.oid);
+        for row in &rows {
+            t.schema.check_row(row)?;
+        }
+
+        // Writers: one serving subscriber per segment shard (§4.5).
+        let snapshot = txn.snapshot().clone();
+        let assignment = self.writer_assignment(&snapshot)?;
+        let n_rows = rows.len() as u64;
+
+        for (proj_oid, proj) in &t.projections {
+            let proj_rows: Vec<Vec<Value>> = match &proj.live_aggregate {
+                // Live Aggregate Projection (§2.1): fold the batch into
+                // pre-computed partial aggregate rows before writing.
+                Some(lap) => fold_live_aggregate(&rows, lap),
+                None => rows.iter().map(|r| proj.project_row(r)).collect(),
+            };
+            if proj.is_replicated() {
+                // Single writer produces one container in the replica
+                // shard; all subscribers (every node) get a cached copy.
+                let writer = self
+                    .membership
+                    .up_nodes()
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| EonError::ClusterDown("no nodes up".into()))?;
+                let meta = self.write_container(
+                    &writer,
+                    proj,
+                    *proj_oid,
+                    t.oid,
+                    self.replica_shard(),
+                    proj_rows,
+                    &coord,
+                )?;
+                txn.push(CatalogOp::AddContainer(meta));
+            } else {
+                let buckets =
+                    split_rows_by_shard(proj_rows, proj.seg_cols(), self.config.num_shards);
+                for (i, bucket) in buckets.into_iter().enumerate() {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let shard = ShardId(i as u64);
+                    let writer_id = assignment[&shard];
+                    let writer = self
+                        .membership
+                        .get(writer_id)
+                        .ok_or_else(|| EonError::NodeDown(writer_id.to_string()))?;
+                    let meta = self.write_container(
+                        &writer, proj, *proj_oid, t.oid, shard, bucket, &coord,
+                    )?;
+                    txn.push(CatalogOp::AddContainer(meta));
+                }
+            }
+        }
+
+        // Commit point: all uploads finished. Under the commit lock,
+        // re-check that the writers still hold their subscriptions —
+        // a concurrent rebalance forces a rollback (§4.5).
+        let _g = self.commit_lock.lock();
+        let now = coord.catalog.snapshot();
+        for (shard, writer) in &assignment {
+            if !now.serving_subscribers(*shard).contains(writer) {
+                return Err(EonError::CommitInvariant(format!(
+                    "{writer} lost its subscription to {shard} during load"
+                )));
+            }
+        }
+        self.commit_cluster_locked(txn, &coord)?;
+        Ok(n_rows)
+    }
+
+    /// Pick one up, serving subscriber per segment shard to act as the
+    /// shard's writer for this statement.
+    pub fn writer_assignment(
+        &self,
+        snapshot: &eon_catalog::CatalogState,
+    ) -> Result<HashMap<ShardId, NodeId>> {
+        let up = self.membership.up_ids();
+        let shards = self.segment_shards();
+        let mut can_serve = Vec::new();
+        for &s in &shards {
+            for n in snapshot.serving_subscribers(s) {
+                if up.contains(&n) {
+                    can_serve.push((n, s));
+                }
+            }
+        }
+        select_participants(
+            &AssignmentProblem::flat(shards, up, can_serve),
+            self.next_session_seed(),
+        )
+    }
+
+    /// Encode rows (sorted by the projection order) into a ROS
+    /// container, write it through the writer's cache (upload + local
+    /// cache), ship bytes to peer subscribers' caches (Fig 8 step 3),
+    /// and return the catalog metadata. `coord` mints the catalog OID.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn write_container(
+        &self,
+        writer: &Arc<NodeRuntime>,
+        proj: &Projection,
+        proj_oid: eon_types::Oid,
+        table_oid: eon_types::Oid,
+        shard: ShardId,
+        mut rows: Vec<Vec<Value>>,
+        coord: &Arc<NodeRuntime>,
+    ) -> Result<ContainerMeta> {
+        proj.sort_rows(&mut rows);
+        let width = proj.columns.len();
+        let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); width];
+        for row in rows {
+            for (c, v) in row.into_iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        let (bytes, footer) = RosWriter::new().encode(&columns)?;
+        let key = writer.next_sid().object_key();
+        let size = bytes.len() as u64;
+
+        // Write-through: local cache + shared storage upload (§5.2).
+        writer.cache.put_through(&key, bytes.clone())?;
+        // Ship to peers subscribed to this shard so their caches are
+        // warm if they take over (§5.2: "much better node down
+        // performance").
+        let snapshot = coord.catalog.snapshot();
+        for peer_id in snapshot.subscribers_in(shard, SubState::Active) {
+            if peer_id == writer.id {
+                continue;
+            }
+            if let Some(peer) = self.membership.get(peer_id) {
+                if peer.is_up() {
+                    peer.cache.insert_local(&key, bytes.clone())?;
+                }
+            }
+        }
+
+        let col_minmax = footer
+            .columns
+            .iter()
+            .map(|c| match (c.min(), c.max()) {
+                (Some(mn), Some(mx)) => Some((mn.clone(), mx.clone())),
+                _ => None,
+            })
+            .collect();
+        Ok(ContainerMeta {
+            oid: coord.catalog.next_oid(),
+            key,
+            table: table_oid,
+            projection: proj_oid,
+            shard,
+            rows: footer.total_rows,
+            size_bytes: size,
+            col_minmax,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EonConfig;
+    use eon_storage::MemFs;
+    use eon_types::schema;
+
+    fn db_with_table() -> Arc<EonDb> {
+        let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(3, 3)).unwrap();
+        let s = schema![("id", Int), ("cust", Str), ("price", Int)];
+        db.create_table(
+            "sales",
+            s.clone(),
+            vec![Projection::super_projection("sales_super", &s, &[0], &[0])],
+        )
+        .unwrap();
+        db
+    }
+
+    fn sample_rows(n: i64) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("c{}", i % 10)),
+                    Value::Int(i * 2),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn copy_creates_single_shard_containers() {
+        let db = db_with_table();
+        db.copy_into("sales", sample_rows(3000)).unwrap();
+        let snap = db.snapshot().unwrap();
+        let containers: Vec<_> = snap.containers.values().collect();
+        // One per populated shard (3 shards, plenty of rows).
+        assert_eq!(containers.len(), 3);
+        let total: u64 = containers.iter().map(|c| c.rows).sum();
+        assert_eq!(total, 3000);
+        // Data uploaded to shared storage before commit.
+        for c in containers {
+            assert!(db.shared().exists(&c.key).unwrap(), "{} missing", c.key);
+        }
+    }
+
+    #[test]
+    fn peer_caches_warm_after_load() {
+        let db = db_with_table();
+        db.copy_into("sales", sample_rows(1000)).unwrap();
+        let snap = db.snapshot().unwrap();
+        for c in snap.containers.values() {
+            // Every ACTIVE subscriber of the shard has the file cached.
+            for peer in snap.subscribers_in(c.shard, SubState::Active) {
+                let node = db.membership().get(peer).unwrap();
+                assert!(
+                    node.cache.contains(&c.key),
+                    "{peer} missing {} in cache",
+                    c.key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn copy_rejects_schema_violation() {
+        let db = db_with_table();
+        let bad = vec![vec![Value::Int(1)]];
+        assert!(db.copy_into("sales", bad).is_err());
+        // Nothing committed.
+        assert!(db.snapshot().unwrap().containers.is_empty());
+    }
+
+    #[test]
+    fn copy_empty_is_noop() {
+        let db = db_with_table();
+        assert_eq!(db.copy_into("sales", vec![]).unwrap(), 0);
+    }
+
+    #[test]
+    fn replicated_projection_gets_one_container() {
+        let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(3, 3)).unwrap();
+        let s = schema![("id", Int), ("name", Str)];
+        db.create_table(
+            "dim",
+            s.clone(),
+            vec![Projection::replicated("dim_rep", &s, &[0])],
+        )
+        .unwrap();
+        db.copy_into("dim", (0..100).map(|i| vec![Value::Int(i), Value::Str("x".into())]).collect())
+            .unwrap();
+        let snap = db.snapshot().unwrap();
+        assert_eq!(snap.containers.len(), 1);
+        let c = snap.containers.values().next().unwrap();
+        assert_eq!(c.shard, db.replica_shard());
+        // All nodes cache the replicated container.
+        for node in db.membership().all() {
+            assert!(node.cache.contains(&c.key));
+        }
+    }
+
+    #[test]
+    fn multiple_loads_accumulate_containers() {
+        let db = db_with_table();
+        db.copy_into("sales", sample_rows(300)).unwrap();
+        db.copy_into("sales", sample_rows(300)).unwrap();
+        let snap = db.snapshot().unwrap();
+        assert_eq!(snap.containers.len(), 6);
+    }
+
+    #[test]
+    fn container_minmax_recorded_for_pruning() {
+        let db = db_with_table();
+        db.copy_into("sales", sample_rows(1000)).unwrap();
+        let snap = db.snapshot().unwrap();
+        for c in snap.containers.values() {
+            let (min, max) = c.col_minmax[0].clone().unwrap();
+            assert!(min.as_int().unwrap() >= 0);
+            assert!(max.as_int().unwrap() < 1000);
+            assert!(min <= max);
+        }
+    }
+}

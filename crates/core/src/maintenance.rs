@@ -1,0 +1,429 @@
+//! Background services: mergeout (§6.2), metadata sync + consensus
+//! truncation + `cluster_info.json` (§3.5), and file deletion (§6.5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use eon_cache::CacheMode;
+use eon_catalog::{CatalogOp, ClusterInfo, SubState};
+use eon_tm::{plan_mergeout, select_coordinators, MergeoutPolicy};
+use eon_types::{Oid, Result, ShardId, TxnVersion};
+
+use crate::db::EonDb;
+use crate::provider::NodeProvider;
+
+/// A shared-storage file whose catalog reference count hit zero at
+/// `drop_version` — deletable once no query and no pending revive can
+/// still reference it (§6.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingDelete {
+    pub key: String,
+    pub drop_version: TxnVersion,
+}
+
+/// Tracks zero-reference files awaiting safe deletion.
+#[derive(Default)]
+pub struct Reaper {
+    pending: Mutex<Vec<PendingDelete>>,
+}
+
+impl Reaper {
+    /// Register keys whose catalog references were dropped at
+    /// `version`.
+    pub fn note_dropped(&self, keys: Vec<String>, version: TxnVersion) {
+        let mut g = self.pending.lock();
+        for key in keys {
+            g.push(PendingDelete {
+                key,
+                drop_version: version,
+            });
+        }
+    }
+
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Take the deletes that are safe given the cluster's minimum
+    /// in-flight query version and the durable truncation version
+    /// (§6.5's two retention reasons).
+    pub fn take_safe(&self, min_query_version: u64, truncation: TxnVersion) -> Vec<PendingDelete> {
+        let mut g = self.pending.lock();
+        let (safe, keep): (Vec<_>, Vec<_>) = g
+            .drain(..)
+            .partition(|p| min_query_version > p.drop_version.0 && truncation >= p.drop_version);
+        *g = keep;
+        safe
+    }
+}
+
+impl EonDb {
+    /// Run one mergeout pass across every shard (§6.2): the shard's
+    /// coordinator plans jobs from the strata algorithm, executes them
+    /// (purging deleted rows), and commits the swap. Returns the number
+    /// of jobs executed.
+    pub fn run_mergeout(&self) -> Result<usize> {
+        self.ensure_viable()?;
+        let coord = self.pick_coordinator()?;
+        let snapshot = coord.catalog.snapshot();
+
+        // (Re-)elect coordinators for shards lacking a live one.
+        let up = self.membership.up_ids();
+        let mut shards_subs: Vec<(ShardId, Vec<eon_types::NodeId>)> = Vec::new();
+        let mut all_shards = self.segment_shards();
+        all_shards.push(self.replica_shard());
+        for &s in &all_shards {
+            let subs: Vec<_> = snapshot
+                .subscribers_in(s, SubState::Active)
+                .into_iter()
+                .filter(|n| up.contains(n))
+                .collect();
+            shards_subs.push((s, subs));
+        }
+        let coordinators = select_coordinators(&shards_subs);
+        {
+            let mut txn = coord.catalog.begin();
+            let mut changed = false;
+            for (&shard, &node) in &coordinators {
+                if snapshot.mergeout_coord.get(&shard) != Some(&node) {
+                    txn.push(CatalogOp::SetMergeoutCoordinator { shard, node });
+                    changed = true;
+                }
+            }
+            if changed {
+                self.commit_cluster(txn, &coord)?;
+            }
+        }
+
+        let snapshot = coord.catalog.snapshot();
+        let policy = MergeoutPolicy::default();
+        let mut jobs_run = 0;
+
+        // Group containers by (projection, shard) and plan each group.
+        let mut groups: HashMap<(Oid, ShardId), Vec<eon_tm::mergeout::MergeInput>> =
+            HashMap::new();
+        for c in snapshot.containers.values() {
+            let deleted: u64 = snapshot
+                .delete_vectors_for(c.oid)
+                .iter()
+                .map(|d| d.deleted_rows)
+                .sum();
+            groups.entry((c.projection, c.shard)).or_default().push(
+                eon_tm::mergeout::MergeInput {
+                    oid: c.oid,
+                    rows: c.rows,
+                    deleted,
+                },
+            );
+        }
+
+        for ((proj_oid, shard), inputs) in groups {
+            let jobs = plan_mergeout(&inputs, &policy);
+            if jobs.is_empty() {
+                continue;
+            }
+            // The coordinator for this shard runs the jobs (§6.2); it
+            // could farm them out, we run them inline on that node.
+            let worker_id = coordinators.get(&shard).copied();
+            let Some(worker_id) = worker_id else { continue };
+            let worker = match self.membership.get(worker_id) {
+                Some(w) if w.is_up() => w,
+                _ => continue,
+            };
+
+            for job in jobs {
+                jobs_run += 1;
+                self.execute_merge_job(&worker, proj_oid, shard, &job.inputs)?;
+            }
+        }
+        Ok(jobs_run)
+    }
+
+    /// Read the input containers (applying delete vectors), merge into
+    /// one sorted container, commit Add+Drops, and register the old
+    /// files with the reaper.
+    fn execute_merge_job(
+        &self,
+        worker: &Arc<eon_cluster::NodeRuntime>,
+        proj_oid: Oid,
+        shard: ShardId,
+        inputs: &[Oid],
+    ) -> Result<()> {
+        let coord = self.pick_coordinator()?;
+        let mut txn = coord.catalog.begin();
+        let snapshot = txn.snapshot().clone();
+        let Some((table, proj)) = snapshot.tables.values().find_map(|t| {
+            t.projection(proj_oid).map(|p| (t.clone(), p.clone()))
+        }) else {
+            return Ok(()); // table dropped concurrently
+        };
+
+        let provider = NodeProvider {
+            node: worker.clone(),
+            snapshot: Arc::new(snapshot.clone()),
+            my_shards: self.segment_shards(),
+            all_shards: self.segment_shards(),
+            replica_shard: self.replica_shard(),
+            cache_mode: CacheMode::Normal,
+            crunch: None,
+        };
+
+        // Gather each input's surviving rows (already sorted within a
+        // container) and k-way merge on the sort order.
+        let mut batches = Vec::with_capacity(inputs.len());
+        for oid in inputs {
+            let Some(c) = snapshot.containers.get(oid) else {
+                return Ok(()); // concurrent mergeout took it
+            };
+            let rows = self.read_container_rows(&provider, &table, &proj, c)?;
+            batches.push(rows);
+            txn.push(CatalogOp::DropContainer(*oid));
+        }
+        let merged = eon_tm::merge_sorted_rows(batches, &proj.sort.0);
+        if !merged.is_empty() {
+            let meta =
+                self.write_container(worker, &proj, proj_oid, table.oid, shard, merged, &coord)?;
+            txn.push(CatalogOp::AddContainer(meta));
+        }
+        // The commit path registers the dropped files with the reaper.
+        self.commit_cluster(txn, &coord)?;
+        Ok(())
+    }
+
+    /// All rows of one container with delete vectors applied, in the
+    /// projection's column space and sort order.
+    fn read_container_rows(
+        &self,
+        provider: &NodeProvider,
+        table: &eon_catalog::Table,
+        proj: &eon_columnar::Projection,
+        c: &eon_catalog::ContainerMeta,
+    ) -> Result<Vec<Vec<eon_types::Value>>> {
+        use eon_columnar::Predicate;
+        let width = proj.columns.len();
+        let read_cols: Vec<usize> = (0..width).collect();
+        let hits = provider.scan_container_for_merge(
+            table,
+            proj,
+            c,
+            &read_cols,
+            &Predicate::True,
+            width,
+        )?;
+        Ok(hits)
+    }
+
+    /// Upload every node's catalog to shared storage, compute the
+    /// consensus truncation version (Fig 5), and write
+    /// `cluster_info.json` (§3.5). Returns the info written.
+    pub fn sync_metadata(&self, now_ms: u64) -> Result<ClusterInfo> {
+        let mut intervals = HashMap::new();
+        for node in self.membership.up_nodes() {
+            node.checkpoint()?;
+            let si = node.store.sync_to_shared()?;
+            intervals.insert(node.id, si);
+        }
+        let snapshot = self.snapshot()?;
+        let mut subscribers: HashMap<ShardId, Vec<eon_types::NodeId>> = HashMap::new();
+        let mut shards = self.segment_shards();
+        shards.push(self.replica_shard());
+        for s in shards {
+            subscribers.insert(s, snapshot.subscribers_in(s, SubState::Active));
+        }
+        let truncation = eon_shard::consensus_truncation(&subscribers, &intervals)
+            .ok_or_else(|| eon_types::EonError::Internal("no consensus truncation".into()))?;
+        let info = ClusterInfo {
+            truncation_version: truncation,
+            incarnation: self.incarnation(),
+            database: self.config.database.clone(),
+            timestamp_ms: now_ms,
+            lease_until_ms: now_ms + self.config.lease_ms,
+            nodes: self.membership.up_ids().iter().map(|n| n.0).collect(),
+        };
+        info.write(self.shared.as_ref())?;
+        Ok(info)
+    }
+
+    /// Delete zero-reference files whose retention conditions have
+    /// passed (§6.5). Returns keys deleted.
+    pub fn reap_files(&self) -> Result<Vec<String>> {
+        let min_q = self.membership.min_query_version();
+        let truncation = ClusterInfo::read(self.shared.as_ref())?
+            .map(|i| i.truncation_version)
+            .unwrap_or(TxnVersion::ZERO);
+        let safe = self.reaper.take_safe(min_q, truncation);
+        let mut deleted = Vec::with_capacity(safe.len());
+        for p in safe {
+            self.shared.delete(&p.key)?;
+            for node in self.membership.up_nodes() {
+                node.cache.evict(&p.key)?;
+            }
+            deleted.push(p.key);
+        }
+        Ok(deleted)
+    }
+
+    /// The §6.5 fallback: enumerate shared storage, delete any data
+    /// file no node references, skipping files whose name carries a
+    /// live node's instance id (they may be mid-creation). Run manually
+    /// after crashes.
+    pub fn leak_scan(&self) -> Result<Vec<String>> {
+        let mut referenced: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for node in self.membership.up_nodes() {
+            let snap = node.catalog.snapshot();
+            referenced.extend(snap.containers.values().map(|c| c.key.clone()));
+            referenced.extend(snap.delete_vectors.values().map(|d| d.key.clone()));
+        }
+        // Pending (not yet reaped) drops are known, not leaked.
+        {
+            let g = self.reaper.pending.lock();
+            referenced.extend(g.iter().map(|p| p.key.clone()));
+        }
+        let live_instances: Vec<eon_storage::InstanceId> = self
+            .membership
+            .up_nodes()
+            .iter()
+            .map(|n| n.instance())
+            .collect();
+        let mut deleted = Vec::new();
+        for key in self.shared.list("data/")? {
+            if referenced.contains(&key) {
+                continue;
+            }
+            if live_instances
+                .iter()
+                .any(|inst| eon_storage::StorageId::key_has_instance(&key, *inst))
+            {
+                continue; // §6.5: skip live instance prefixes
+            }
+            self.shared.delete(&key)?;
+            deleted.push(key);
+        }
+        Ok(deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EonConfig;
+    use eon_columnar::pruning::CmpOp;
+    use eon_columnar::{Predicate, Projection};
+    use eon_exec::{AggSpec, Plan, ScanSpec};
+    use eon_storage::MemFs;
+    use eon_types::{schema, Value};
+
+    fn db_many_containers() -> Arc<EonDb> {
+        let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(3, 3)).unwrap();
+        let s = schema![("id", Int), ("v", Int)];
+        db.create_table(
+            "t",
+            s.clone(),
+            vec![Projection::super_projection("p", &s, &[0], &[0])],
+        )
+        .unwrap();
+        // Many small loads → many containers per shard.
+        for batch in 0..6 {
+            let rows = (0..300)
+                .map(|i| vec![Value::Int(batch * 300 + i), Value::Int(1)])
+                .collect();
+            db.copy_into("t", rows).unwrap();
+        }
+        db
+    }
+
+    fn count(db: &EonDb) -> i64 {
+        let plan = Plan::scan(ScanSpec::new("t")).aggregate(vec![], vec![AggSpec::count_star()]);
+        db.query(&plan).unwrap()[0][0].as_int().unwrap()
+    }
+
+    #[test]
+    fn mergeout_reduces_containers_preserving_data() {
+        let db = db_many_containers();
+        let before = db.snapshot().unwrap().containers.len();
+        assert_eq!(count(&db), 1800);
+        let jobs = db.run_mergeout().unwrap();
+        assert!(jobs > 0, "expected mergeout work");
+        let after = db.snapshot().unwrap().containers.len();
+        assert!(after < before, "{after} !< {before}");
+        assert_eq!(count(&db), 1800, "mergeout must not lose rows");
+    }
+
+    #[test]
+    fn mergeout_purges_deleted_rows() {
+        let db = db_many_containers();
+        db.delete_where("t", &Predicate::cmp(0, CmpOp::Lt, 900i64)).unwrap();
+        assert_eq!(count(&db), 900);
+        db.run_mergeout().unwrap();
+        assert_eq!(count(&db), 900);
+        // After merge, delete vectors for merged containers are gone.
+        let snap = db.snapshot().unwrap();
+        let live_rows: u64 = snap.containers.values().map(|c| c.rows).sum();
+        assert_eq!(live_rows, 900, "purge should shrink physical rows");
+    }
+
+    #[test]
+    fn mergeout_selects_coordinators_per_shard() {
+        let db = db_many_containers();
+        db.run_mergeout().unwrap();
+        let snap = db.snapshot().unwrap();
+        for s in db.segment_shards() {
+            let coord = snap.mergeout_coord.get(&s).copied();
+            assert!(coord.is_some(), "no coordinator for {s}");
+            // Coordinator must subscribe to the shard.
+            assert!(snap
+                .subscribers_in(s, SubState::Active)
+                .contains(&coord.unwrap()));
+        }
+    }
+
+    #[test]
+    fn sync_writes_cluster_info_with_consensus() {
+        let db = db_many_containers();
+        let info = db.sync_metadata(1_000).unwrap();
+        assert_eq!(info.truncation_version, db.version());
+        assert!(info.lease_live(1_500));
+        let read_back = ClusterInfo::read(db.shared().as_ref()).unwrap().unwrap();
+        assert_eq!(read_back, info);
+    }
+
+    #[test]
+    fn reaper_holds_files_until_safe() {
+        let db = db_many_containers();
+        let keys_before: Vec<String> = db.shared().list("data/").unwrap();
+        db.run_mergeout().unwrap();
+        assert!(db.reaper.pending_count() > 0);
+        // Without a truncation version advanced past the drop, nothing
+        // reaps.
+        let deleted = db.reap_files().unwrap();
+        assert!(deleted.is_empty(), "reaped too early: {deleted:?}");
+        // Sync metadata (advances truncation), then reap.
+        db.sync_metadata(1_000).unwrap();
+        let deleted = db.reap_files().unwrap();
+        assert!(!deleted.is_empty());
+        for k in &deleted {
+            assert!(!db.shared().exists(k).unwrap());
+            assert!(keys_before.contains(k));
+        }
+        // Live data still queryable.
+        assert_eq!(count(&db), 1800);
+    }
+
+    #[test]
+    fn leak_scan_removes_orphans_only() {
+        let db = db_many_containers();
+        // Plant a leaked file with a dead instance prefix.
+        db.shared()
+            .write("data/aa/deadbeef_leaked", bytes::Bytes::from_static(b"x"))
+            .unwrap();
+        // Plant a file with a live node's instance id — must survive.
+        let live = db.membership().up_nodes()[0].next_sid().object_key();
+        db.shared().write(&live, bytes::Bytes::from_static(b"y")).unwrap();
+        let deleted = db.leak_scan().unwrap();
+        assert!(deleted.contains(&"data/aa/deadbeef_leaked".to_owned()));
+        assert!(!deleted.contains(&live));
+        assert_eq!(count(&db), 1800);
+    }
+}

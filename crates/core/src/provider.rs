@@ -1,0 +1,445 @@
+//! The Eon [`TableProvider`]: scans that resolve through the catalog
+//! snapshot, read container blocks through the node's cache, prune by
+//! min/max statistics at container and block level (§2.1), apply
+//! delete vectors, and honor session shard assignments (§4) and crunch
+//! slices (§4.4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eon_cache::CacheMode;
+use eon_catalog::{CatalogState, ContainerMeta, Table};
+use eon_cluster::NodeRuntime;
+use eon_columnar::pruning::ColumnStats;
+use eon_columnar::{DeleteVector, Predicate, Projection, RosReader};
+use eon_exec::crunch::CrunchSlice;
+use eon_exec::{ScanSpec, TableProvider};
+use eon_types::{EonError, Oid, Result, ShardId, Value};
+
+/// Per-session, per-node scan context.
+pub struct NodeProvider {
+    pub node: Arc<NodeRuntime>,
+    pub snapshot: Arc<CatalogState>,
+    /// Segment shards this node serves for the session.
+    pub my_shards: Vec<ShardId>,
+    /// All segment shards of the database.
+    pub all_shards: Vec<ShardId>,
+    pub replica_shard: ShardId,
+    pub cache_mode: CacheMode,
+    /// Crunch-scaling slice when several nodes share each shard (§4.4).
+    pub crunch: Option<CrunchSlice>,
+}
+
+/// Collect the column indices a predicate touches.
+fn predicate_cols(p: &Predicate, out: &mut Vec<usize>) {
+    match p {
+        Predicate::True => {}
+        Predicate::Cmp { col, .. } => {
+            if !out.contains(col) {
+                out.push(*col);
+            }
+        }
+        Predicate::IsNull(col) | Predicate::IsNotNull(col) => {
+            if !out.contains(col) {
+                out.push(*col);
+            }
+        }
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for q in ps {
+                predicate_cols(q, out);
+            }
+        }
+    }
+}
+
+/// Rewrite a predicate from table column indices to projection-local
+/// indices. Fails if the projection lacks a referenced column.
+fn remap_predicate(p: &Predicate, map: &HashMap<usize, usize>) -> Result<Predicate> {
+    Ok(match p {
+        Predicate::True => Predicate::True,
+        Predicate::Cmp { col, op, lit } => Predicate::Cmp {
+            col: *map
+                .get(col)
+                .ok_or_else(|| EonError::Query(format!("projection lacks column {col}")))?,
+            op: *op,
+            lit: lit.clone(),
+        },
+        Predicate::IsNull(c) => Predicate::IsNull(
+            *map.get(c)
+                .ok_or_else(|| EonError::Query(format!("projection lacks column {c}")))?,
+        ),
+        Predicate::IsNotNull(c) => Predicate::IsNotNull(
+            *map.get(c)
+                .ok_or_else(|| EonError::Query(format!("projection lacks column {c}")))?,
+        ),
+        Predicate::And(ps) => Predicate::And(
+            ps.iter().map(|q| remap_predicate(q, map)).collect::<Result<_>>()?,
+        ),
+        Predicate::Or(ps) => Predicate::Or(
+            ps.iter().map(|q| remap_predicate(q, map)).collect::<Result<_>>()?,
+        ),
+    })
+}
+
+impl NodeProvider {
+    /// The filesystem scans read through: the depot, or shared storage
+    /// directly when the session bypasses the cache (§5.2).
+    fn fs(&self) -> &dyn eon_storage::FileSystem {
+        if self.cache_mode == CacheMode::Bypass {
+            self.node.cache.backing().as_ref()
+        } else {
+            self.node.cache.as_ref()
+        }
+    }
+
+    /// Choose the projection to answer a scan: the first one carrying
+    /// every needed column, preferring replicated projections for
+    /// global scans (one copy to read) and segmented ones for
+    /// shard-local scans.
+    fn pick_projection<'t>(
+        &self,
+        table: &'t Table,
+        needed: &[usize],
+        global: bool,
+        hint: Option<&str>,
+    ) -> Result<(Oid, &'t Projection)> {
+        if let Some(name) = hint {
+            return table
+                .projections
+                .iter()
+                .find(|(_, p)| p.name == name)
+                .map(|(oid, p)| (*oid, p))
+                .ok_or_else(|| {
+                    EonError::Query(format!("{} has no projection named {name}", table.name))
+                });
+        }
+        let qualifies = |p: &Projection| needed.iter().all(|c| p.columns.contains(c));
+        let (mut segmented, mut replicated) = (None, None);
+        for (oid, p) in &table.projections {
+            // A LAP's rows are pre-aggregated; it never answers a scan
+            // implicitly (§2.1) — only via an explicit projection pin.
+            if p.is_live_aggregate() || !qualifies(p) {
+                continue;
+            }
+            if p.is_replicated() {
+                replicated.get_or_insert((*oid, p));
+            } else {
+                segmented.get_or_insert((*oid, p));
+            }
+        }
+        let pick = if global {
+            replicated.or(segmented)
+        } else {
+            segmented.or(replicated)
+        };
+        pick.ok_or_else(|| {
+            EonError::Query(format!(
+                "no projection of {} covers the required columns",
+                table.name
+            ))
+        })
+    }
+
+    /// Merged delete-vector keep mask for a container, if any deletes
+    /// exist.
+    fn delete_mask(&self, c: &ContainerMeta) -> Result<Option<Vec<bool>>> {
+        let dvs = self.snapshot.delete_vectors_for(c.oid);
+        if dvs.is_empty() {
+            return Ok(None);
+        }
+        let mut merged = DeleteVector::default();
+        for dv in dvs {
+            let data = self.fs().read(&dv.key)?;
+            merged = merged.merge(&DeleteVector::decode(&data)?);
+        }
+        Ok(Some(merged.keep_mask(c.rows)))
+    }
+
+    /// Scan one container, returning rows in projection column space
+    /// (only `read_cols` populated; absent columns are the table
+    /// default).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_container(
+        &self,
+        table: &Table,
+        proj: &Projection,
+        c: &ContainerMeta,
+        read_cols: &[usize],
+        pred_local: &Predicate,
+        width: usize,
+        with_positions: bool,
+        apply_crunch: bool,
+    ) -> Result<Vec<(u64, Vec<Value>)>> {
+        let fs = self.fs();
+        let reader = RosReader::open(fs, &c.key)?;
+        let footer = reader.footer();
+        let present = footer.columns.len();
+        let nblocks = footer
+            .columns
+            .first()
+            .map(|col| col.blocks.len())
+            .unwrap_or(0);
+
+        // Block-level pruning: all columns share block boundaries.
+        let mut keep = vec![true; nblocks];
+        for (b, slot) in keep.iter_mut().enumerate() {
+            let stats = |col: usize| -> Option<ColumnStats> {
+                let meta = footer.columns.get(col)?.blocks.get(b)?;
+                Some(ColumnStats {
+                    min: meta.min.clone(),
+                    max: meta.max.clone(),
+                    has_null: meta.has_null,
+                })
+            };
+            *slot = pred_local.could_match(&stats);
+        }
+        if !keep.iter().any(|&k| k) {
+            return Ok(Vec::new());
+        }
+
+        // Read the needed columns (those physically present).
+        let mut col_blocks: HashMap<usize, Vec<Option<Vec<Value>>>> = HashMap::new();
+        for &col in read_cols {
+            if col < present {
+                col_blocks.insert(col, reader.read_column_blocks(fs, col, &keep)?);
+            }
+        }
+
+        let mask = self.delete_mask(c)?;
+        // Block start positions (cumulative row counts).
+        let mut block_start = Vec::with_capacity(nblocks);
+        let mut acc = 0u64;
+        if let Some(first) = footer.columns.first() {
+            for bm in &first.blocks {
+                block_start.push(acc);
+                acc += bm.rows;
+            }
+        }
+
+        let mut out = Vec::new();
+        for b in 0..nblocks {
+            if !keep[b] {
+                continue;
+            }
+            let rows_in_block = footer.columns[0].blocks[b].rows as usize;
+            for r in 0..rows_in_block {
+                let pos = block_start[b] + r as u64;
+                if let Some(m) = &mask {
+                    if !m[pos as usize] {
+                        continue;
+                    }
+                }
+                let mut row = vec![Value::Null; width];
+                for &col in read_cols {
+                    row[col] = match col_blocks.get(&col) {
+                        Some(blocks) => blocks[b]
+                            .as_ref()
+                            .map(|vals| vals[r].clone())
+                            .unwrap_or(Value::Null),
+                        // Column added after this container was written
+                        // (§6.3): materialize the default.
+                        None => {
+                            let table_idx = proj.columns[col];
+                            table
+                                .defaults
+                                .get(table_idx)
+                                .cloned()
+                                .unwrap_or(Value::Null)
+                        }
+                    };
+                }
+                if !pred_local.eval_row(&row) {
+                    continue;
+                }
+                if apply_crunch {
+                    if let Some(slice) = &self.crunch {
+                        if !slice.keeps_row(&row, proj.seg_cols()) {
+                            continue;
+                        }
+                    }
+                }
+                let pos_out = if with_positions { pos } else { 0 };
+                out.push((pos_out, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The shards a scan covers given its distribution and projection.
+    fn shards_for(&self, proj: &Projection, global: bool) -> Vec<ShardId> {
+        if proj.is_replicated() {
+            // One physical copy; for a shard-local scan only the node
+            // serving the first session shard reads it (exactly one
+            // node cluster-wide), for global scans this node reads it.
+            if global || self.my_shards.contains(&self.all_shards[0]) {
+                vec![self.replica_shard]
+            } else {
+                vec![]
+            }
+        } else if global {
+            self.all_shards.clone()
+        } else {
+            self.my_shards.clone()
+        }
+    }
+
+    /// Mergeout entry point: all surviving rows of one container in
+    /// projection column space (delete vectors applied, sort order
+    /// preserved).
+    pub fn scan_container_for_merge(
+        &self,
+        table: &Table,
+        proj: &Projection,
+        c: &ContainerMeta,
+        read_cols: &[usize],
+        pred_local: &Predicate,
+        width: usize,
+    ) -> Result<Vec<Vec<Value>>> {
+        Ok(self
+            .scan_container(table, proj, c, read_cols, pred_local, width, false, false)?
+            .into_iter()
+            .map(|(_, row)| row)
+            .collect())
+    }
+
+    /// Positions of rows matching `predicate`, per container — the DML
+    /// path (delete vectors reference container positions).
+    pub fn matching_positions(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+    ) -> Result<Vec<(Oid, ShardId, Vec<u64>)>> {
+        let t = self
+            .snapshot
+            .table_by_name(table)
+            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
+        let mut pred_cols = Vec::new();
+        predicate_cols(predicate, &mut pred_cols);
+        let (proj_oid, proj) = self.pick_projection(t, &pred_cols, true, None)?;
+        let table_to_proj: HashMap<usize, usize> = proj
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(pi, &ti)| (ti, pi))
+            .collect();
+        let pred_local = remap_predicate(predicate, &table_to_proj)?;
+        let read_cols: Vec<usize> = pred_cols.iter().map(|c| table_to_proj[c]).collect();
+        let width = proj.columns.len();
+
+        let mut out = Vec::new();
+        for shard in self.shards_for(proj, true) {
+            for c in self.snapshot.containers_for(proj_oid, shard) {
+                let hits =
+                    self.scan_container(t, proj, c, &read_cols, &pred_local, width, true, false)?;
+                if !hits.is_empty() {
+                    out.push((c.oid, shard, hits.into_iter().map(|(p, _)| p).collect()));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl TableProvider for NodeProvider {
+    fn scan(&self, spec: &ScanSpec) -> Result<Vec<Vec<Value>>> {
+        let t = self
+            .snapshot
+            .table_by_name(&spec.table)
+            .ok_or_else(|| EonError::UnknownTable(spec.table.clone()))?;
+        let out_cols: Vec<usize> = spec
+            .columns
+            .clone()
+            .unwrap_or_else(|| (0..t.schema.len()).collect());
+        let mut needed = out_cols.clone();
+        predicate_cols(&spec.predicate, &mut needed);
+        needed.sort_unstable();
+        needed.dedup();
+
+        let global = spec.distribute == eon_exec::Distribution::Global;
+        let (proj_oid, proj) =
+            self.pick_projection(t, &needed, global, spec.projection.as_deref())?;
+        if proj.is_live_aggregate() {
+            // Pinned LAP scan: yields the LAP's own layout; predicates
+            // and column subsets don't apply to pre-aggregated rows.
+            if spec.predicate != Predicate::True || spec.columns.is_some() {
+                return Err(EonError::Query(format!(
+                    "live aggregate projection {} supports only full unfiltered scans",
+                    proj.name
+                )));
+            }
+            let width = proj.columns.len();
+            let read_cols: Vec<usize> = (0..width).collect();
+            let mut rows = Vec::new();
+            for shard in self.shards_for(proj, global) {
+                for c in self.snapshot.containers_for(proj_oid, shard) {
+                    for (_, row) in self.scan_container(
+                        t,
+                        proj,
+                        c,
+                        &read_cols,
+                        &Predicate::True,
+                        width,
+                        false,
+                        false,
+                    )? {
+                        rows.push(row);
+                    }
+                }
+            }
+            return Ok(rows);
+        }
+        let table_to_proj: HashMap<usize, usize> = proj
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(pi, &ti)| (ti, pi))
+            .collect();
+        let pred_local = remap_predicate(&spec.predicate, &table_to_proj)?;
+        let read_cols: Vec<usize> = needed.iter().map(|c| table_to_proj[c]).collect();
+        let out_local: Vec<usize> = out_cols.iter().map(|c| table_to_proj[c]).collect();
+        let width = proj.columns.len();
+
+        let mut rows = Vec::new();
+        for shard in self.shards_for(proj, global) {
+            for c in self.snapshot.containers_for(proj_oid, shard) {
+                // Container-level pruning from catalog statistics.
+                let stats = |col: usize| -> Option<ColumnStats> {
+                    let table_idx = proj.columns.get(col).copied()?;
+                    match c.col_minmax.get(col) {
+                        Some(Some((mn, mx))) => Some(ColumnStats {
+                            min: mn.clone(),
+                            max: mx.clone(),
+                            has_null: true, // catalog stats don't track nulls
+                        }),
+                        _ => {
+                            let _ = table_idx;
+                            None
+                        }
+                    }
+                };
+                if !pred_local.could_match(&stats) {
+                    continue;
+                }
+                // Crunch hash-filter splits only the shard-local fact
+                // scan; broadcast/replicated sides must stay complete
+                // on every worker or joins lose rows (§4.4).
+                let apply_crunch = !global && !proj.is_replicated();
+                for (_, row) in self.scan_container(
+                    t, proj, c, &read_cols, &pred_local, width, false, apply_crunch,
+                )? {
+                    rows.push(out_local.iter().map(|&c| row[c].clone()).collect());
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    fn num_columns(&self, table: &str) -> Result<usize> {
+        Ok(self
+            .snapshot
+            .table_by_name(table)
+            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?
+            .schema
+            .len())
+    }
+}

@@ -1,0 +1,351 @@
+//! Distributed query execution (paper §4).
+//!
+//! A session (1) picks a covering set of participating subscriptions
+//! via the max-flow solver (§4.1), (2) splits the plan into a local
+//! phase and a coordinator merge (`eon-exec::auto_distribute`), (3)
+//! acquires execution slots — a query takes `S` of the cluster's `N·E`
+//! slots (§4.2) — and (4) runs the local phases on the participating
+//! nodes in parallel, merging at the coordinator. Subcluster isolation
+//! (§4.3) enters as a priority tier; crunch scaling (§4.4) spreads each
+//! shard over several workers with a hash-filter slice.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eon_cache::CacheMode;
+use eon_cluster::NodeRuntime;
+use eon_exec::crunch::CrunchSlice;
+use eon_exec::execute::LocalResult;
+use eon_exec::{auto_distribute, Plan};
+use eon_shard::{select_participants, AssignmentProblem};
+use eon_types::{EonError, NodeId, Result, ShardId, Value};
+
+use crate::db::EonDb;
+use crate::provider::NodeProvider;
+
+/// Per-query session options.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOpts {
+    /// Restrict execution to a subcluster (§4.3); nodes outside it
+    /// participate only if the subcluster cannot cover every shard.
+    pub subcluster: Option<u64>,
+    /// Bypass the depot for this query (§5.2 shaping policy).
+    pub bypass_cache: bool,
+    /// Crunch scaling (§4.4): spread every shard across all available
+    /// participants with hash-filter slices. Improves single-query
+    /// latency when nodes outnumber shards.
+    pub crunch: bool,
+}
+
+impl SessionOpts {
+    pub fn subcluster(id: u64) -> Self {
+        SessionOpts {
+            subcluster: Some(id),
+            ..Default::default()
+        }
+    }
+}
+
+/// Which nodes serve which shards for one session, possibly with
+/// several crunch workers per shard.
+#[derive(Debug, Clone)]
+pub struct Participation {
+    /// (node, shards it serves, crunch slice).
+    pub workers: Vec<(NodeId, Vec<ShardId>, CrunchSlice)>,
+}
+
+impl EonDb {
+    /// Compute the participating subscriptions for a session (§4.1).
+    pub fn participation(&self, opts: &SessionOpts) -> Result<Participation> {
+        let snapshot = self.snapshot()?;
+        let up = self.membership.up_ids();
+        let shards = self.segment_shards();
+        let mut can_serve = Vec::new();
+        for &s in &shards {
+            for n in snapshot.serving_subscribers(s) {
+                if up.contains(&n) {
+                    can_serve.push((n, s));
+                }
+            }
+        }
+        // Priority tiers: the client's subcluster first (§4.3).
+        let tiers = match opts.subcluster {
+            Some(sc) => {
+                let (inside, outside): (Vec<NodeId>, Vec<NodeId>) = up.iter().partition(|id| {
+                    self.membership
+                        .get(**id)
+                        .map(|n| n.subcluster.load(std::sync::atomic::Ordering::Relaxed) == sc)
+                        .unwrap_or(false)
+                });
+                vec![inside, outside]
+            }
+            None => vec![up.clone()],
+        };
+        let assignment = select_participants(
+            &AssignmentProblem {
+                shards: shards.clone(),
+                tiers,
+                can_serve: can_serve.clone(),
+            },
+            self.next_session_seed(),
+        )?;
+
+        if !opts.crunch {
+            let mut by_node: HashMap<NodeId, Vec<ShardId>> = HashMap::new();
+            for (shard, node) in assignment {
+                by_node.entry(node).or_default().push(shard);
+            }
+            return Ok(Participation {
+                workers: by_node
+                    .into_iter()
+                    .map(|(n, s)| (n, s, CrunchSlice::all()))
+                    .collect(),
+            });
+        }
+
+        // Crunch scaling: every eligible subscriber of a shard becomes
+        // a worker; each worker takes a hash slice of the shard (§4.4).
+        let mut workers = Vec::new();
+        for &shard in &shards {
+            let eligible: Vec<NodeId> = can_serve
+                .iter()
+                .filter(|(_, s)| *s == shard)
+                .map(|(n, _)| *n)
+                .collect();
+            let k = eligible.len().max(1);
+            for (i, node) in eligible.into_iter().enumerate() {
+                workers.push((node, vec![shard], CrunchSlice::new(i, k)));
+            }
+        }
+        Ok(Participation { workers })
+    }
+
+    /// Execute a query plan across the cluster.
+    pub fn query(&self, plan: &Plan) -> Result<Vec<Vec<Value>>> {
+        self.query_with(plan, &SessionOpts::default())
+    }
+
+    /// Execute with session options.
+    pub fn query_with(&self, plan: &Plan, opts: &SessionOpts) -> Result<Vec<Vec<Value>>> {
+        self.ensure_viable()?;
+        let snapshot = self.snapshot()?;
+        // Answer eligible aggregations from Live Aggregate Projections
+        // (§2.1) before splitting the plan for distribution.
+        let plan = crate::lap::rewrite_for_laps(plan, &snapshot);
+        let dp = Arc::new(auto_distribute(&plan));
+        let version = self.version();
+        let cache_mode = if opts.bypass_cache {
+            CacheMode::Bypass
+        } else {
+            CacheMode::Normal
+        };
+
+        // Plans with no shard-local scan run on a single node —
+        // replicating a global scan across nodes would double-count.
+        let workers: Vec<(Arc<NodeRuntime>, Vec<ShardId>, CrunchSlice)> = if dp.has_local_scan() {
+            let participation = self.participation(opts)?;
+            participation
+                .workers
+                .into_iter()
+                .map(|(id, shards, slice)| {
+                    let node = self
+                        .membership
+                        .get(id)
+                        .ok_or_else(|| EonError::NodeDown(id.to_string()))?;
+                    Ok((node, shards, slice))
+                })
+                .collect::<Result<_>>()?
+        } else {
+            vec![(self.pick_coordinator()?, Vec::new(), CrunchSlice::all())]
+        };
+
+        // Run local phases in parallel; each worker holds one execution
+        // slot per shard it serves (§4.2's S-of-N·E accounting).
+        let all_shards = self.segment_shards();
+        let replica = self.replica_shard();
+        let results: Vec<LocalResult> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers.len());
+            for (node, shards, slice) in &workers {
+                let dp = dp.clone();
+                let snapshot = snapshot.clone();
+                let all_shards = all_shards.clone();
+                let fragment_ms = self.config.fragment_ms;
+                handles.push(scope.spawn(move || {
+                    let _slots = node.slots.acquire(shards.len().max(1));
+                    // Simulated per-node compute (see EonConfig::fragment_ms).
+                    if fragment_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(fragment_ms));
+                    }
+                    let token = node.begin_query(version);
+                    let provider = NodeProvider {
+                        node: node.clone(),
+                        snapshot,
+                        my_shards: shards.clone(),
+                        all_shards,
+                        replica_shard: replica,
+                        cache_mode,
+                        crunch: if slice.is_split() { Some(*slice) } else { None },
+                    };
+                    let out = dp.execute_local(&provider);
+                    node.finish_query(token);
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query worker panicked"))
+                .collect::<Result<Vec<_>>>()
+        })?;
+
+        dp.finish(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EonConfig;
+    use eon_columnar::{Predicate, Projection};
+    use eon_exec::{AggSpec, Expr, ScanSpec, SortKey};
+    use eon_storage::MemFs;
+    use eon_types::schema;
+
+    fn db_loaded(nodes: usize, shards: usize) -> Arc<EonDb> {
+        let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(nodes, shards)).unwrap();
+        let s = schema![("id", Int), ("grp", Int), ("price", Int)];
+        db.create_table(
+            "sales",
+            s.clone(),
+            vec![Projection::super_projection("p", &s, &[0], &[0])],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..2000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 7), Value::Int(i * 3)])
+            .collect();
+        db.copy_into("sales", rows).unwrap();
+        db
+    }
+
+    fn sum_by_grp() -> Plan {
+        Plan::scan(ScanSpec::new("sales"))
+            .aggregate(vec![1], vec![AggSpec::sum(Expr::col(2)), AggSpec::count_star()])
+            .sort(vec![SortKey::asc(0)])
+    }
+
+    fn expected_sum_by_grp() -> Vec<Vec<Value>> {
+        let mut sums = vec![(0i64, 0i64); 7];
+        for i in 0..2000i64 {
+            sums[(i % 7) as usize].0 += i * 3;
+            sums[(i % 7) as usize].1 += 1;
+        }
+        sums.iter()
+            .enumerate()
+            .map(|(g, &(s, c))| vec![Value::Int(g as i64), Value::Int(s), Value::Int(c)])
+            .collect()
+    }
+
+    #[test]
+    fn distributed_aggregate_is_exact() {
+        let db = db_loaded(3, 3);
+        assert_eq!(db.query(&sum_by_grp()).unwrap(), expected_sum_by_grp());
+    }
+
+    #[test]
+    fn more_nodes_than_shards_still_exact() {
+        let db = db_loaded(5, 3);
+        assert_eq!(db.query(&sum_by_grp()).unwrap(), expected_sum_by_grp());
+    }
+
+    #[test]
+    fn fewer_nodes_than_shards_still_exact() {
+        let db = db_loaded(2, 5);
+        assert_eq!(db.query(&sum_by_grp()).unwrap(), expected_sum_by_grp());
+    }
+
+    #[test]
+    fn predicate_pushdown_correct() {
+        let db = db_loaded(3, 3);
+        let plan = Plan::scan(
+            ScanSpec::new("sales")
+                .predicate(Predicate::cmp(0, eon_columnar::pruning::CmpOp::Lt, 10i64))
+                .columns(vec![0]),
+        )
+        .sort(vec![SortKey::asc(0)]);
+        let out = db.query(&plan).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[9], vec![Value::Int(9)]);
+    }
+
+    #[test]
+    fn crunch_scaling_matches_plain() {
+        let db = db_loaded(4, 2);
+        let plain = db.query(&sum_by_grp()).unwrap();
+        let crunched = db
+            .query_with(
+                &sum_by_grp(),
+                &SessionOpts {
+                    crunch: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(plain, crunched);
+    }
+
+    #[test]
+    fn bypass_cache_gives_same_answer() {
+        let db = db_loaded(3, 3);
+        let normal = db.query(&sum_by_grp()).unwrap();
+        let bypass = db
+            .query_with(
+                &sum_by_grp(),
+                &SessionOpts {
+                    bypass_cache: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(normal, bypass);
+    }
+
+    #[test]
+    fn node_down_query_still_exact() {
+        let db = db_loaded(4, 3);
+        db.membership().get(NodeId(0)).unwrap().kill();
+        assert_eq!(db.query(&sum_by_grp()).unwrap(), expected_sum_by_grp());
+    }
+
+    #[test]
+    fn subcluster_isolation_respected() {
+        let db = db_loaded(4, 2);
+        // Nodes 2,3 form subcluster 1 and can serve everything? They
+        // may not subscribe to every shard, so isolation is best-effort
+        // per §4.3 — the assignment must still succeed.
+        for id in [2u64, 3u64] {
+            db.membership()
+                .get(NodeId(id))
+                .unwrap()
+                .subcluster
+                .store(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        let out = db
+            .query_with(&sum_by_grp(), &SessionOpts::subcluster(1))
+            .unwrap();
+        assert_eq!(out, expected_sum_by_grp());
+    }
+
+    #[test]
+    fn repeated_queries_spread_over_nodes() {
+        // 6 nodes, 2 shards: assignments across many sessions should
+        // touch more than 2 distinct nodes (§4.1 edge-order variation).
+        let db = db_loaded(6, 2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let p = db.participation(&SessionOpts::default()).unwrap();
+            for (n, _, _) in p.workers {
+                seen.insert(n);
+            }
+        }
+        assert!(seen.len() > 2, "only {} nodes ever participated", seen.len());
+    }
+}

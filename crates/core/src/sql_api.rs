@@ -1,0 +1,180 @@
+//! SQL convenience entry point: parse, plan against the live catalog,
+//! execute.
+
+use std::sync::Arc;
+
+use eon_sql::SchemaSource;
+use eon_types::{EonError, Result, Schema, Value};
+
+use crate::db::EonDb;
+use crate::query::SessionOpts;
+
+struct SnapshotSchemas(Arc<eon_catalog::CatalogState>);
+
+impl SchemaSource for SnapshotSchemas {
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        self.0
+            .table_by_name(name)
+            .map(|t| t.schema.clone())
+            .ok_or_else(|| EonError::UnknownTable(name.to_owned()))
+    }
+}
+
+impl EonDb {
+    /// Run a SQL SELECT against the cluster. See `eon-sql` for the
+    /// supported grammar.
+    pub fn sql(&self, query: &str) -> Result<Vec<Vec<Value>>> {
+        self.sql_with(query, &SessionOpts::default())
+    }
+
+    /// SQL with session options (subcluster, cache bypass, crunch).
+    pub fn sql_with(&self, query: &str, opts: &SessionOpts) -> Result<Vec<Vec<Value>>> {
+        let schemas = SnapshotSchemas(self.snapshot()?);
+        let plan = eon_sql::compile(query, &schemas)?;
+        self.query_with(&plan, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EonConfig;
+    use eon_columnar::Projection;
+    use eon_storage::MemFs;
+    use eon_types::schema;
+
+    fn db_loaded() -> Arc<EonDb> {
+        let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(3, 3)).unwrap();
+        let s = schema![("id", Int), ("grp", Str), ("price", Int), ("region_id", Int)];
+        db.create_table(
+            "sales",
+            s.clone(),
+            vec![Projection::super_projection("sales_super", &s, &[0], &[0])],
+        )
+        .unwrap();
+        let r = schema![("region_id", Int), ("region", Str)];
+        db.create_table(
+            "regions",
+            r.clone(),
+            vec![Projection::replicated("regions_rep", &r, &[0])],
+        )
+        .unwrap();
+        db.copy_into(
+            "regions",
+            vec![
+                vec![Value::Int(0), Value::Str("NA".into())],
+                vec![Value::Int(1), Value::Str("EU".into())],
+            ],
+        )
+        .unwrap();
+        db.copy_into(
+            "sales",
+            (0..1000)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Str(if i % 3 == 0 { "a" } else { "b" }.into()),
+                        Value::Int(i % 50),
+                        Value::Int(i % 2),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn simple_filter_and_projection() {
+        let db = db_loaded();
+        let rows = db
+            .sql("SELECT id, price FROM sales WHERE id < 3 ORDER BY id")
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec![Value::Int(2), Value::Int(2)]);
+    }
+
+    #[test]
+    fn grouped_aggregation_matches_manual_math() {
+        let db = db_loaded();
+        let rows = db
+            .sql("SELECT grp, COUNT(*), SUM(price) FROM sales GROUP BY grp ORDER BY grp")
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        let count_a: i64 = (0..1000).filter(|i| i % 3 == 0).count() as i64;
+        let sum_a: i64 = (0..1000).filter(|i| i % 3 == 0).map(|i| i % 50).sum();
+        assert_eq!(rows[0], vec![Value::Str("a".into()), Value::Int(count_a), Value::Int(sum_a)]);
+    }
+
+    #[test]
+    fn join_with_aliases_and_having() {
+        let db = db_loaded();
+        let rows = db
+            .sql(
+                "SELECT r.region, SUM(s.price) AS total \
+                 FROM sales s JOIN regions r ON s.region_id = r.region_id \
+                 GROUP BY r.region HAVING total > 0 ORDER BY total DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        // Region with odd ids (EU) or even (NA): compute both and take
+        // the max.
+        let sum_for = |m: i64| -> i64 { (0..1000).filter(|i| i % 2 == m).map(|i| i % 50).sum() };
+        let expect = sum_for(0).max(sum_for(1));
+        assert_eq!(rows[0][1], Value::Int(expect));
+    }
+
+    #[test]
+    fn where_pushdown_and_expressions() {
+        let db = db_loaded();
+        let rows = db
+            .sql(
+                "SELECT AVG(price * 2) FROM sales \
+                 WHERE price BETWEEN 10 AND 19 AND grp = 'a'",
+            )
+            .unwrap();
+        let matching: Vec<i64> = (0..1000i64)
+            .filter(|i| i % 3 == 0 && (10..=19).contains(&(i % 50)))
+            .map(|i| (i % 50) * 2)
+            .collect();
+        let expect = matching.iter().sum::<i64>() as f64 / matching.len() as f64;
+        assert_eq!(rows[0][0], Value::Float(expect));
+    }
+
+    #[test]
+    fn count_distinct_and_in_list() {
+        let db = db_loaded();
+        let rows = db
+            .sql("SELECT COUNT(DISTINCT price) FROM sales WHERE grp IN ('a', 'b')")
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Int(50));
+    }
+
+    #[test]
+    fn errors_are_user_legible() {
+        let db = db_loaded();
+        assert!(db.sql("SELECT nope FROM sales").is_err());
+        assert!(db.sql("SELECT id FROM ghost_table").is_err());
+        assert!(db.sql("SELECT id FROM sales WHERE").is_err());
+        // Ambiguous column across joined tables.
+        assert!(db
+            .sql("SELECT region_id FROM sales s JOIN regions r ON s.region_id = r.region_id")
+            .is_err());
+    }
+
+    #[test]
+    fn sql_agrees_with_plan_api() {
+        use eon_exec::{AggSpec, Expr, Plan, ScanSpec, SortKey};
+        let db = db_loaded();
+        let via_sql = db
+            .sql("SELECT grp, MIN(price), MAX(price) FROM sales GROUP BY grp ORDER BY grp")
+            .unwrap();
+        let plan = Plan::scan(ScanSpec::new("sales"))
+            .aggregate(
+                vec![1],
+                vec![AggSpec::min(Expr::col(2)), AggSpec::max(Expr::col(2))],
+            )
+            .sort(vec![SortKey::asc(0)]);
+        assert_eq!(via_sql, db.query(&plan).unwrap());
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end lifecycle tests: node failure and recovery (§3.3, §6.1),
+//! elastic scale out/in (§6.4), and revive from shared storage (§3.5).
+
+use std::sync::Arc;
+
+use eon_catalog::SubState;
+use eon_columnar::Projection;
+use eon_core::{EonConfig, EonDb};
+use eon_exec::{AggSpec, Expr, Plan, ScanSpec};
+use eon_storage::{MemFs, SharedFs};
+use eon_types::{schema, NodeId, Value};
+
+fn db_loaded(nodes: usize, shards: usize) -> (SharedFs, Arc<EonDb>) {
+    let shared: SharedFs = Arc::new(MemFs::new());
+    let db = EonDb::create(shared.clone(), EonConfig::new(nodes, shards)).unwrap();
+    let s = schema![("id", Int), ("v", Int)];
+    db.create_table(
+        "t",
+        s.clone(),
+        vec![Projection::super_projection("p", &s, &[0], &[0])],
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..1500)
+        .map(|i| vec![Value::Int(i), Value::Int(i % 11)])
+        .collect();
+    db.copy_into("t", rows).unwrap();
+    (shared, db)
+}
+
+fn total(db: &EonDb) -> i64 {
+    let plan = Plan::scan(ScanSpec::new("t")).aggregate(vec![], vec![AggSpec::count_star()]);
+    db.query(&plan).unwrap()[0][0].as_int().unwrap()
+}
+
+fn sum_v(db: &EonDb) -> i64 {
+    let plan = Plan::scan(ScanSpec::new("t")).aggregate(vec![], vec![AggSpec::sum(Expr::col(1))]);
+    db.query(&plan).unwrap()[0][0].as_int().unwrap()
+}
+
+#[test]
+fn queries_survive_single_node_failure() {
+    let (_, db) = db_loaded(4, 3);
+    let before = (total(&db), sum_v(&db));
+    db.kill_node(NodeId(1)).unwrap();
+    // No repair needed: other subscribers serve immediately (§6.1).
+    assert_eq!((total(&db), sum_v(&db)), before);
+}
+
+#[test]
+fn restart_resubscribes_and_catches_up() {
+    let (_, db) = db_loaded(3, 3);
+    let before = total(&db);
+    db.kill_node(NodeId(2)).unwrap();
+    // Commit work while the node is down so it falls behind.
+    db.copy_into(
+        "t",
+        (2000..2100).map(|i| vec![Value::Int(i), Value::Int(0)]).collect(),
+    )
+    .unwrap();
+    assert_eq!(total(&db), before + 100);
+
+    db.restart_node(NodeId(2)).unwrap();
+    let node = db.membership().get(NodeId(2)).unwrap();
+    assert!(node.is_up());
+    // Caught up to the cluster version.
+    assert_eq!(node.catalog.version(), db.version());
+    // All its subscriptions are ACTIVE again.
+    let snap = db.snapshot().unwrap();
+    for s in snap.subscriptions_of(NodeId(2)) {
+        assert_eq!(s.state, SubState::Active, "{s:?}");
+    }
+    assert_eq!(total(&db), before + 100);
+}
+
+#[test]
+fn restarted_node_cache_is_warm() {
+    let (_, db) = db_loaded(3, 3);
+    // Touch data so peers have warm caches.
+    let _ = total(&db);
+    db.kill_node(NodeId(0)).unwrap();
+    let warmed = db.restart_node(NodeId(0)).unwrap();
+    assert!(warmed > 0, "peer warming moved no files");
+}
+
+#[test]
+fn add_node_without_data_redistribution() {
+    let (shared, db) = db_loaded(3, 3);
+    let puts_before = shared.stats().puts;
+    let before = (total(&db), sum_v(&db));
+    let id = db.add_node().unwrap();
+    assert_eq!(db.membership().len(), 4);
+    // Elasticity (§6.4): adding a node writes metadata (checkpoint),
+    // but never rewrites data containers.
+    let snap = db.snapshot().unwrap();
+    let container_keys: Vec<&str> = snap.containers.values().map(|c| c.key.as_str()).collect();
+    let puts_after = shared.stats().puts;
+    // No data/ puts: every new shared-storage write is metadata.
+    assert!(puts_after >= puts_before);
+    for key in shared.list("data/").unwrap() {
+        assert!(container_keys.contains(&key.as_str()) || snap
+            .delete_vectors
+            .values()
+            .any(|d| d.key == key));
+    }
+    // New node participates and answers stay exact.
+    assert_eq!((total(&db), sum_v(&db)), before);
+    let new_subs = snap.subscriptions_of(id);
+    assert!(!new_subs.is_empty());
+    for s in new_subs {
+        assert_eq!(s.state, SubState::Active);
+    }
+}
+
+#[test]
+fn remove_node_keeps_fault_tolerance() {
+    let (_, db) = db_loaded(4, 3);
+    let before = total(&db);
+    db.remove_node(NodeId(3)).unwrap();
+    assert_eq!(db.membership().len(), 3);
+    let snap = db.snapshot().unwrap();
+    assert!(snap.subscriptions_of(NodeId(3)).is_empty());
+    // Every shard still has >= 2 ACTIVE subscribers.
+    for s in db.segment_shards() {
+        assert!(snap.subscribers_in(s, SubState::Active).len() >= 2);
+    }
+    assert_eq!(total(&db), before);
+}
+
+#[test]
+fn revive_respects_lease_and_truncation() {
+    let (shared, db) = db_loaded(3, 3);
+    let expect_rows = total(&db);
+    db.sync_metadata(1_000).unwrap();
+
+    // Lease still live: revive refuses.
+    let err = EonDb::revive(shared.clone(), EonConfig::new(3, 3), 2_000);
+    assert!(err.is_err(), "revive should refuse while lease is live");
+
+    // After the lease expires, revive succeeds and data is intact.
+    drop(db);
+    let revived = EonDb::revive(shared.clone(), EonConfig::new(3, 3), 20_000).unwrap();
+    assert_eq!(total(&revived), expect_rows);
+    // New incarnation recorded as the revive commit point (§3.5).
+    let info = eon_catalog::ClusterInfo::read(shared.as_ref()).unwrap().unwrap();
+    assert_eq!(info.incarnation, revived.incarnation());
+}
+
+#[test]
+fn revive_discards_unsynced_commits() {
+    let (shared, db) = db_loaded(3, 3);
+    let synced_rows = total(&db);
+    db.sync_metadata(1_000).unwrap();
+    // Commit more data but do NOT sync: these commits exist only in
+    // node-local logs, so a catastrophic cluster loss rewinds past
+    // them (§3.5's truncation semantics).
+    db.copy_into(
+        "t",
+        (5000..5100).map(|i| vec![Value::Int(i), Value::Int(0)]).collect(),
+    )
+    .unwrap();
+    assert_eq!(total(&db), synced_rows + 100);
+    drop(db);
+
+    let revived = EonDb::revive(shared, EonConfig::new(3, 3), 50_000).unwrap();
+    assert_eq!(total(&revived), synced_rows, "unsynced load must be truncated");
+    // The revived cluster keeps working: load + query.
+    revived
+        .copy_into(
+            "t",
+            (9000..9010).map(|i| vec![Value::Int(i), Value::Int(1)]).collect(),
+        )
+        .unwrap();
+    assert_eq!(total(&revived), synced_rows + 10);
+}
+
+#[test]
+fn cluster_shuts_down_on_coverage_loss() {
+    let (_, db) = db_loaded(3, 3);
+    // k_safety = 1: two nodes down can uncover a shard.
+    db.kill_node(NodeId(0)).unwrap();
+    db.kill_node(NodeId(1)).unwrap();
+    let plan = Plan::scan(ScanSpec::new("t")).aggregate(vec![], vec![AggSpec::count_star()]);
+    assert!(db.query(&plan).is_err(), "must refuse rather than answer wrong");
+}

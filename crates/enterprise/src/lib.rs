@@ -1,0 +1,25 @@
+//! The Enterprise-mode baseline (paper §2, §9): Vertica's classic
+//! shared-nothing architecture, built on the same columnar and
+//! execution substrate as Eon mode so benchmarks compare architectures,
+//! not implementations.
+//!
+//! Architectural differences from Eon, all modelled here:
+//!
+//! * **fixed layout** — segment `i` lives on node `i` (hash regions
+//!   mapped to nodes directly, §2.2); every query runs on *every* node;
+//! * **buddy projections** — each segment is duplicated on the next
+//!   node in the logical ring; a down node's segments are served by the
+//!   buddy, doubling its work (the Fig 12 cliff);
+//! * **node-local storage** — data files live on each node's private
+//!   disk; nothing is shared;
+//! * **WOS + moveout** — small loads buffer in memory (§2.3);
+//! * **recovery by rebuild** — a replacement node copies *all* of its
+//!   segments' data from buddies (§6.1: "proportional to the entire
+//!   data-set stored on a node");
+//! * **elasticity by resegmentation** — changing the node count
+//!   rewrites every container (§6.4's contrast case).
+
+pub mod db;
+pub mod provider;
+
+pub use db::{EnterpriseConfig, EnterpriseDb};

@@ -1,0 +1,359 @@
+//! Hash aggregation with mergeable partial states.
+//!
+//! Distributed group-by (paper §4: "efficient distributed aggregations")
+//! runs the same machinery twice: every participating node folds its
+//! local rows into [`AggState`]s, ships the *states* to the
+//! coordinator, and the coordinator merges. Co-segmented group-bys
+//! would allow skipping the merge; we always merge because states are
+//! tiny and it is unconditionally correct.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use eon_types::{Result, Value};
+
+use crate::ops::Rows;
+use crate::plan::{AggFunc, AggSpec};
+
+/// A mergeable partial aggregate. Serializable so nodes can ship states
+/// to the coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AggState {
+    Sum { acc: Value },
+    Count { n: i64 },
+    Avg { sum: Value, n: i64 },
+    Min { acc: Value },
+    Max { acc: Value },
+    /// Distinct values seen (BTreeSet: deterministic iteration, and
+    /// `Value` is `Ord`).
+    Distinct { seen: BTreeSet<Value> },
+}
+
+fn add_values(acc: &Value, v: &Value) -> Value {
+    match (acc, v) {
+        (Value::Null, x) => x.clone(),
+        (x, Value::Null) => x.clone(),
+        (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+        (a, b) => Value::Float(a.as_float().unwrap_or(0.0) + b.as_float().unwrap_or(0.0)),
+    }
+}
+
+impl AggState {
+    /// Fresh state for a function.
+    pub fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Sum => AggState::Sum { acc: Value::Null },
+            AggFunc::Count | AggFunc::CountStar => AggState::Count { n: 0 },
+            AggFunc::Avg => AggState::Avg {
+                sum: Value::Null,
+                n: 0,
+            },
+            AggFunc::Min => AggState::Min { acc: Value::Null },
+            AggFunc::Max => AggState::Max { acc: Value::Null },
+            AggFunc::CountDistinct => AggState::Distinct {
+                seen: BTreeSet::new(),
+            },
+        }
+    }
+
+    /// Fold one input value (already evaluated from the agg's expr).
+    /// SQL semantics: NULL inputs are ignored by every aggregate except
+    /// COUNT(*) (which the executor feeds a literal).
+    pub fn update(&mut self, v: &Value) {
+        match self {
+            AggState::Count { n } => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            AggState::Sum { acc } => {
+                if !v.is_null() {
+                    *acc = add_values(acc, v);
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if !v.is_null() {
+                    *sum = add_values(sum, v);
+                    *n += 1;
+                }
+            }
+            AggState::Min { acc } => {
+                if !v.is_null() && (acc.is_null() || v < acc) {
+                    *acc = v.clone();
+                }
+            }
+            AggState::Max { acc } => {
+                if !v.is_null() && (acc.is_null() || v > acc) {
+                    *acc = v.clone();
+                }
+            }
+            AggState::Distinct { seen } => {
+                if !v.is_null() {
+                    seen.insert(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Merge another partial state of the same shape into this one.
+    pub fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count { n }, AggState::Count { n: m }) => *n += m,
+            (AggState::Sum { acc }, AggState::Sum { acc: b }) => *acc = add_values(acc, b),
+            (AggState::Avg { sum, n }, AggState::Avg { sum: s2, n: m }) => {
+                *sum = add_values(sum, s2);
+                *n += m;
+            }
+            (AggState::Min { acc }, AggState::Min { acc: b }) => {
+                if !b.is_null() && (acc.is_null() || b < acc) {
+                    *acc = b.clone();
+                }
+            }
+            (AggState::Max { acc }, AggState::Max { acc: b }) => {
+                if !b.is_null() && (acc.is_null() || b > acc) {
+                    *acc = b.clone();
+                }
+            }
+            (AggState::Distinct { seen }, AggState::Distinct { seen: s2 }) => {
+                seen.extend(s2.iter().cloned());
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
+    /// Produce the final SQL value.
+    pub fn finalize(&self) -> Value {
+        match self {
+            AggState::Sum { acc } => acc.clone(),
+            AggState::Count { n } => Value::Int(*n),
+            AggState::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum.as_float().unwrap_or(0.0) / *n as f64)
+                }
+            }
+            AggState::Min { acc } | AggState::Max { acc } => acc.clone(),
+            AggState::Distinct { seen } => Value::Int(seen.len() as i64),
+        }
+    }
+}
+
+/// One group's partial result: key columns + per-agg states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialGroup {
+    pub key: Vec<Value>,
+    pub states: Vec<AggState>,
+}
+
+/// Partial aggregates of one batch of rows.
+pub type Partials = Vec<PartialGroup>;
+
+/// Fold rows into partial aggregates.
+pub fn aggregate_partial(rows: &Rows, group_by: &[usize], aggs: &[AggSpec]) -> Result<Partials> {
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    for row in rows {
+        let key: Vec<Value> = group_by.iter().map(|&c| row[c].clone()).collect();
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect());
+        for (st, spec) in states.iter_mut().zip(aggs) {
+            let v = spec.expr.eval(row)?;
+            st.update(&v);
+        }
+    }
+    // SQL: a global aggregate (no GROUP BY) over zero rows still
+    // produces one output row (COUNT = 0, SUM = NULL, …).
+    if group_by.is_empty() && groups.is_empty() {
+        groups.insert(
+            Vec::new(),
+            aggs.iter().map(|a| AggState::new(a.func)).collect(),
+        );
+    }
+    let mut out: Partials = groups
+        .into_iter()
+        .map(|(key, states)| PartialGroup { key, states })
+        .collect();
+    // Deterministic order for tests and stable merges.
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    Ok(out)
+}
+
+/// Merge several nodes' partials into one.
+pub fn merge_partials(parts: Vec<Partials>, aggs: &[AggSpec]) -> Partials {
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    for part in parts {
+        for pg in part {
+            match groups.entry(pg.key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (st, other) in e.get_mut().iter_mut().zip(&pg.states) {
+                        st.merge(other);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(pg.states);
+                }
+            }
+        }
+    }
+    let _ = aggs;
+    let mut out: Partials = groups
+        .into_iter()
+        .map(|(key, states)| PartialGroup { key, states })
+        .collect();
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    out
+}
+
+/// Finalize partials into output rows: key columns then agg columns.
+pub fn finalize_partials(parts: Partials) -> Rows {
+    parts
+        .into_iter()
+        .map(|pg| {
+            let mut row = pg.key;
+            row.extend(pg.states.iter().map(|s| s.finalize()));
+            row
+        })
+        .collect()
+}
+
+/// Single-phase aggregation (fold + finalize).
+pub fn aggregate(rows: &Rows, group_by: &[usize], aggs: &[AggSpec]) -> Result<Rows> {
+    Ok(finalize_partials(aggregate_partial(rows, group_by, aggs)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use proptest::prelude::*;
+
+    fn rows(data: &[&[i64]]) -> Rows {
+        data.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            .collect()
+    }
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::sum(Expr::col(1)),
+            AggSpec::count_star(),
+            AggSpec::avg(Expr::col(1)),
+            AggSpec::min(Expr::col(1)),
+            AggSpec::max(Expr::col(1)),
+            AggSpec::new(AggFunc::CountDistinct, Expr::col(1)),
+        ]
+    }
+
+    #[test]
+    fn basic_group_by() {
+        let input = rows(&[&[1, 10], &[2, 5], &[1, 20], &[2, 5]]);
+        let out = aggregate(&input, &[0], &specs()).unwrap();
+        assert_eq!(out.len(), 2);
+        // Group 1: sum 30, count 2, avg 15, min 10, max 20, distinct 2.
+        assert_eq!(
+            out[0],
+            vec![
+                Value::Int(1),
+                Value::Int(30),
+                Value::Int(2),
+                Value::Float(15.0),
+                Value::Int(10),
+                Value::Int(20),
+                Value::Int(2),
+            ]
+        );
+        // Group 2 distinct = 1 (5 appears twice).
+        assert_eq!(out[1][6], Value::Int(1));
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let input = rows(&[&[0, 1], &[0, 2], &[0, 3]]);
+        let out = aggregate(&input, &[], &[AggSpec::sum(Expr::col(1))]).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(6)]]);
+    }
+
+    #[test]
+    fn nulls_ignored_by_aggs() {
+        let input = vec![
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(1), Value::Int(4)],
+        ];
+        let out = aggregate(
+            &input,
+            &[0],
+            &[
+                AggSpec::sum(Expr::col(1)),
+                AggSpec::new(AggFunc::Count, Expr::col(1)),
+                AggSpec::count_star(),
+                AggSpec::avg(Expr::col(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0][1], Value::Int(4)); // sum skips null
+        assert_eq!(out[0][2], Value::Int(1)); // count(col) skips null
+        assert_eq!(out[0][3], Value::Int(2)); // count(*) doesn't
+        assert_eq!(out[0][4], Value::Float(4.0)); // avg over non-null only
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let out = aggregate(&vec![], &[0], &specs()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn avg_merges_correctly_across_partials() {
+        // The classic distributed-AVG bug: averaging averages. Partial
+        // states carry (sum, n) so merging is exact.
+        let a = rows(&[&[0, 10]]); // avg 10 over 1 row
+        let b = rows(&[&[0, 1], &[0, 2], &[0, 3]]); // avg 2 over 3 rows
+        let specs = vec![AggSpec::avg(Expr::col(1))];
+        let pa = aggregate_partial(&a, &[0], &specs).unwrap();
+        let pb = aggregate_partial(&b, &[0], &specs).unwrap();
+        let merged = finalize_partials(merge_partials(vec![pa, pb], &specs));
+        // True avg = 16/4 = 4.0, not (10+2)/2 = 6.0.
+        assert_eq!(merged[0][1], Value::Float(4.0));
+    }
+
+    #[test]
+    fn distinct_merges_as_set_union() {
+        let a = rows(&[&[0, 1], &[0, 2]]);
+        let b = rows(&[&[0, 2], &[0, 3]]);
+        let specs = vec![AggSpec::new(AggFunc::CountDistinct, Expr::col(1))];
+        let pa = aggregate_partial(&a, &[0], &specs).unwrap();
+        let pb = aggregate_partial(&b, &[0], &specs).unwrap();
+        let merged = finalize_partials(merge_partials(vec![pa, pb], &specs));
+        assert_eq!(merged[0][1], Value::Int(3));
+    }
+
+    proptest! {
+        /// The distributed-equals-centralized property: splitting rows
+        /// arbitrarily across "nodes", partial-aggregating, and merging
+        /// gives exactly the single-phase answer.
+        #[test]
+        fn prop_partition_then_merge_equals_single_phase(
+            data in proptest::collection::vec((0i64..5, -20i64..20), 0..120),
+            split in 1usize..5,
+        ) {
+            let all: Rows = data.iter().map(|&(g, v)| vec![Value::Int(g), Value::Int(v)]).collect();
+            let specs = specs();
+            let single = aggregate(&all, &[0], &specs).unwrap();
+
+            let mut parts = Vec::new();
+            for chunk_idx in 0..split {
+                let chunk: Rows = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % split == chunk_idx)
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                parts.push(aggregate_partial(&chunk, &[0], &specs).unwrap());
+            }
+            let merged = finalize_partials(merge_partials(parts, &specs));
+            prop_assert_eq!(merged, single);
+        }
+    }
+}

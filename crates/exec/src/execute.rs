@@ -1,0 +1,497 @@
+//! Plan execution: the single-node interpreter and the distributed
+//! split.
+//!
+//! [`execute`] runs a whole plan on one node through a
+//! [`TableProvider`] (the storage integration point implemented by
+//! `eon-core` for Eon mode and `eon-enterprise` for the baseline).
+//!
+//! [`auto_distribute`] splits a logical plan at the topmost aggregate:
+//! everything below runs on every participating node (against its
+//! session-assigned shards), aggregates fold into mergeable partial
+//! states, and the coordinator merges partials then applies the
+//! remaining operators (HAVING filters, final projections, sort,
+//! limit). For plans with no aggregate, nodes return raw rows and the
+//! coordinator concatenates.
+
+use eon_types::{EonError, Result};
+
+use crate::agg::{
+    aggregate, aggregate_partial, finalize_partials, merge_partials, Partials,
+};
+use crate::expr::Expr;
+use crate::ops::{self, Rows};
+use crate::plan::{AggSpec, Plan, ScanSpec, SortKey};
+
+/// Storage integration point: materialize a scan.
+pub trait TableProvider {
+    fn scan(&self, spec: &ScanSpec) -> Result<Rows>;
+
+    /// Number of columns a scan of `table` (all columns) yields. Needed
+    /// to pad LEFT joins whose right side came back empty.
+    fn num_columns(&self, table: &str) -> Result<usize>;
+}
+
+/// Output width of a plan (column count).
+pub fn plan_width(plan: &Plan, provider: &dyn TableProvider) -> Result<usize> {
+    Ok(match plan {
+        Plan::Scan(s) => match &s.columns {
+            Some(cols) => cols.len(),
+            None => provider.num_columns(&s.table)?,
+        },
+        Plan::Filter { input, .. } | Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
+            plan_width(input, provider)?
+        }
+        Plan::Project { exprs, .. } => exprs.len(),
+        Plan::Join {
+            left, right, kind, ..
+        } => match kind {
+            crate::plan::JoinKind::Semi | crate::plan::JoinKind::Anti => {
+                plan_width(left, provider)?
+            }
+            _ => plan_width(left, provider)? + plan_width(right, provider)?,
+        },
+        Plan::Aggregate {
+            group_by, aggs, ..
+        } => group_by.len() + aggs.len(),
+    })
+}
+
+/// Execute a plan on a single node.
+pub fn execute(plan: &Plan, provider: &dyn TableProvider) -> Result<Rows> {
+    match plan {
+        Plan::Scan(spec) => provider.scan(spec),
+        Plan::Filter { input, predicate } => {
+            let rows = execute(input, provider)?;
+            ops::filter(rows, predicate)
+        }
+        Plan::Project { input, exprs, .. } => {
+            let rows = execute(input, provider)?;
+            ops::project(rows, exprs)
+        }
+        Plan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => {
+            let l = execute(left, provider)?;
+            let r = execute(right, provider)?;
+            let right_width = plan_width(right, provider)?;
+            ops::hash_join(l, r, left_keys, right_keys, *kind, right_width)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let rows = execute(input, provider)?;
+            aggregate(&rows, group_by, aggs)
+        }
+        Plan::Sort { input, keys } => Ok(ops::sort(execute(input, provider)?, keys)),
+        Plan::Limit { input, n } => Ok(ops::limit(execute(input, provider)?, *n)),
+    }
+}
+
+/// Coordinator-side steps applied after combining node results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeStep {
+    /// HAVING-style filter over aggregate output.
+    Filter(Expr),
+    Project { exprs: Vec<Expr>, names: Vec<String> },
+    Sort(Vec<SortKey>),
+    Limit(usize),
+}
+
+/// A plan split into a per-node local phase and a coordinator merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedPlan {
+    /// Runs on every participating node (aggregate removed).
+    pub local: Plan,
+    /// Partial aggregation applied on each node over `local`'s output;
+    /// `None` when the plan has no top-level aggregate.
+    pub partial_agg: Option<(Vec<usize>, Vec<AggSpec>)>,
+    /// Applied at the coordinator after merging, bottom-up order.
+    pub merge: Vec<MergeStep>,
+}
+
+/// What a node ships back to the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalResult {
+    Rows(Rows),
+    Partials(Partials),
+}
+
+/// Split a logical plan at its topmost aggregate (if any).
+pub fn auto_distribute(plan: &Plan) -> DistributedPlan {
+    // Peel coordinator-side operators top-down until we hit an
+    // aggregate or a non-peelable node.
+    let mut merge_rev: Vec<MergeStep> = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            Plan::Limit { input, n } => {
+                merge_rev.push(MergeStep::Limit(*n));
+                cur = input;
+            }
+            Plan::Sort { input, keys } => {
+                merge_rev.push(MergeStep::Sort(keys.clone()));
+                cur = input;
+            }
+            Plan::Project { input, exprs, names } => {
+                merge_rev.push(MergeStep::Project {
+                    exprs: exprs.clone(),
+                    names: names.clone(),
+                });
+                cur = input;
+            }
+            Plan::Filter { input, predicate } => {
+                merge_rev.push(MergeStep::Filter(predicate.clone()));
+                cur = input;
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                merge_rev.reverse();
+                return DistributedPlan {
+                    local: (**input).clone(),
+                    partial_agg: Some((group_by.clone(), aggs.clone())),
+                    merge: merge_rev,
+                };
+            }
+            // Scan/Join boundary: no aggregate in the peeled spine. The
+            // peeled steps run fine over concatenated rows *except*
+            // Filter/Project, which are cheaper on the nodes — but
+            // correctness-first: run everything at the coordinator.
+            _ => {
+                merge_rev.reverse();
+                return DistributedPlan {
+                    local: cur.clone(),
+                    partial_agg: None,
+                    merge: merge_rev,
+                };
+            }
+        }
+    }
+}
+
+impl DistributedPlan {
+    /// Does the local phase touch any shard-local scan? If not, the
+    /// coordinator should run it on exactly one node (running it on all
+    /// nodes would multiply global rows into the merge).
+    pub fn has_local_scan(&self) -> bool {
+        let mut any = false;
+        self.local.visit_scans(&mut |s| {
+            if s.distribute == crate::plan::Distribution::LocalShards {
+                any = true;
+            }
+        });
+        any
+    }
+
+    /// Run the local phase on one node.
+    pub fn execute_local(&self, provider: &dyn TableProvider) -> Result<LocalResult> {
+        let rows = execute(&self.local, provider)?;
+        match &self.partial_agg {
+            Some((group_by, aggs)) => Ok(LocalResult::Partials(aggregate_partial(
+                &rows, group_by, aggs,
+            )?)),
+            None => Ok(LocalResult::Rows(rows)),
+        }
+    }
+
+    /// Coordinator: combine node results and apply the merge steps.
+    pub fn finish(&self, results: Vec<LocalResult>) -> Result<Rows> {
+        let mut rows: Rows = match &self.partial_agg {
+            Some((_, aggs)) => {
+                let mut parts = Vec::with_capacity(results.len());
+                for r in results {
+                    match r {
+                        LocalResult::Partials(p) => parts.push(p),
+                        LocalResult::Rows(_) => {
+                            return Err(EonError::Internal(
+                                "expected partial aggregates from node".into(),
+                            ))
+                        }
+                    }
+                }
+                finalize_partials(merge_partials(parts, aggs))
+            }
+            None => {
+                let mut all = Vec::new();
+                for r in results {
+                    match r {
+                        LocalResult::Rows(mut rs) => all.append(&mut rs),
+                        LocalResult::Partials(_) => {
+                            return Err(EonError::Internal(
+                                "unexpected partial aggregates from node".into(),
+                            ))
+                        }
+                    }
+                }
+                all
+            }
+        };
+        for step in &self.merge {
+            rows = match step {
+                MergeStep::Filter(e) => ops::filter(rows, e)?,
+                MergeStep::Project { exprs, .. } => ops::project(rows, exprs)?,
+                MergeStep::Sort(keys) => ops::sort(rows, keys),
+                MergeStep::Limit(n) => ops::limit(rows, *n),
+            };
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+pub mod testing {
+    //! A trivial in-memory provider used by this crate's tests and by
+    //! downstream crates' unit tests.
+
+    use std::collections::HashMap;
+
+    use super::*;
+    use eon_types::Value;
+
+    /// Tables as materialized rows; `LocalShards` scans return the
+    /// node's slice (row index mod node count), `Global` scans return
+    /// everything — mimicking segmentation without real storage.
+    pub struct MemProvider {
+        pub tables: HashMap<String, Rows>,
+        pub node: usize,
+        pub nodes_total: usize,
+    }
+
+    impl MemProvider {
+        pub fn single(tables: HashMap<String, Rows>) -> Self {
+            MemProvider {
+                tables,
+                node: 0,
+                nodes_total: 1,
+            }
+        }
+    }
+
+    impl TableProvider for MemProvider {
+        fn scan(&self, spec: &ScanSpec) -> Result<Rows> {
+            let rows = self
+                .tables
+                .get(&spec.table)
+                .ok_or_else(|| EonError::UnknownTable(spec.table.clone()))?;
+            let mut out = Vec::new();
+            for (i, row) in rows.iter().enumerate() {
+                if spec.distribute == crate::plan::Distribution::LocalShards
+                    && i % self.nodes_total != self.node
+                {
+                    continue;
+                }
+                if !spec.predicate.eval_row(row) {
+                    continue;
+                }
+                let projected: Vec<Value> = match &spec.columns {
+                    Some(cols) => cols.iter().map(|&c| row[c].clone()).collect(),
+                    None => row.clone(),
+                };
+                out.push(projected);
+            }
+            Ok(out)
+        }
+
+        fn num_columns(&self, table: &str) -> Result<usize> {
+            self.tables
+                .get(table)
+                .and_then(|rows| rows.first().map(|r| r.len()))
+                .ok_or_else(|| EonError::UnknownTable(table.to_owned()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::MemProvider;
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::plan::{AggFunc, JoinKind};
+    use eon_columnar::Predicate;
+    use eon_types::Value;
+    use std::collections::HashMap;
+
+    fn irows(data: &[&[i64]]) -> Rows {
+        data.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            .collect()
+    }
+
+    fn provider() -> MemProvider {
+        let mut tables = HashMap::new();
+        // sales(region, amount)
+        tables.insert(
+            "sales".to_owned(),
+            irows(&[&[1, 10], &[1, 20], &[2, 5], &[2, 15], &[3, 7]]),
+        );
+        // regions(id, tier)
+        tables.insert("regions".to_owned(), irows(&[&[1, 100], &[2, 200], &[3, 100]]));
+        MemProvider::single(tables)
+    }
+
+    fn sum_by_region() -> Plan {
+        Plan::scan(ScanSpec::new("sales"))
+            .aggregate(vec![0], vec![AggSpec::sum(Expr::col(1))])
+            .sort(vec![SortKey::asc(0)])
+    }
+
+    #[test]
+    fn end_to_end_aggregate() {
+        let out = execute(&sum_by_region(), &provider()).unwrap();
+        assert_eq!(out, irows(&[&[1, 30], &[2, 20], &[3, 7]]));
+    }
+
+    #[test]
+    fn scan_pushdown_predicate_and_columns() {
+        let p = Plan::scan(
+            ScanSpec::new("sales")
+                .predicate(Predicate::cmp(1, eon_columnar::pruning::CmpOp::Gt, 9i64))
+                .columns(vec![1]),
+        );
+        let out = execute(&p, &provider()).unwrap();
+        assert_eq!(out, irows(&[&[10], &[20], &[15]]));
+    }
+
+    #[test]
+    fn join_then_aggregate() {
+        // sum(amount) per region tier
+        let p = Plan::scan(ScanSpec::new("sales"))
+            .join(Plan::scan(ScanSpec::new("regions").global()), vec![0], vec![0])
+            .aggregate(vec![3], vec![AggSpec::sum(Expr::col(1))])
+            .sort(vec![SortKey::asc(0)]);
+        let out = execute(&p, &provider()).unwrap();
+        // tier 100: regions 1,3 → 30 + 7 = 37; tier 200: region 2 → 20.
+        assert_eq!(out, irows(&[&[100, 37], &[200, 20]]));
+    }
+
+    #[test]
+    fn semi_join_width() {
+        let p = Plan::scan(ScanSpec::new("sales")).join_kind(
+            Plan::scan(ScanSpec::new("regions").global()),
+            vec![0],
+            vec![0],
+            JoinKind::Semi,
+        );
+        assert_eq!(plan_width(&p, &provider()).unwrap(), 2);
+    }
+
+    #[test]
+    fn distributed_matches_single_node() {
+        // 3 "nodes" each see a slice of sales; distributed execution
+        // must equal the single-node answer.
+        let plan = sum_by_region();
+        let single = execute(&plan, &provider()).unwrap();
+
+        let dp = auto_distribute(&plan);
+        assert!(dp.has_local_scan());
+        let mut results = Vec::new();
+        for node in 0..3 {
+            let mut p = provider();
+            p.node = node;
+            p.nodes_total = 3;
+            results.push(dp.execute_local(&p).unwrap());
+        }
+        assert_eq!(dp.finish(results).unwrap(), single);
+    }
+
+    #[test]
+    fn distributed_join_with_broadcast_dimension() {
+        let plan = Plan::scan(ScanSpec::new("sales"))
+            .join(Plan::scan(ScanSpec::new("regions").global()), vec![0], vec![0])
+            .aggregate(vec![3], vec![AggSpec::sum(Expr::col(1)), AggSpec::count_star()])
+            .sort(vec![SortKey::asc(0)]);
+        let single = execute(&plan, &provider()).unwrap();
+        let dp = auto_distribute(&plan);
+        let results: Vec<_> = (0..2)
+            .map(|node| {
+                let mut p = provider();
+                p.node = node;
+                p.nodes_total = 2;
+                dp.execute_local(&p).unwrap()
+            })
+            .collect();
+        assert_eq!(dp.finish(results).unwrap(), single);
+    }
+
+    #[test]
+    fn distributed_having_and_limit() {
+        // HAVING sum > 10 ORDER BY sum DESC LIMIT 1
+        let plan = Plan::scan(ScanSpec::new("sales"))
+            .aggregate(vec![0], vec![AggSpec::sum(Expr::col(1))])
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::lit(10i64)))
+            .sort(vec![SortKey::desc(1)])
+            .limit(1);
+        let single = execute(&plan, &provider()).unwrap();
+        assert_eq!(single, irows(&[&[1, 30]]));
+
+        let dp = auto_distribute(&plan);
+        assert_eq!(dp.merge.len(), 3); // filter, sort, limit
+        let results: Vec<_> = (0..3)
+            .map(|node| {
+                let mut p = provider();
+                p.node = node;
+                p.nodes_total = 3;
+                dp.execute_local(&p).unwrap()
+            })
+            .collect();
+        assert_eq!(dp.finish(results).unwrap(), single);
+    }
+
+    #[test]
+    fn plan_without_aggregate_concatenates() {
+        let plan = Plan::scan(ScanSpec::new("sales")).sort(vec![SortKey::asc(1)]).limit(3);
+        let single = execute(&plan, &provider()).unwrap();
+        let dp = auto_distribute(&plan);
+        assert!(dp.partial_agg.is_none());
+        let results: Vec<_> = (0..2)
+            .map(|node| {
+                let mut p = provider();
+                p.node = node;
+                p.nodes_total = 2;
+                dp.execute_local(&p).unwrap()
+            })
+            .collect();
+        assert_eq!(dp.finish(results).unwrap(), single);
+    }
+
+    #[test]
+    fn global_only_plan_detected() {
+        let plan = Plan::scan(ScanSpec::new("regions").global())
+            .aggregate(vec![], vec![AggSpec::count_star()]);
+        let dp = auto_distribute(&plan);
+        assert!(!dp.has_local_scan());
+        // Executed on ONE node, the answer is correct.
+        let out = dp
+            .finish(vec![dp.execute_local(&provider()).unwrap()])
+            .unwrap();
+        assert_eq!(out, irows(&[&[3]]));
+    }
+
+    #[test]
+    fn count_distinct_distributes() {
+        let plan = Plan::scan(ScanSpec::new("sales")).aggregate(
+            vec![],
+            vec![AggSpec::new(AggFunc::CountDistinct, Expr::col(0))],
+        );
+        let single = execute(&plan, &provider()).unwrap();
+        assert_eq!(single, irows(&[&[3]]));
+        let dp = auto_distribute(&plan);
+        let results: Vec<_> = (0..3)
+            .map(|node| {
+                let mut p = provider();
+                p.node = node;
+                p.nodes_total = 3;
+                dp.execute_local(&p).unwrap()
+            })
+            .collect();
+        assert_eq!(dp.finish(results).unwrap(), single);
+    }
+}

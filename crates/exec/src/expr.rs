@@ -1,0 +1,449 @@
+//! Scalar expressions evaluated against rows.
+//!
+//! SQL semantics where they matter: NULL propagates through arithmetic
+//! and comparisons, `AND`/`OR` short-circuit with NULL treated as
+//! false in filter position, division by zero yields NULL.
+
+use serde::{Deserialize, Serialize};
+
+use eon_types::{EonError, Result, Value};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Comparison operators (re-exported shape matches the pruning layer).
+pub use eon_columnar::pruning::CmpOp;
+
+/// A scalar expression over the columns of its input row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Column reference by input-row index.
+    Col(usize),
+    Lit(Value),
+    Arith {
+        op: ArithOp,
+        l: Box<Expr>,
+        r: Box<Expr>,
+    },
+    Cmp {
+        op: CmpOp,
+        l: Box<Expr>,
+        r: Box<Expr>,
+    },
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+    IsNull(Box<Expr>),
+    /// `CASE WHEN c1 THEN v1 … ELSE e END`.
+    Case {
+        whens: Vec<(Expr, Expr)>,
+        otherwise: Box<Expr>,
+    },
+    /// SQL LIKE with `%` wildcards only (enough for TPC-H).
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// Set membership against literals (`x IN (…)`).
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    /// `EXTRACT(YEAR FROM date_col)` — the one date function TPC-H
+    /// needs.
+    ExtractYear(Box<Expr>),
+}
+
+// The arithmetic constructors intentionally mirror SQL operator names;
+// they are static builders, not operator-trait methods.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn add(l: Expr, r: Expr) -> Expr {
+        Expr::Arith {
+            op: ArithOp::Add,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
+    }
+
+    pub fn sub(l: Expr, r: Expr) -> Expr {
+        Expr::Arith {
+            op: ArithOp::Sub,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
+    }
+
+    pub fn mul(l: Expr, r: Expr) -> Expr {
+        Expr::Arith {
+            op: ArithOp::Mul,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
+    }
+
+    pub fn div(l: Expr, r: Expr) -> Expr {
+        Expr::Arith {
+            op: ArithOp::Div,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
+    }
+
+    pub fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+        Expr::Cmp {
+            op,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
+    }
+
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Self::cmp(CmpOp::Eq, l, r)
+    }
+
+    pub fn like(e: Expr, pattern: &str) -> Expr {
+        Expr::Like {
+            expr: Box::new(e),
+            pattern: pattern.to_owned(),
+            negated: false,
+        }
+    }
+
+    /// Evaluate against `row`. Errors only on type mismatches a planner
+    /// should have rejected (e.g. `'a' + 1`).
+    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| EonError::Query(format!("column {i} out of range"))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Arith { op, l, r } => {
+                let lv = l.eval(row)?;
+                let rv = r.eval(row)?;
+                eval_arith(*op, &lv, &rv)
+            }
+            Expr::Cmp { op, l, r } => {
+                let lv = l.eval(row)?;
+                let rv = r.eval(row)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                let ord = lv.cmp(&rv);
+                let b = match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                };
+                Ok(Value::Bool(b))
+            }
+            Expr::And(es) => {
+                let mut saw_null = false;
+                for e in es {
+                    match e.eval(row)? {
+                        Value::Bool(false) => return Ok(Value::Bool(false)),
+                        Value::Null => saw_null = true,
+                        Value::Bool(true) => {}
+                        v => {
+                            return Err(EonError::Query(format!("AND over non-boolean {v}")));
+                        }
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(true) })
+            }
+            Expr::Or(es) => {
+                let mut saw_null = false;
+                for e in es {
+                    match e.eval(row)? {
+                        Value::Bool(true) => return Ok(Value::Bool(true)),
+                        Value::Null => saw_null = true,
+                        Value::Bool(false) => {}
+                        v => {
+                            return Err(EonError::Query(format!("OR over non-boolean {v}")));
+                        }
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+            }
+            Expr::Not(e) => match e.eval(row)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                v => Err(EonError::Query(format!("NOT over non-boolean {v}"))),
+            },
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(row)?.is_null())),
+            Expr::Case { whens, otherwise } => {
+                for (cond, out) in whens {
+                    if matches!(cond.eval(row)?, Value::Bool(true)) {
+                        return out.eval(row);
+                    }
+                }
+                otherwise.eval(row)
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                    other => Err(EonError::Query(format!("LIKE over non-string {other}"))),
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(list.contains(&v) != *negated))
+            }
+            Expr::ExtractYear(e) => match e.eval(row)? {
+                Value::Date(d) => {
+                    let (y, _, _) = eon_types::value::days_to_ymd(d);
+                    Ok(Value::Int(y as i64))
+                }
+                Value::Null => Ok(Value::Null),
+                other => Err(EonError::Query(format!("EXTRACT over non-date {other}"))),
+            },
+        }
+    }
+
+    /// Evaluate in filter position: NULL counts as false.
+    pub fn eval_filter(&self, row: &[Value]) -> Result<bool> {
+        Ok(matches!(self.eval(row)?, Value::Bool(true)))
+    }
+}
+
+fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Int op Int stays Int (except division, which goes Float like
+    // most analytics engines' default for averages of money).
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            ArithOp::Add => Value::Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*a as f64 / *b as f64)
+                }
+            }
+        });
+    }
+    let (a, b) = match (l.as_float(), r.as_float()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(EonError::Query(format!(
+                "arithmetic over non-numeric values {l} and {r}"
+            )))
+        }
+    };
+    Ok(match op {
+        ArithOp::Add => Value::Float(a + b),
+        ArithOp::Sub => Value::Float(a - b),
+        ArithOp::Mul => Value::Float(a * b),
+        ArithOp::Div => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(a / b)
+            }
+        }
+    })
+}
+
+/// `%`-wildcard LIKE matching (no `_`, which TPC-H doesn't use).
+/// Greedy segment matching: split the pattern on `%` and find each
+/// literal segment in order.
+fn like_match(s: &str, pattern: &str) -> bool {
+    let segments: Vec<&str> = pattern.split('%').collect();
+    if segments.len() == 1 {
+        return s == pattern;
+    }
+    let mut pos = 0usize;
+    for (i, seg) in segments.iter().enumerate() {
+        if seg.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !s.starts_with(seg) {
+                return false;
+            }
+            pos = seg.len();
+        } else if i == segments.len() - 1 {
+            return s.len() >= pos + seg.len() && s.ends_with(seg);
+        } else {
+            match s[pos..].find(seg) {
+                Some(off) => pos = pos + off + seg.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eon_types::value::date;
+
+    fn irow(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        let row = irow(&[6, 3]);
+        assert_eq!(
+            Expr::add(Expr::col(0), Expr::col(1)).eval(&row).unwrap(),
+            Value::Int(9)
+        );
+        assert_eq!(
+            Expr::div(Expr::col(0), Expr::col(1)).eval(&row).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            Expr::mul(Expr::lit(1.5), Expr::col(1)).eval(&row).unwrap(),
+            Value::Float(4.5)
+        );
+    }
+
+    #[test]
+    fn null_propagation() {
+        let row = vec![Value::Null, Value::Int(1)];
+        assert!(Expr::add(Expr::col(0), Expr::col(1)).eval(&row).unwrap().is_null());
+        assert!(Expr::eq(Expr::col(0), Expr::col(1)).eval(&row).unwrap().is_null());
+        assert!(!Expr::eq(Expr::col(0), Expr::col(1)).eval_filter(&row).unwrap());
+        assert_eq!(
+            Expr::IsNull(Box::new(Expr::col(0))).eval(&row).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let row = irow(&[5, 0]);
+        assert!(Expr::div(Expr::col(0), Expr::col(1)).eval(&row).unwrap().is_null());
+        let rowf = vec![Value::Float(5.0), Value::Float(0.0)];
+        assert!(Expr::div(Expr::col(0), Expr::col(1)).eval(&rowf).unwrap().is_null());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let row = vec![Value::Null];
+        let null_cond = Expr::eq(Expr::col(0), Expr::lit(1i64));
+        // false AND NULL = false; true OR NULL = true
+        assert_eq!(
+            Expr::And(vec![Expr::lit(false), null_cond.clone()])
+                .eval(&row)
+                .unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::Or(vec![Expr::lit(true), null_cond.clone()])
+                .eval(&row)
+                .unwrap(),
+            Value::Bool(true)
+        );
+        // true AND NULL = NULL
+        assert!(Expr::And(vec![Expr::lit(true), null_cond])
+            .eval(&row)
+            .unwrap()
+            .is_null());
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = Expr::Case {
+            whens: vec![
+                (Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(10i64)), Expr::lit("small")),
+                (Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(100i64)), Expr::lit("medium")),
+            ],
+            otherwise: Box::new(Expr::lit("large")),
+        };
+        assert_eq!(e.eval(&irow(&[5])).unwrap(), Value::Str("small".into()));
+        assert_eq!(e.eval(&irow(&[50])).unwrap(), Value::Str("medium".into()));
+        assert_eq!(e.eval(&irow(&[500])).unwrap(), Value::Str("large".into()));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("PROMO BRUSHED STEEL", "PROMO%"));
+        assert!(like_match("forest green", "%green"));
+        assert!(like_match("MEDIUM POLISHED BRASS", "%POLISHED%"));
+        assert!(!like_match("ECONOMY BRASS", "%POLISHED%"));
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("special requests", "%special%requests%"));
+        assert!(!like_match("requests special", "%special%requests%"));
+        assert!(like_match("", "%"));
+    }
+
+    #[test]
+    fn like_negated_and_null() {
+        let e = Expr::Like {
+            expr: Box::new(Expr::col(0)),
+            pattern: "x%".into(),
+            negated: true,
+        };
+        assert_eq!(
+            e.eval(&[Value::Str("yes".into())]).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(e.eval(&[Value::Null]).unwrap().is_null());
+    }
+
+    #[test]
+    fn in_list() {
+        let e = Expr::InList {
+            expr: Box::new(Expr::col(0)),
+            list: vec![Value::Int(1), Value::Int(3)],
+            negated: false,
+        };
+        assert_eq!(e.eval(&irow(&[3])).unwrap(), Value::Bool(true));
+        assert_eq!(e.eval(&irow(&[2])).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn extract_year() {
+        let e = Expr::ExtractYear(Box::new(Expr::col(0)));
+        assert_eq!(e.eval(&[date(1995, 6, 1)]).unwrap(), Value::Int(1995));
+        assert!(e.eval(&[Value::Null]).unwrap().is_null());
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let row = vec![Value::Str("a".into()), Value::Int(1)];
+        assert!(Expr::add(Expr::col(0), Expr::col(1)).eval(&row).is_err());
+        assert!(Expr::Not(Box::new(Expr::col(1))).eval(&row).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Query execution (paper §4).
+//!
+//! Eon mode reuses Vertica's optimizer and execution engine; this crate
+//! is our from-scratch equivalent:
+//!
+//! * [`expr`] — scalar expressions (arithmetic, comparisons, boolean
+//!   logic, CASE, LIKE, date extraction);
+//! * [`plan`] — the logical plan language: scans with pushed-down
+//!   predicates and a distribution mode, filter/project/join/
+//!   aggregate/sort/limit;
+//! * [`ops`] — the row-at-a-time operator implementations;
+//! * [`agg`] — aggregation with *mergeable partial states*, the basis of
+//!   distributed group-by;
+//! * [`execute`] — the single-node executor over a [`TableProvider`],
+//!   plus [`execute::auto_distribute`], which splits a logical plan
+//!   into a per-node local phase and a coordinator merge phase;
+//! * [`crunch`] — crunch scaling (§4.4): hash-filter and container-split
+//!   predicates that let several nodes share one shard's scan.
+//!
+//! The coordinator/participant wiring (which nodes run the local phase,
+//! §4.1's max-flow selection) lives in `eon-core`; this crate is
+//! cluster-agnostic.
+
+pub mod agg;
+pub mod crunch;
+pub mod execute;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+
+pub use execute::{auto_distribute, execute, DistributedPlan, MergeStep, TableProvider};
+pub use expr::Expr;
+pub use plan::{AggFunc, AggSpec, Distribution, JoinKind, Plan, ScanSpec, SortKey};

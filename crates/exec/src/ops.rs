@@ -1,0 +1,231 @@
+//! Row-at-a-time operator implementations over materialized batches.
+//!
+//! `Vec<Vec<Value>>` batches keep the executor simple and testable; the
+//! columnar smarts (encodings, pruning) live below the scan, where the
+//! paper puts them.
+
+use std::collections::HashMap;
+
+use eon_types::{Result, Value};
+
+use crate::expr::Expr;
+use crate::plan::{JoinKind, SortKey};
+
+pub type Rows = Vec<Vec<Value>>;
+
+/// Keep rows where `predicate` evaluates to true.
+pub fn filter(rows: Rows, predicate: &Expr) -> Result<Rows> {
+    let mut out = Vec::with_capacity(rows.len() / 2);
+    for row in rows {
+        if predicate.eval_filter(&row)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate `exprs` against each row.
+pub fn project(rows: Rows, exprs: &[Expr]) -> Result<Rows> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut new_row = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            new_row.push(e.eval(&row)?);
+        }
+        out.push(new_row);
+    }
+    Ok(out)
+}
+
+/// Key extractor for hash operations. Rows containing NULL in any key
+/// column get `None` — SQL equi-joins never match on NULL.
+fn join_key(row: &[Value], cols: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(cols.len());
+    for &c in cols {
+        let v = &row[c];
+        if v.is_null() {
+            return None;
+        }
+        key.push(v.clone());
+    }
+    Some(key)
+}
+
+/// Hash join. Builds on the right side, probes with the left.
+pub fn hash_join(
+    left: Rows,
+    right: Rows,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+    right_width: usize,
+) -> Result<Rows> {
+    let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
+    for row in &right {
+        if let Some(k) = join_key(row, right_keys) {
+            table.entry(k).or_default().push(row);
+        }
+    }
+    let mut out = Vec::new();
+    for lrow in &left {
+        let matches = join_key(lrow, left_keys).and_then(|k| table.get(&k));
+        match kind {
+            JoinKind::Inner => {
+                if let Some(ms) = matches {
+                    for r in ms {
+                        let mut row = lrow.clone();
+                        row.extend(r.iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+            JoinKind::Left => match matches {
+                Some(ms) => {
+                    for r in ms {
+                        let mut row = lrow.clone();
+                        row.extend(r.iter().cloned());
+                        out.push(row);
+                    }
+                }
+                None => {
+                    let mut row = lrow.clone();
+                    row.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(row);
+                }
+            },
+            JoinKind::Semi => {
+                if matches.is_some() {
+                    out.push(lrow.clone());
+                }
+            }
+            JoinKind::Anti => {
+                if matches.is_none() {
+                    out.push(lrow.clone());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Stable multi-key sort.
+pub fn sort(mut rows: Rows, keys: &[SortKey]) -> Rows {
+    rows.sort_by(|a, b| {
+        for k in keys {
+            let ord = a[k.col].cmp(&b[k.col]);
+            let ord = if k.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+/// First `n` rows.
+pub fn limit(mut rows: Rows, n: usize) -> Rows {
+    rows.truncate(n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    fn rows(data: &[&[i64]]) -> Rows {
+        data.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn filter_keeps_matches() {
+        let r = filter(
+            rows(&[&[1], &[5], &[10]]),
+            &Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(5i64)),
+        )
+        .unwrap();
+        assert_eq!(r, rows(&[&[5], &[10]]));
+    }
+
+    #[test]
+    fn project_computes() {
+        let r = project(
+            rows(&[&[2, 3]]),
+            &[Expr::mul(Expr::col(0), Expr::col(1)), Expr::col(0)],
+        )
+        .unwrap();
+        assert_eq!(r, rows(&[&[6, 2]]));
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let left = rows(&[&[1, 10], &[2, 20], &[3, 30]]);
+        let right = rows(&[&[1, 100], &[2, 200], &[2, 201]]);
+        let out = hash_join(left, right, &[0], &[0], JoinKind::Inner, 2).unwrap();
+        assert_eq!(out.len(), 3); // key 1 once, key 2 twice
+        assert!(out.contains(&vec![
+            Value::Int(2),
+            Value::Int(20),
+            Value::Int(2),
+            Value::Int(201)
+        ]));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let left = rows(&[&[1], &[9]]);
+        let right = rows(&[&[1, 100]]);
+        let out = hash_join(left, right, &[0], &[0], JoinKind::Left, 2).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1], vec![Value::Int(9), Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let left = rows(&[&[1], &[2], &[3]]);
+        let right = rows(&[&[2, 0], &[2, 1]]);
+        let semi = hash_join(left.clone(), right.clone(), &[0], &[0], JoinKind::Semi, 2).unwrap();
+        assert_eq!(semi, rows(&[&[2]])); // no duplication despite 2 matches
+        let anti = hash_join(left, right, &[0], &[0], JoinKind::Anti, 2).unwrap();
+        assert_eq!(anti, rows(&[&[1], &[3]]));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = vec![vec![Value::Null, Value::Int(1)]];
+        let right = vec![vec![Value::Null, Value::Int(2)]];
+        let out = hash_join(left.clone(), right.clone(), &[0], &[0], JoinKind::Inner, 2).unwrap();
+        assert!(out.is_empty());
+        // In a LEFT join the null-keyed left row survives with padding.
+        let out = hash_join(left, right, &[0], &[0], JoinKind::Left, 2).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0][2].is_null());
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let left = rows(&[&[1, 2, 77]]);
+        let right = rows(&[&[1, 2, 88], &[1, 3, 99]]);
+        let out = hash_join(left, right, &[0, 1], &[0, 1], JoinKind::Inner, 3).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][5], Value::Int(88));
+    }
+
+    #[test]
+    fn sort_multi_key_with_desc() {
+        let out = sort(
+            rows(&[&[1, 5], &[2, 3], &[1, 9]]),
+            &[SortKey::asc(0), SortKey::desc(1)],
+        );
+        assert_eq!(out, rows(&[&[1, 9], &[1, 5], &[2, 3]]));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        assert_eq!(limit(rows(&[&[1], &[2], &[3]]), 2).len(), 2);
+        assert_eq!(limit(rows(&[&[1]]), 5).len(), 1);
+    }
+}

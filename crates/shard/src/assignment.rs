@@ -1,0 +1,313 @@
+//! Participating-subscription selection (paper §4.1, Fig 6).
+//!
+//! For each query session the engine picks, per shard, exactly one
+//! serving node, modelled as a max-flow problem:
+//!
+//! * SOURCE → each shard vertex, capacity 1 (every shard must be
+//!   served);
+//! * shard → node, capacity 1, for each node that can serve the shard
+//!   (its subscription is ACTIVE or REMOVING);
+//! * node → SINK, starting capacity `max(S/N, 1)` — even outflow forces
+//!   a balanced assignment.
+//!
+//! If the max flow is less than the shard count (asymmetric
+//! subscriptions), successive rounds raise node→SINK capacities and
+//! resume, keeping prior flow. Priority tiers (subcluster/rack
+//! affinity, §4.3) add SINK edges tier by tier, so lower-priority nodes
+//! only participate when the preferred set cannot cover all shards.
+//! Edge insertion order is varied by a session seed so repeated queries
+//! spread over the eligible nodes (§4.1's throughput trick).
+
+use std::collections::HashMap;
+
+use eon_types::{EonError, NodeId, Result, ShardId};
+
+use crate::maxflow::MaxFlow;
+
+/// Inputs to participant selection.
+#[derive(Debug, Clone, Default)]
+pub struct AssignmentProblem {
+    pub shards: Vec<ShardId>,
+    /// Nodes grouped into priority tiers, highest priority first. Tier
+    /// 0 might be "nodes in the client's subcluster" (§4.3) or "same
+    /// rack"; later tiers join only if earlier ones cannot cover.
+    pub tiers: Vec<Vec<NodeId>>,
+    /// (node, shard) pairs where the node can serve the shard.
+    pub can_serve: Vec<(NodeId, ShardId)>,
+}
+
+impl AssignmentProblem {
+    /// Single-tier convenience constructor.
+    pub fn flat(
+        shards: Vec<ShardId>,
+        nodes: Vec<NodeId>,
+        can_serve: Vec<(NodeId, ShardId)>,
+    ) -> Self {
+        AssignmentProblem {
+            shards,
+            tiers: vec![nodes],
+            can_serve,
+        }
+    }
+}
+
+/// Deterministic seeded shuffle (Fisher–Yates with a splitmix64 PRNG) —
+/// the "vary the order the graph edges are created" device. Using our
+/// own tiny PRNG keeps the crate dependency-free and runs reproducible.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Select one serving node per shard. Returns
+/// `Err(ClusterDown)` when no assignment covers every shard (some shard
+/// has no eligible subscriber — the cluster-invariant violation of
+/// §3.4).
+pub fn select_participants(
+    problem: &AssignmentProblem,
+    seed: u64,
+) -> Result<HashMap<ShardId, NodeId>> {
+    let s_count = problem.shards.len();
+    if s_count == 0 {
+        return Ok(HashMap::new());
+    }
+    let all_nodes: Vec<NodeId> = problem.tiers.iter().flatten().copied().collect();
+    let n_count = all_nodes.len();
+    if n_count == 0 {
+        return Err(EonError::ClusterDown("no nodes available".into()));
+    }
+
+    // Vertex numbering: 0 = source, 1..=S shards, S+1..=S+N nodes,
+    // S+N+1 = sink.
+    let source = 0usize;
+    let sink = s_count + n_count + 1;
+    let shard_vertex: HashMap<ShardId, usize> = problem
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, 1 + i))
+        .collect();
+    let node_vertex: HashMap<NodeId, usize> = all_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, 1 + s_count + i))
+        .collect();
+
+    let mut g = MaxFlow::new(sink + 1);
+    for &sh in &problem.shards {
+        g.add_edge(source, shard_vertex[&sh], 1);
+    }
+    // Shard→node edges in seed-varied order, so ties in the max flow
+    // break differently per session.
+    let mut serve_edges: Vec<(NodeId, ShardId)> = problem
+        .can_serve
+        .iter()
+        .filter(|(n, s)| node_vertex.contains_key(n) && shard_vertex.contains_key(s))
+        .copied()
+        .collect();
+    shuffle(&mut serve_edges, seed);
+    let mut edge_ids = Vec::with_capacity(serve_edges.len());
+    for &(n, s) in &serve_edges {
+        let e = g.add_edge(shard_vertex[&s], node_vertex[&n], 1);
+        edge_ids.push((e, s, n));
+    }
+
+    // Balanced starting outflow: each node may take max(S/N, 1).
+    let base_cap = ((s_count / n_count).max(1)) as i64;
+    let mut sink_edges: HashMap<NodeId, crate::maxflow::EdgeId> = HashMap::new();
+    let mut total_flow = 0i64;
+
+    for (tier_idx, tier) in problem.tiers.iter().enumerate() {
+        // Add this tier's SINK edges (in seed-varied order).
+        let mut tier_nodes = tier.clone();
+        shuffle(&mut tier_nodes, seed ^ (tier_idx as u64).wrapping_mul(0xabcd));
+        for &n in &tier_nodes {
+            sink_edges
+                .entry(n)
+                .or_insert_with(|| g.add_edge(node_vertex[&n], sink, base_cap));
+        }
+        total_flow += g.run(source, sink);
+        // Successive capacity rounds within the tier set before falling
+        // through to the next (lower-priority) tier.
+        let mut round = 0;
+        while total_flow < s_count as i64 && round < s_count {
+            for e in sink_edges.values() {
+                g.add_capacity(*e, 1);
+            }
+            let inc = g.run(source, sink);
+            if inc == 0 && round > 0 {
+                break; // capacity is not the constraint; need more tiers
+            }
+            total_flow += inc;
+            round += 1;
+        }
+        if total_flow == s_count as i64 {
+            break;
+        }
+    }
+
+    if total_flow < s_count as i64 {
+        return Err(EonError::ClusterDown(format!(
+            "only {total_flow} of {s_count} shards coverable"
+        )));
+    }
+
+    let mut out = HashMap::with_capacity(s_count);
+    for (e, s, n) in edge_ids {
+        if g.flow_on(e) > 0 {
+            out.insert(s, n);
+        }
+    }
+    debug_assert_eq!(out.len(), s_count);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn ids(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn shards(n: u64) -> Vec<ShardId> {
+        (0..n).map(ShardId).collect()
+    }
+
+    fn full_mesh(nodes: &[NodeId], shs: &[ShardId]) -> Vec<(NodeId, ShardId)> {
+        nodes
+            .iter()
+            .flat_map(|&n| shs.iter().map(move |&s| (n, s)))
+            .collect()
+    }
+
+    #[test]
+    fn complete_graph_assigns_every_shard() {
+        let p = AssignmentProblem::flat(shards(4), ids(4), full_mesh(&ids(4), &shards(4)));
+        let a = select_participants(&p, 1).unwrap();
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn balanced_when_nodes_equal_shards() {
+        // base capacity 1 forces a perfect matching: 4 distinct nodes.
+        let p = AssignmentProblem::flat(shards(4), ids(4), full_mesh(&ids(4), &shards(4)));
+        let a = select_participants(&p, 7).unwrap();
+        let distinct: HashSet<NodeId> = a.values().copied().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn more_nodes_than_shards_uses_subset() {
+        let p = AssignmentProblem::flat(shards(3), ids(9), full_mesh(&ids(9), &shards(3)));
+        let a = select_participants(&p, 3).unwrap();
+        assert_eq!(a.len(), 3);
+        let distinct: HashSet<NodeId> = a.values().copied().collect();
+        assert_eq!(distinct.len(), 3, "each shard on its own node");
+    }
+
+    #[test]
+    fn single_node_serving_everything_needs_capacity_rounds() {
+        // The paper's pathological example: only one node serves every
+        // shard — successive rounds must still produce a complete
+        // assignment.
+        let nodes = ids(1);
+        let shs = shards(5);
+        let p = AssignmentProblem::flat(shs.clone(), nodes, full_mesh(&ids(1), &shs));
+        let a = select_participants(&p, 0).unwrap();
+        assert_eq!(a.len(), 5);
+        assert!(a.values().all(|&n| n == NodeId(0)));
+    }
+
+    #[test]
+    fn uncovered_shard_is_cluster_down() {
+        // Shard 2 has no subscriber.
+        let can = vec![
+            (NodeId(0), ShardId(0)),
+            (NodeId(1), ShardId(1)),
+        ];
+        let p = AssignmentProblem::flat(shards(3), ids(2), can);
+        assert!(matches!(
+            select_participants(&p, 0),
+            Err(EonError::ClusterDown(_))
+        ));
+    }
+
+    #[test]
+    fn no_nodes_is_cluster_down() {
+        let p = AssignmentProblem::flat(shards(2), vec![], vec![]);
+        assert!(select_participants(&p, 0).is_err());
+    }
+
+    #[test]
+    fn seed_varies_selection() {
+        // 6 nodes / 3 shards: many valid assignments; different seeds
+        // should not always pick the same nodes (the load-spreading
+        // property). Check that across seeds we see >3 distinct nodes.
+        let p = AssignmentProblem::flat(shards(3), ids(6), full_mesh(&ids(6), &shards(3)));
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        for seed in 0..24 {
+            let a = select_participants(&p, seed).unwrap();
+            seen.extend(a.values().copied());
+        }
+        assert!(seen.len() > 3, "only {} nodes ever selected", seen.len());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = AssignmentProblem::flat(shards(4), ids(6), full_mesh(&ids(6), &shards(4)));
+        let a = select_participants(&p, 99).unwrap();
+        let b = select_participants(&p, 99).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn priority_tier_preferred_when_sufficient() {
+        // Tier 0 = subcluster {0,1}; both can serve everything, so tier
+        // 1 nodes must not appear (§4.3 workload isolation).
+        let shs = shards(2);
+        let all = ids(4);
+        let p = AssignmentProblem {
+            shards: shs.clone(),
+            tiers: vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]],
+            can_serve: full_mesh(&all, &shs),
+        };
+        for seed in 0..8 {
+            let a = select_participants(&p, seed).unwrap();
+            assert!(a.values().all(|n| n.0 < 2), "escaped subcluster: {a:?}");
+        }
+    }
+
+    #[test]
+    fn lower_tier_joins_when_needed() {
+        // Tier-0 node only serves shard 0; shard 1 needs tier 1.
+        let p = AssignmentProblem {
+            shards: shards(2),
+            tiers: vec![vec![NodeId(0)], vec![NodeId(1)]],
+            can_serve: vec![
+                (NodeId(0), ShardId(0)),
+                (NodeId(1), ShardId(0)),
+                (NodeId(1), ShardId(1)),
+            ],
+        };
+        let a = select_participants(&p, 0).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[&ShardId(1)], NodeId(1));
+    }
+
+    #[test]
+    fn empty_shards_trivially_ok() {
+        let p = AssignmentProblem::flat(vec![], ids(2), vec![]);
+        assert!(select_participants(&p, 0).unwrap().is_empty());
+    }
+}

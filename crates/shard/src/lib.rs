@@ -1,0 +1,26 @@
+//! Sharding machinery (paper §3, §4.1):
+//!
+//! * [`maxflow`] — a Dinic max-flow solver with incrementally adjustable
+//!   capacities, the engine behind participating-subscription selection.
+//! * [`assignment`] — the Fig 6 graph construction: source → shard →
+//!   node → sink, successive capacity rounds, priority tiers, and
+//!   edge-order variation for load spreading.
+//! * [`subscription`] — the Fig 4 subscription state machine and its
+//!   legality rules (e.g. a subscription cannot drop until the shard
+//!   stays fault tolerant).
+//! * [`rebalance`] — computing the target node↔shard subscription map
+//!   for a cluster (K-safety, subcluster coverage).
+//! * [`truncation`] — the Fig 5 consensus truncation version: per-shard
+//!   max over subscribers' sync intervals, min across shards.
+
+pub mod assignment;
+pub mod maxflow;
+pub mod rebalance;
+pub mod subscription;
+pub mod truncation;
+
+pub use assignment::{select_participants, AssignmentProblem};
+pub use maxflow::MaxFlow;
+pub use rebalance::rebalance_plan;
+pub use subscription::{can_drop_subscription, can_transition};
+pub use truncation::consensus_truncation;

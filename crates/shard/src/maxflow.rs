@@ -1,0 +1,214 @@
+//! Dinic max-flow over small graphs, with capacities that can be raised
+//! between runs.
+//!
+//! The participating-subscription algorithm (§4.1) "runs successive
+//! rounds of max flow, leaving the existing flow intact while
+//! incrementally increasing the capacity of the node-to-SINK edges", so
+//! the solver must support (a) querying flow on specific edges and
+//! (b) adding capacity to an edge and resuming augmentation without
+//! recomputing from scratch. Graphs here are tiny (nodes + shards +
+//! 2 vertices), so Dinic is far more than fast enough.
+
+use std::collections::VecDeque;
+
+/// An edge handle returned by [`MaxFlow::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    flow: i64,
+}
+
+/// Incremental Dinic max-flow.
+pub struct MaxFlow {
+    /// Forward/backward edges interleaved: edge `2k` is forward,
+    /// `2k + 1` is its residual twin.
+    edges: Vec<Edge>,
+    adj: Vec<Vec<usize>>,
+    level: Vec<i32>,
+    it: Vec<usize>,
+}
+
+impl MaxFlow {
+    pub fn new(num_vertices: usize) -> Self {
+        MaxFlow {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); num_vertices],
+            level: vec![-1; num_vertices],
+            it: vec![0; num_vertices],
+        }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge with the given capacity.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> EdgeId {
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap, flow: 0 });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            flow: 0,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        EdgeId(id)
+    }
+
+    /// Raise the capacity of an existing edge (never lowers).
+    pub fn add_capacity(&mut self, e: EdgeId, extra: i64) {
+        assert!(extra >= 0);
+        self.edges[e.0].cap += extra;
+    }
+
+    /// Current flow across an edge.
+    pub fn flow_on(&self, e: EdgeId) -> i64 {
+        self.edges[e.0].flow
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut q = VecDeque::new();
+        self.level[s] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid];
+                if e.cap - e.flow > 0 && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[u] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, pushed: i64) -> i64 {
+        if u == t {
+            return pushed;
+        }
+        while self.it[u] < self.adj[u].len() {
+            let eid = self.adj[u][self.it[u]];
+            let (to, residual) = {
+                let e = &self.edges[eid];
+                (e.to, e.cap - e.flow)
+            };
+            if residual > 0 && self.level[to] == self.level[u] + 1 {
+                let d = self.dfs(to, t, pushed.min(residual));
+                if d > 0 {
+                    self.edges[eid].flow += d;
+                    self.edges[eid ^ 1].flow -= d;
+                    return d;
+                }
+            }
+            self.it[u] += 1;
+        }
+        0
+    }
+
+    /// Push as much additional flow from `s` to `t` as the residual
+    /// graph allows; returns the *increment*. Existing flow is kept, so
+    /// calling again after `add_capacity` implements the paper's
+    /// successive-rounds scheme.
+    pub fn run(&mut self, s: usize, t: usize) -> i64 {
+        let mut total = 0;
+        while self.bfs(s, t) {
+            self.it.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, i64::MAX);
+                if f == 0 {
+                    break;
+                }
+                total += f;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        let mut g = MaxFlow::new(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 2, 3);
+        assert_eq!(g.run(0, 2), 3);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s -> a, b -> t with a cross edge.
+        let mut g = MaxFlow::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(1, 2, 2);
+        assert_eq!(g.run(0, 3), 5);
+    }
+
+    #[test]
+    fn flow_on_edges_is_consistent() {
+        let mut g = MaxFlow::new(4);
+        let e1 = g.add_edge(0, 1, 10);
+        let e2 = g.add_edge(1, 2, 4);
+        let e3 = g.add_edge(2, 3, 10);
+        assert_eq!(g.run(0, 3), 4);
+        assert_eq!(g.flow_on(e1), 4);
+        assert_eq!(g.flow_on(e2), 4);
+        assert_eq!(g.flow_on(e3), 4);
+    }
+
+    #[test]
+    fn incremental_capacity_rounds() {
+        // Bottleneck at the sink edge; raising it admits more flow
+        // while keeping prior flow intact — the §4.1 pattern.
+        let mut g = MaxFlow::new(4);
+        g.add_edge(0, 1, 2);
+        g.add_edge(0, 2, 2);
+        let s1 = g.add_edge(1, 3, 1);
+        let s2 = g.add_edge(2, 3, 1);
+        assert_eq!(g.run(0, 3), 2);
+        g.add_capacity(s1, 1);
+        g.add_capacity(s2, 1);
+        assert_eq!(g.run(0, 3), 2); // increment only
+        assert_eq!(g.flow_on(s1), 2);
+        assert_eq!(g.flow_on(s2), 2);
+    }
+
+    #[test]
+    fn disconnected_has_zero_flow() {
+        let mut g = MaxFlow::new(4);
+        g.add_edge(0, 1, 5);
+        g.add_edge(2, 3, 5);
+        assert_eq!(g.run(0, 3), 0);
+    }
+
+    #[test]
+    fn bipartite_matching_shape() {
+        // 3 shards, 3 nodes, complete bipartite: perfect matching.
+        let s = 0usize;
+        let t = 7usize;
+        let mut g = MaxFlow::new(8);
+        for shard in 1..=3 {
+            g.add_edge(s, shard, 1);
+        }
+        for node in 4..=6 {
+            g.add_edge(node, t, 1);
+        }
+        for shard in 1..=3 {
+            for node in 4..=6 {
+                g.add_edge(shard, node, 1);
+            }
+        }
+        assert_eq!(g.run(s, t), 3);
+    }
+}

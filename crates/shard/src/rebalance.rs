@@ -1,0 +1,269 @@
+//! Subscription rebalance (paper §3.1, §6.4): compute the target
+//! node↔shard subscription map for the current node set and emit the
+//! catalog ops that move the cluster toward it.
+//!
+//! Layout policy: nodes are arranged in a logical ring; node `i`
+//! subscribes to shards `i, i+1, …, i+k-1 (mod S)` scaled to the node
+//! count. This is the Eon analog of Enterprise's rotated buddy
+//! projections — adjacent nodes back each other up — and guarantees
+//! every shard has `min(k_safety+1, N)` subscribers with balanced
+//! per-node load.
+
+use eon_catalog::{CatalogOp, CatalogState, SubState, Subscription};
+use eon_types::{NodeId, ShardId};
+
+/// Desired subscriber multiplicity per shard given `k_safety` (number
+/// of tolerated node failures).
+pub fn replication_factor(k_safety: usize, node_count: usize) -> usize {
+    (k_safety + 1).min(node_count.max(1))
+}
+
+/// The target map: for each shard, which nodes should subscribe.
+///
+/// Two properties must hold simultaneously:
+///
+/// 1. every shard has at least `k_safety + 1` subscribers (fault
+///    tolerance, §3.1);
+/// 2. **every node subscribes to at least one shard** — Elastic
+///    Throughput Scaling (§4.2) only works if added nodes can serve
+///    queries, so when nodes outnumber shards the subscriber
+///    multiplicity per shard grows with the cluster.
+///
+/// Layout: node `j` takes shards `j, j+1, … (mod S)` — a rotated ring,
+/// walked from the node side so big clusters spread instead of leaving
+/// high-numbered nodes idle; shards short of `k_safety + 1` top up from
+/// the ring.
+pub fn target_subscribers(
+    shards: &[ShardId],
+    nodes: &[NodeId],
+    k_safety: usize,
+) -> Vec<(ShardId, Vec<NodeId>)> {
+    let n = nodes.len();
+    let s_count = shards.len();
+    if n == 0 || s_count == 0 {
+        return shards.iter().map(|&s| (s, Vec::new())).collect();
+    }
+    let rf = replication_factor(k_safety, n);
+    let per_node = (s_count * rf).div_ceil(n).clamp(1, s_count);
+    let mut sorted_nodes = nodes.to_vec();
+    sorted_nodes.sort();
+
+    let mut subs: Vec<Vec<NodeId>> = vec![Vec::new(); s_count];
+    for (j, &node) in sorted_nodes.iter().enumerate() {
+        for r in 0..per_node {
+            let sh = (j + r) % s_count;
+            if !subs[sh].contains(&node) {
+                subs[sh].push(node);
+            }
+        }
+    }
+    // Top up shards still short of the replication factor.
+    for (i, shard_subs) in subs.iter_mut().enumerate() {
+        let mut j = i;
+        while shard_subs.len() < rf {
+            let cand = sorted_nodes[j % n];
+            if !shard_subs.contains(&cand) {
+                shard_subs.push(cand);
+            }
+            j += 1;
+        }
+    }
+    shards.iter().copied().zip(subs).collect()
+}
+
+/// Compute the ops that move the current subscription state toward the
+/// target: create missing subscriptions as PENDING, mark extra ACTIVE
+/// subscriptions REMOVING (only when the shard stays fault tolerant),
+/// and drop REMOVING subscriptions that are now safe to drop.
+pub fn rebalance_plan(
+    state: &CatalogState,
+    nodes: &[NodeId],
+    k_safety: usize,
+) -> Vec<CatalogOp> {
+    let shards: Vec<ShardId> = state.shards.iter().map(|s| s.id).collect();
+    if nodes.is_empty() || shards.is_empty() {
+        return Vec::new();
+    }
+    let mut ops = Vec::new();
+    for (shard, want) in target_subscribers(&shards, nodes, k_safety) {
+        let have_active = state.subscribers_in(shard, SubState::Active);
+        for &n in &want {
+            if !state.subscriptions.contains_key(&(n, shard)) {
+                ops.push(CatalogOp::UpsertSubscription(Subscription {
+                    node: n,
+                    shard,
+                    state: SubState::Pending,
+                }));
+            }
+        }
+        // Surplus ACTIVE subscribers move to REMOVING, provided enough
+        // wanted subscribers are already ACTIVE to keep fault tolerance.
+        let wanted_active = have_active.iter().filter(|n| want.contains(n)).count();
+        if wanted_active >= replication_factor(k_safety, nodes.len()) {
+            for &n in &have_active {
+                if !want.contains(&n) {
+                    ops.push(CatalogOp::UpsertSubscription(Subscription {
+                        node: n,
+                        shard,
+                        state: SubState::Removing,
+                    }));
+                }
+            }
+        }
+        // REMOVING subscriptions whose shard is now safe can drop
+        // (§3.3's final step: drop metadata, purge cache, drop sub).
+        for s in state.subscriptions.values() {
+            if s.shard == shard
+                && s.state == SubState::Removing
+                && crate::subscription::can_drop_subscription(state, s.node, shard, k_safety)
+            {
+                ops.push(CatalogOp::RemoveSubscription {
+                    node: s.node,
+                    shard,
+                });
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eon_catalog::{ShardDef, ShardKind};
+    use eon_types::{HashRange, TxnVersion};
+
+    fn nodes(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn shard_ids(n: u64) -> Vec<ShardId> {
+        (0..n).map(ShardId).collect()
+    }
+
+    fn state_with_shards(n: usize) -> CatalogState {
+        let mut st = CatalogState::default();
+        let defs: Vec<ShardDef> = HashRange::split_even(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, range)| ShardDef {
+                id: ShardId(i as u64),
+                kind: ShardKind::Segment,
+                range,
+            })
+            .collect();
+        st.apply(&CatalogOp::DefineShards(defs), TxnVersion(1)).unwrap();
+        st
+    }
+
+    #[test]
+    fn every_shard_gets_k_plus_one_subscribers() {
+        let t = target_subscribers(&shard_ids(4), &nodes(4), 1);
+        for (_, subs) in &t {
+            assert_eq!(subs.len(), 2);
+        }
+        // Balanced: each node appears exactly twice (4 shards * 2 / 4).
+        let mut counts = std::collections::HashMap::new();
+        for (_, subs) in &t {
+            for n in subs {
+                *counts.entry(*n).or_insert(0) += 1;
+            }
+        }
+        assert!(counts.values().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn ring_rotation_makes_neighbors_buddies() {
+        // Node j covers shards {j, j+1}; shard i is covered by nodes
+        // {i, i-1} — adjacent ring positions back each other up.
+        let t = target_subscribers(&shard_ids(4), &nodes(4), 1);
+        for (i, (_, subs)) in t.iter().enumerate() {
+            let expect_a = NodeId(i as u64);
+            let expect_b = NodeId(((i + 4 - 1) % 4) as u64);
+            assert!(subs.contains(&expect_a) && subs.contains(&expect_b), "{i}: {subs:?}");
+        }
+    }
+
+    #[test]
+    fn every_node_subscribes_when_nodes_outnumber_shards() {
+        // The ETS prerequisite (§4.2): 9 nodes, 3 shards — all 9 must
+        // hold a subscription or added nodes can never serve queries.
+        let t = target_subscribers(&shard_ids(3), &nodes(9), 1);
+        let mut subscribed: Vec<NodeId> = t.iter().flat_map(|(_, s)| s.clone()).collect();
+        subscribed.sort();
+        subscribed.dedup();
+        assert_eq!(subscribed.len(), 9, "{t:?}");
+        // And shards stay fault tolerant.
+        for (_, subs) in &t {
+            assert!(subs.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn replication_caps_at_node_count() {
+        let t = target_subscribers(&shard_ids(3), &nodes(2), 4);
+        for (_, subs) in &t {
+            assert_eq!(subs.len(), 2);
+        }
+        assert_eq!(replication_factor(0, 5), 1);
+        assert_eq!(replication_factor(1, 1), 1);
+    }
+
+    #[test]
+    fn plan_creates_pending_subscriptions_for_fresh_cluster() {
+        let st = state_with_shards(3);
+        let ops = rebalance_plan(&st, &nodes(3), 1);
+        let pendings = ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    CatalogOp::UpsertSubscription(Subscription {
+                        state: SubState::Pending,
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(pendings, 6); // 3 shards * rf 2
+    }
+
+    #[test]
+    fn plan_is_idempotent_once_converged() {
+        let mut st = state_with_shards(3);
+        // Apply the fresh plan, promote everything to ACTIVE.
+        for op in rebalance_plan(&st, &nodes(3), 1) {
+            st.apply(&op, TxnVersion(2)).unwrap();
+        }
+        let subs: Vec<Subscription> = st.subscriptions.values().cloned().collect();
+        for mut s in subs {
+            s.state = SubState::Active;
+            st.apply(&CatalogOp::UpsertSubscription(s), TxnVersion(3)).unwrap();
+        }
+        assert!(rebalance_plan(&st, &nodes(3), 1).is_empty());
+    }
+
+    #[test]
+    fn node_removal_marks_removing_only_when_safe() {
+        let mut st = state_with_shards(2);
+        // 3 nodes fully active on the ring layout for 3 nodes.
+        for op in rebalance_plan(&st, &nodes(3), 1) {
+            st.apply(&op, TxnVersion(2)).unwrap();
+        }
+        let subs: Vec<Subscription> = st.subscriptions.values().cloned().collect();
+        for mut s in subs {
+            s.state = SubState::Active;
+            st.apply(&CatalogOp::UpsertSubscription(s), TxnVersion(3)).unwrap();
+        }
+        // Shrink to 2 nodes: plan may add pendings for the new layout
+        // and REMOVING for node 2's surplus subs where safe.
+        let ops = rebalance_plan(&st, &nodes(2), 1);
+        for op in &ops {
+            if let CatalogOp::UpsertSubscription(s) = op {
+                if s.state == SubState::Removing {
+                    assert_eq!(s.node, NodeId(2));
+                }
+            }
+        }
+    }
+}

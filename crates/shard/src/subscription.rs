@@ -1,0 +1,119 @@
+//! Subscription state-machine rules (paper §3.3, Fig 4).
+//!
+//! Transitions: `(none) → PENDING → PASSIVE → ACTIVE → REMOVING →
+//! (dropped)`, plus the recovery path `ACTIVE → PENDING` when a downed
+//! node rejoins. Dropping is gated on the shard remaining fault
+//! tolerant without the leaving subscriber.
+
+use eon_catalog::{CatalogState, SubState};
+use eon_types::{NodeId, ShardId};
+
+/// Is `from → to` a legal state transition?
+pub fn can_transition(from: Option<SubState>, to: SubState) -> bool {
+    use SubState::*;
+    match (from, to) {
+        // Creation.
+        (None, Pending) => true,
+        // Metadata transfer finished under the commit lock.
+        (Some(Pending), Passive) => true,
+        // Cache warm finished, or subscriber skipped warming.
+        (Some(Passive), Active) => true,
+        // Declare intent to drop.
+        (Some(Active), Removing) => true,
+        // Node recovery forces a re-subscription (§3.3: "transitions all
+        // of the ACTIVE subscriptions for the recovering node to
+        // PENDING").
+        (Some(Active), Pending) => true,
+        // A draining subscription can be reinstated.
+        (Some(Removing), Active) => true,
+        _ => false,
+    }
+}
+
+/// May `node` drop its subscription to `shard` right now? Only when
+/// enough *other* ACTIVE subscribers exist to keep the shard fault
+/// tolerant (§3.3), i.e. at least `k_safety` of them.
+pub fn can_drop_subscription(
+    state: &CatalogState,
+    node: NodeId,
+    shard: ShardId,
+    k_safety: usize,
+) -> bool {
+    let others = state
+        .subscribers_in(shard, SubState::Active)
+        .into_iter()
+        .filter(|&n| n != node)
+        .count();
+    others >= k_safety.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eon_catalog::{CatalogOp, Subscription};
+    use eon_types::TxnVersion;
+
+    #[test]
+    fn legal_lifecycle() {
+        use SubState::*;
+        assert!(can_transition(None, Pending));
+        assert!(can_transition(Some(Pending), Passive));
+        assert!(can_transition(Some(Passive), Active));
+        assert!(can_transition(Some(Active), Removing));
+        assert!(can_transition(Some(Active), Pending)); // recovery
+        assert!(can_transition(Some(Removing), Active)); // reinstate
+    }
+
+    #[test]
+    fn illegal_shortcuts_rejected() {
+        use SubState::*;
+        assert!(!can_transition(None, Active));
+        assert!(!can_transition(None, Passive));
+        assert!(!can_transition(Some(Pending), Active));
+        assert!(!can_transition(Some(Passive), Removing));
+        assert!(!can_transition(Some(Removing), Pending));
+    }
+
+    fn state_with_subs(subs: &[(u64, u64, SubState)]) -> CatalogState {
+        let mut st = CatalogState::default();
+        for &(n, s, sub) in subs {
+            st.apply(
+                &CatalogOp::UpsertSubscription(Subscription {
+                    node: NodeId(n),
+                    shard: ShardId(s),
+                    state: sub,
+                }),
+                TxnVersion(1),
+            )
+            .unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn drop_blocked_when_last_subscriber() {
+        let st = state_with_subs(&[(1, 0, SubState::Active)]);
+        assert!(!can_drop_subscription(&st, NodeId(1), ShardId(0), 1));
+    }
+
+    #[test]
+    fn drop_allowed_with_enough_peers() {
+        let st = state_with_subs(&[
+            (1, 0, SubState::Active),
+            (2, 0, SubState::Active),
+            (3, 0, SubState::Active),
+        ]);
+        assert!(can_drop_subscription(&st, NodeId(1), ShardId(0), 2));
+        // k_safety 3 needs three *other* active subscribers
+        assert!(!can_drop_subscription(&st, NodeId(1), ShardId(0), 3));
+    }
+
+    #[test]
+    fn passive_peers_do_not_count() {
+        let st = state_with_subs(&[
+            (1, 0, SubState::Active),
+            (2, 0, SubState::Passive),
+        ]);
+        assert!(!can_drop_subscription(&st, NodeId(1), ShardId(0), 1));
+    }
+}

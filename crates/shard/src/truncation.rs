@@ -1,0 +1,122 @@
+//! Consensus truncation version (paper §3.5, Fig 5).
+//!
+//! Each node maintains a *sync interval* — the version range it could
+//! revive to from its uploads. The elected leader computes, per shard,
+//! the best version any subscriber has durably uploaded (max over
+//! subscribers), then takes the minimum across shards: the highest
+//! version consistent with respect to *every* shard. Fig 5's example:
+//! shards see 5, 7, 5, 7 → consensus 5.
+
+use std::collections::HashMap;
+
+use eon_catalog::SyncInterval;
+use eon_types::{NodeId, ShardId, TxnVersion};
+
+/// Compute the consensus truncation version.
+///
+/// `subscribers` maps each shard to the nodes whose catalogs carry it
+/// (ACTIVE subscribers); `intervals` maps each node to its sync
+/// interval. Returns `None` when some shard has no subscriber with any
+/// uploaded metadata — no consistent revive point exists.
+pub fn consensus_truncation(
+    subscribers: &HashMap<ShardId, Vec<NodeId>>,
+    intervals: &HashMap<NodeId, SyncInterval>,
+) -> Option<TxnVersion> {
+    let mut consensus: Option<TxnVersion> = None;
+    for (shard, nodes) in subscribers {
+        // Upper bound of the shard: the best any subscriber can offer.
+        let best = nodes
+            .iter()
+            .filter_map(|n| intervals.get(n))
+            .map(|si| si.hi)
+            .max()?;
+        let _ = shard;
+        consensus = Some(match consensus {
+            None => best,
+            Some(c) => c.min(best),
+        });
+    }
+    consensus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn si(hi: u64) -> SyncInterval {
+        SyncInterval {
+            lo: TxnVersion(0),
+            hi: TxnVersion(hi),
+        }
+    }
+
+    fn subs(pairs: &[(u64, &[u64])]) -> HashMap<ShardId, Vec<NodeId>> {
+        pairs
+            .iter()
+            .map(|(s, ns)| (ShardId(*s), ns.iter().map(|&n| NodeId(n)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn fig5_example() {
+        // 4 nodes, 4 shards. Node upload versions: n1=5, n2=7, n3=5,
+        // n4=7 with Fig 5's ring subscriptions; shard maxima 7,7,5,7 →
+        // consensus 5.
+        let subscribers = subs(&[
+            (0, &[1, 2]),
+            (1, &[2, 3]),
+            (2, &[3, 4]),
+            (3, &[4, 1]),
+        ]);
+        let intervals: HashMap<NodeId, SyncInterval> = [
+            (NodeId(1), si(5)),
+            (NodeId(2), si(7)),
+            (NodeId(3), si(4)),
+            (NodeId(4), si(5)),
+        ]
+        .into();
+        // shard0: max(5,7)=7; shard1: max(7,4)=7; shard2: max(4,5)=5;
+        // shard3: max(5,5)=5 → min = 5.
+        assert_eq!(
+            consensus_truncation(&subscribers, &intervals),
+            Some(TxnVersion(5))
+        );
+    }
+
+    #[test]
+    fn uniform_uploads_give_that_version() {
+        let subscribers = subs(&[(0, &[1]), (1, &[2])]);
+        let intervals = [(NodeId(1), si(9)), (NodeId(2), si(9))].into();
+        assert_eq!(
+            consensus_truncation(&subscribers, &intervals),
+            Some(TxnVersion(9))
+        );
+    }
+
+    #[test]
+    fn missing_node_interval_fails_shard() {
+        let subscribers = subs(&[(0, &[1]), (1, &[2])]);
+        let intervals = [(NodeId(1), si(9))].into();
+        assert_eq!(consensus_truncation(&subscribers, &intervals), None);
+    }
+
+    #[test]
+    fn lagging_node_does_not_hold_back_covered_shard() {
+        // Shard 0 has a fast and a slow subscriber: the fast one's
+        // upload defines the shard's bound (uploads increase the upper
+        // bound, per §3.5).
+        let subscribers = subs(&[(0, &[1, 2])]);
+        let intervals = [(NodeId(1), si(2)), (NodeId(2), si(10))].into();
+        assert_eq!(
+            consensus_truncation(&subscribers, &intervals),
+            Some(TxnVersion(10))
+        );
+    }
+
+    #[test]
+    fn empty_subscribers_map_is_none() {
+        let subscribers = HashMap::new();
+        let intervals = HashMap::new();
+        assert_eq!(consensus_truncation(&subscribers, &intervals), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! The SQL AST: deliberately close to the SELECT grammar, with name
+//! resolution deferred to the planner.
+
+use eon_types::Value;
+
+/// A (possibly qualified) column reference: `c` or `t.c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+/// Scalar expression before name resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Col(ColRef),
+    Lit(Value),
+    Binary {
+        op: BinOp,
+        l: Box<SqlExpr>,
+        r: Box<SqlExpr>,
+    },
+    And(Vec<SqlExpr>),
+    Or(Vec<SqlExpr>),
+    Not(Box<SqlExpr>),
+    IsNull {
+        expr: Box<SqlExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<SqlExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    InList {
+        expr: Box<SqlExpr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<SqlExpr>,
+        lo: Box<SqlExpr>,
+        hi: Box<SqlExpr>,
+    },
+    /// Aggregate call — only legal in the SELECT list / HAVING.
+    Agg {
+        func: AggCall,
+        arg: Option<Box<SqlExpr>>,
+        distinct: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggCall {
+    Sum,
+    Count,
+    Avg,
+    Min,
+    Max,
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: SqlExpr,
+    pub alias: Option<String>,
+}
+
+/// `FROM t [AS] a` with zero or more joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    Left,
+}
+
+/// `JOIN t ON a.x = b.y [AND a.p = b.q …]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub kind: JoinType,
+    pub table: TableRef,
+    /// Equality pairs from the ON clause.
+    pub on: Vec<(ColRef, ColRef)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Column name, alias, or 1-based SELECT position.
+    pub key: OrderKey,
+    pub desc: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    Name(ColRef),
+    Position(usize),
+}
+
+/// A full SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<Join>,
+    pub where_: Option<SqlExpr>,
+    pub group_by: Vec<ColRef>,
+    pub having: Option<SqlExpr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+}

@@ -1,0 +1,217 @@
+//! SQL tokenizer: case-insensitive keywords, single-quoted strings
+//! (with `''` escaping), integer/float literals, identifiers with
+//! optional `table.column` qualification handled at the parser level.
+
+use eon_types::{EonError, Result};
+
+/// One token with its uppercase form cached for keyword matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original case preserved).
+    Word(String),
+    /// 'string literal' (unescaped).
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Symbol(Sym),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Token {
+    /// Uppercased view for keyword comparison; empty for non-words.
+    pub fn upper(&self) -> String {
+        match self {
+            Token::Word(w) => w.to_ascii_uppercase(),
+            _ => String::new(),
+        }
+    }
+
+    pub fn is_kw(&self, kw: &str) -> bool {
+        self.upper() == kw
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // -- line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(EonError::Query("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    if bytes[i] == b'.' {
+                        // `1.` followed by non-digit is "1" then Dot.
+                        if i + 1 >= bytes.len() || !(bytes[i + 1] as char).is_ascii_digit() {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        EonError::Query(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        EonError::Query(format!("bad int literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(sql[start..i].to_owned()));
+            }
+            _ => {
+                let (sym, len) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                    (',', _) => (Sym::Comma, 1),
+                    ('.', _) => (Sym::Dot, 1),
+                    ('*', _) => (Sym::Star, 1),
+                    ('(', _) => (Sym::LParen, 1),
+                    (')', _) => (Sym::RParen, 1),
+                    ('+', _) => (Sym::Plus, 1),
+                    ('-', _) => (Sym::Minus, 1),
+                    ('/', _) => (Sym::Slash, 1),
+                    ('<', Some('=')) => (Sym::Le, 2),
+                    ('<', Some('>')) => (Sym::Ne, 2),
+                    ('<', _) => (Sym::Lt, 1),
+                    ('>', Some('=')) => (Sym::Ge, 2),
+                    ('>', _) => (Sym::Gt, 1),
+                    ('!', Some('=')) => (Sym::Ne, 2),
+                    ('=', _) => (Sym::Eq, 1),
+                    _ => {
+                        return Err(EonError::Query(format!(
+                            "unexpected character {c:?} at byte {i}"
+                        )))
+                    }
+                };
+                out.push(Token::Symbol(sym));
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_numbers_strings() {
+        let t = tokenize("SELECT a, 42, 2.5, 'it''s' FROM t").unwrap();
+        assert_eq!(t[0], Token::Word("SELECT".into()));
+        assert_eq!(t[2], Token::Symbol(Sym::Comma));
+        assert_eq!(t[3], Token::Int(42));
+        assert_eq!(t[5], Token::Float(2.5));
+        assert_eq!(t[7], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("a <= b != c >= d <> e").unwrap();
+        let syms: Vec<&Token> = t.iter().filter(|t| matches!(t, Token::Symbol(_))).collect();
+        assert_eq!(
+            syms,
+            vec![
+                &Token::Symbol(Sym::Le),
+                &Token::Symbol(Sym::Ne),
+                &Token::Symbol(Sym::Ge),
+                &Token::Symbol(Sym::Ne),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT -- the works\n 1").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], Token::Int(1));
+    }
+
+    #[test]
+    fn keyword_matching_is_case_insensitive() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].is_kw("SELECT"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(tokenize("SELECT 'oops").is_err());
+        assert!(tokenize("a ; b").is_err()); // ; unsupported
+    }
+
+    #[test]
+    fn dotted_numbers_vs_qualified_names() {
+        let t = tokenize("t.c 1.5 2.x").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("t".into()),
+                Token::Symbol(Sym::Dot),
+                Token::Word("c".into()),
+                Token::Float(1.5),
+                Token::Int(2),
+                Token::Symbol(Sym::Dot),
+                Token::Word("x".into()),
+            ]
+        );
+    }
+}

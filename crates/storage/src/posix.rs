@@ -1,0 +1,215 @@
+//! POSIX filesystem backend, rooted at a directory.
+//!
+//! Used for node-local storage: the cache directory in Eon mode and the
+//! data directories of the Enterprise baseline. Keys map to files below
+//! the root; key separators become directories. Unlike the S3 simulator,
+//! `read_range` is a positioned read — local disk supports it natively,
+//! which is exactly why the cache exists (§5.2).
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use eon_types::{EonError, Result};
+
+use crate::fs::{FileSystem, FsStats};
+
+/// Directory-rooted local filesystem.
+pub struct PosixFs {
+    root: PathBuf,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    lists: AtomicU64,
+    deletes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl PosixFs {
+    /// Open (creating if needed) a filesystem rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(PosixFs {
+            root,
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            lists: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, key: &str) -> Result<PathBuf> {
+        // Reject path escapes; keys are storage identifiers, not user
+        // input, but defense in depth costs little.
+        if key.split('/').any(|c| c == "..") || key.starts_with('/') {
+            return Err(EonError::Storage(format!("invalid key: {key}")));
+        }
+        Ok(self.root.join(key))
+    }
+}
+
+impl FileSystem for PosixFs {
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        let full = self.resolve(path)?;
+        if let Some(parent) = full.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename gives atomic replace on POSIX. The UDFS API
+        // itself has no rename — this is an implementation detail local
+        // filesystems are allowed (§5.3).
+        let tmp = full.with_extension("tmp-write");
+        fs::write(&tmp, &data)?;
+        fs::rename(&tmp, &full)?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        let full = self.resolve(path)?;
+        let data = fs::read(&full)?;
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(Bytes::from(data))
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let full = self.resolve(path)?;
+        let mut f = fs::File::open(&full)?;
+        let size = f.metadata()?.len();
+        let start = offset.min(size);
+        let end = (offset + len).min(size);
+        f.seek(SeekFrom::Start(start))?;
+        let mut buf = vec![0u8; (end - start) as usize];
+        f.read_exact(&mut buf)?;
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(Bytes::from(buf))
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        let full = self.resolve(path)?;
+        self.lists.fetch_add(1, Ordering::Relaxed);
+        Ok(fs::metadata(&full)?.len())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.lists.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(_) => continue,
+            };
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if let Ok(rel) = p.strip_prefix(&self.root) {
+                    let key = rel.to_string_lossy().replace('\\', "/");
+                    if key.starts_with(prefix) && !key.ends_with(".tmp-write") {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let full = self.resolve(path)?;
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        match fs::remove_file(&full) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn stats(&self) -> FsStats {
+        FsStats {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            lists: self.lists.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            cost_nanodollars: 0,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "posix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("eon-posix-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_and_nesting() {
+        let fs = PosixFs::new(tmpdir("rt")).unwrap();
+        fs.write("a/b/c.bin", Bytes::from_static(b"payload")).unwrap();
+        assert_eq!(fs.read("a/b/c.bin").unwrap().as_ref(), b"payload");
+        assert_eq!(fs.size("a/b/c.bin").unwrap(), 7);
+    }
+
+    #[test]
+    fn positioned_read() {
+        let fs = PosixFs::new(tmpdir("range")).unwrap();
+        fs.write("k", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(fs.read_range("k", 3, 4).unwrap().as_ref(), b"3456");
+        assert_eq!(fs.read_range("k", 8, 10).unwrap().as_ref(), b"89");
+    }
+
+    #[test]
+    fn list_recurses_and_sorts() {
+        let fs = PosixFs::new(tmpdir("list")).unwrap();
+        for k in ["d/2", "d/1", "e/x/y", "top"] {
+            fs.write(k, Bytes::new()).unwrap();
+        }
+        assert_eq!(fs.list("d/").unwrap(), vec!["d/1", "d/2"]);
+        assert_eq!(fs.list("").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn delete_missing_ok() {
+        let fs = PosixFs::new(tmpdir("del")).unwrap();
+        fs.delete("never-existed").unwrap();
+    }
+
+    #[test]
+    fn rejects_escaping_keys() {
+        let fs = PosixFs::new(tmpdir("esc")).unwrap();
+        assert!(fs.write("../evil", Bytes::new()).is_err());
+        assert!(fs.read("/etc/passwd").is_err());
+    }
+
+    #[test]
+    fn overwrite_is_atomic_replace() {
+        let fs = PosixFs::new(tmpdir("ow")).unwrap();
+        fs.write("k", Bytes::from_static(b"old")).unwrap();
+        fs.write("k", Bytes::from_static(b"new!")).unwrap();
+        assert_eq!(fs.read("k").unwrap().as_ref(), b"new!");
+        // temp file must not linger or show up in listings
+        assert_eq!(fs.list("").unwrap(), vec!["k"]);
+    }
+}

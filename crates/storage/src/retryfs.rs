@@ -1,0 +1,132 @@
+//! A [`FileSystem`] decorator applying the §5.3 retry loop to every
+//! operation. `EonDb` wraps its shared storage in this once, so all
+//! downstream access — caches' backing reads, catalog uploads,
+//! `cluster_info.json`, the leak scan — survives transient failures
+//! and throttles uniformly.
+//!
+//! Whole-object writes and deletes are idempotent on an object store,
+//! so retrying them blindly is safe; that is precisely why the UDFS
+//! API has no append or rename (§5.3).
+
+use bytes::Bytes;
+use eon_types::Result;
+
+use crate::fs::{FileSystem, FsStats, SharedFs};
+use crate::retry::{with_retry, RetryPolicy};
+
+/// Retrying wrapper over any filesystem.
+pub struct RetryFs {
+    inner: SharedFs,
+    policy: RetryPolicy,
+}
+
+impl RetryFs {
+    pub fn new(inner: SharedFs) -> Self {
+        RetryFs {
+            inner,
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    pub fn with_policy(inner: SharedFs, policy: RetryPolicy) -> Self {
+        RetryFs { inner, policy }
+    }
+
+    pub fn inner(&self) -> &SharedFs {
+        &self.inner
+    }
+
+    /// Wrap unless already wrapped (idempotent at the type level via
+    /// the kind marker).
+    pub fn wrap(fs: SharedFs) -> SharedFs {
+        if fs.kind() == "retry" {
+            fs
+        } else {
+            std::sync::Arc::new(RetryFs::new(fs))
+        }
+    }
+}
+
+impl FileSystem for RetryFs {
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        with_retry(&self.policy, || self.inner.write(path, data.clone()))
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        with_retry(&self.policy, || self.inner.read(path))
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        with_retry(&self.policy, || self.inner.read_range(path, offset, len))
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        with_retry(&self.policy, || self.inner.size(path))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        with_retry(&self.policy, || self.inner.list(prefix))
+    }
+
+    fn exists(&self, path: &str) -> Result<bool> {
+        with_retry(&self.policy, || self.inner.exists(path))
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        with_retry(&self.policy, || self.inner.delete(path))
+    }
+
+    fn stats(&self) -> FsStats {
+        self.inner.stats()
+    }
+
+    fn kind(&self) -> &'static str {
+        "retry"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::s3sim::{S3Config, S3SimFs};
+    use std::sync::Arc;
+
+    #[test]
+    fn operations_succeed_despite_failures() {
+        let flaky = Arc::new(S3SimFs::new(S3Config::flaky(0.4, 0.2, 99)));
+        // 60% of requests fail: give the loop enough attempts that the
+        // whole test fails with probability < 1e-4.
+        let fs = RetryFs::with_policy(
+            flaky,
+            RetryPolicy {
+                max_attempts: 25,
+                base_backoff: std::time::Duration::ZERO,
+                max_backoff: std::time::Duration::ZERO,
+            },
+        );
+        for i in 0..50 {
+            let key = format!("k{i}");
+            fs.write(&key, Bytes::from(vec![i as u8])).unwrap();
+            assert_eq!(fs.read(&key).unwrap()[0], i as u8);
+        }
+        assert_eq!(fs.list("k").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn wrap_is_idempotent() {
+        let base: SharedFs = Arc::new(crate::mem::MemFs::new());
+        let once = RetryFs::wrap(base);
+        assert_eq!(once.kind(), "retry");
+        let twice = RetryFs::wrap(once.clone());
+        assert!(Arc::ptr_eq(&once, &twice));
+    }
+
+    #[test]
+    fn permanent_errors_still_surface() {
+        let fs = RetryFs::new(Arc::new(crate::mem::MemFs::new()));
+        assert!(matches!(
+            fs.read("missing"),
+            Err(eon_types::EonError::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,297 @@
+//! A simulated Amazon S3 (substitution for the paper's real S3 backend;
+//! see DESIGN.md §1).
+//!
+//! Models the properties §5 says matter:
+//!
+//! * **Latency** — every request pays a time-to-first-byte, and
+//!   transfers pay a bandwidth cost; both are injected as real (but
+//!   scaled-down) sleeps so concurrency behaves like it would against a
+//!   remote service.
+//! * **Cost** — GET/PUT/LIST/DELETE requests accumulate nano-dollar
+//!   charges using the S3 price card shape (PUT/LIST ≫ GET).
+//! * **Fallibility** — "any filesystem access can (and will) fail":
+//!   a seeded RNG injects transient `Storage` errors and `Throttled`
+//!   responses at configurable rates; callers must use the §5.3 retry
+//!   loop ([`crate::with_retry`]).
+//! * **API shape** — whole-object writes, no rename/append, list by
+//!   prefix, idempotent delete. Objects are immutable once written in
+//!   the sense Vertica relies on: the engine never overwrites, and the
+//!   simulator can be configured to reject overwrites to verify that.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use eon_types::{EonError, Result};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fs::{FileSystem, FsStats};
+use crate::mem::MemFs;
+
+/// Tuning knobs for the simulator.
+#[derive(Debug, Clone)]
+pub struct S3Config {
+    /// Time-to-first-byte charged to every request.
+    pub request_latency: Duration,
+    /// Modelled transfer bandwidth in bytes per microsecond
+    /// (e.g. 100 = 100 MB/s). 0 disables the bandwidth charge.
+    pub bytes_per_micro: u64,
+    /// Probability a request fails with a transient `Storage` error.
+    pub fail_rate: f64,
+    /// Probability a request is throttled (`EonError::Throttled`).
+    pub throttle_rate: f64,
+    /// Reject PUTs to keys that already exist. Vertica never overwrites
+    /// data files (§5.2), so enabling this in tests catches bugs; it is
+    /// off by default because `cluster_info.json` (§3.5) *is* replaced.
+    pub reject_overwrite: bool,
+    /// RNG seed for failure injection, making runs reproducible.
+    pub seed: u64,
+    /// Nano-dollar price per GET request.
+    pub get_price: u64,
+    /// Nano-dollar price per PUT request.
+    pub put_price: u64,
+    /// Nano-dollar price per LIST request.
+    pub list_price: u64,
+}
+
+impl Default for S3Config {
+    fn default() -> Self {
+        S3Config {
+            // Scaled-down S3: real S3 TTFB is ~10-50ms; we charge 2ms so
+            // figure-reproduction runs finish quickly while keeping the
+            // local-vs-remote gap that drives Fig 10's "Eon on S3" bars.
+            request_latency: Duration::from_micros(2000),
+            bytes_per_micro: 100, // ~100 MB/s per stream
+            fail_rate: 0.0,
+            throttle_rate: 0.0,
+            reject_overwrite: false,
+            seed: 0x5e_ed,
+            // S3 price card shape: GET $0.4/1M, PUT+LIST $5/1M.
+            get_price: 400,
+            put_price: 5_000,
+            list_price: 5_000,
+        }
+    }
+}
+
+impl S3Config {
+    /// A configuration with zero injected latency, for unit tests of
+    /// higher layers that don't measure time.
+    pub fn instant() -> Self {
+        S3Config {
+            request_latency: Duration::ZERO,
+            bytes_per_micro: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Instant but with the given failure/throttle rates.
+    pub fn flaky(fail_rate: f64, throttle_rate: f64, seed: u64) -> Self {
+        S3Config {
+            fail_rate,
+            throttle_rate,
+            seed,
+            ..Self::instant()
+        }
+    }
+}
+
+/// The simulated object store. Internally delegates storage to
+/// [`MemFs`]; this type adds the latency/cost/failure model.
+pub struct S3SimFs {
+    store: MemFs,
+    config: S3Config,
+    rng: Mutex<StdRng>,
+    cost: Mutex<u64>,
+}
+
+impl S3SimFs {
+    pub fn new(config: S3Config) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        S3SimFs {
+            store: MemFs::new(),
+            config,
+            rng: Mutex::new(rng),
+            cost: Mutex::new(0),
+        }
+    }
+
+    pub fn with_defaults() -> Self {
+        Self::new(S3Config::default())
+    }
+
+    pub fn config(&self) -> &S3Config {
+        &self.config
+    }
+
+    /// Charge the per-request latency plus a bandwidth charge for
+    /// `transfer` bytes, then roll the failure dice.
+    fn request(&self, transfer: usize, price: u64) -> Result<()> {
+        let mut delay = self.config.request_latency;
+        if let Some(per_byte) = (transfer as u64).checked_div(self.config.bytes_per_micro) {
+            delay += Duration::from_micros(per_byte);
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        *self.cost.lock() += price;
+        let roll: f64 = self.rng.lock().gen();
+        if roll < self.config.throttle_rate {
+            return Err(EonError::Throttled);
+        }
+        if roll < self.config.throttle_rate + self.config.fail_rate {
+            return Err(EonError::Storage("simulated S3 internal error".into()));
+        }
+        Ok(())
+    }
+}
+
+impl FileSystem for S3SimFs {
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        self.request(data.len(), self.config.put_price)?;
+        if self.config.reject_overwrite && self.store.list(path)?.iter().any(|k| k == path) {
+            return Err(EonError::Storage(format!("overwrite of immutable object {path}")));
+        }
+        self.store.write(path, data)
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        // Look up size first so the bandwidth charge reflects the
+        // transfer; a miss still pays the request latency.
+        let size = self.store.list(path)?.iter().any(|k| k == path);
+        let transfer = if size {
+            self.store.size(path).unwrap_or(0) as usize
+        } else {
+            0
+        };
+        self.request(transfer, self.config.get_price)?;
+        self.store.read(path)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.request(len as usize, self.config.get_price)?;
+        let all = self.store.read(path)?;
+        let start = (offset as usize).min(all.len());
+        let end = ((offset + len) as usize).min(all.len());
+        Ok(all.slice(start..end))
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        self.request(0, self.config.list_price)?;
+        self.store.size(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.request(0, self.config.list_price)?;
+        self.store.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.request(0, self.config.put_price)?;
+        self.store.delete(path)
+    }
+
+    fn stats(&self) -> FsStats {
+        let mut s = self.store.stats();
+        s.cost_nanodollars = *self.cost.lock();
+        s
+    }
+
+    fn kind(&self) -> &'static str {
+        "s3sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant() -> S3SimFs {
+        S3SimFs::new(S3Config::instant())
+    }
+
+    #[test]
+    fn behaves_like_object_store() {
+        let fs = instant();
+        fs.write("bucket/key", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(fs.read("bucket/key").unwrap().as_ref(), b"v");
+        assert_eq!(fs.list("bucket/").unwrap(), vec!["bucket/key"]);
+        fs.delete("bucket/key").unwrap();
+        assert!(matches!(fs.read("bucket/key"), Err(EonError::NotFound(_))));
+    }
+
+    #[test]
+    fn accumulates_cost() {
+        let fs = instant();
+        fs.write("k", Bytes::from_static(b"abc")).unwrap(); // 5000
+        fs.read("k").unwrap(); // 400
+        fs.list("").unwrap(); // 5000
+        let s = fs.stats();
+        assert_eq!(s.cost_nanodollars, 10_400);
+    }
+
+    #[test]
+    fn injects_failures_at_configured_rate() {
+        let fs = S3SimFs::new(S3Config::flaky(0.5, 0.0, 42));
+        let mut failures = 0;
+        for i in 0..200 {
+            if fs.write(&format!("k{i}"), Bytes::new()).is_err() {
+                failures += 1;
+            }
+        }
+        // 50% ± generous tolerance
+        assert!((60..=140).contains(&failures), "failures={failures}");
+    }
+
+    #[test]
+    fn throttle_is_distinguishable() {
+        let fs = S3SimFs::new(S3Config::flaky(0.0, 1.0, 7));
+        assert!(matches!(fs.read("x"), Err(EonError::Throttled)));
+    }
+
+    #[test]
+    fn failure_injection_is_reproducible() {
+        let run = || {
+            let fs = S3SimFs::new(S3Config::flaky(0.3, 0.1, 99));
+            (0..100)
+                .map(|i| fs.write(&format!("k{i}"), Bytes::new()).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reject_overwrite_mode() {
+        let fs = S3SimFs::new(S3Config {
+            reject_overwrite: true,
+            ..S3Config::instant()
+        });
+        fs.write("immutable", Bytes::from_static(b"a")).unwrap();
+        assert!(fs.write("immutable", Bytes::from_static(b"b")).is_err());
+        // Original data untouched.
+        assert_eq!(fs.read("immutable").unwrap().as_ref(), b"a");
+    }
+
+    #[test]
+    fn latency_is_charged() {
+        let fs = S3SimFs::new(S3Config {
+            request_latency: Duration::from_millis(5),
+            bytes_per_micro: 0,
+            ..S3Config::instant()
+        });
+        let t0 = std::time::Instant::now();
+        fs.write("k", Bytes::new()).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn read_after_write_for_new_objects() {
+        // The consistency model Vertica relies on (§5.3): a freshly
+        // written object is immediately visible to read and list.
+        let fs = instant();
+        fs.write("fresh", Bytes::from_static(b"now")).unwrap();
+        assert!(fs.exists("fresh").unwrap());
+        assert_eq!(fs.read("fresh").unwrap().as_ref(), b"now");
+    }
+}

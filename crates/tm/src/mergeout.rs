@@ -1,0 +1,361 @@
+//! Mergeout: ROS container compaction.
+//!
+//! Containers are assigned to exponentially sized *strata* by row
+//! count; when a stratum accumulates `fanin` containers they merge into
+//! one container in a higher stratum. Each tuple therefore participates
+//! in at most `log_fanin(total/base)` merges — the paper's "merge each
+//! tuple a small fixed number of times". Deleted rows are purged during
+//! the merge (§2.3), and containers with heavy delete load are promoted
+//! into eligibility early.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use eon_types::{NodeId, Oid, ShardId, Value};
+
+/// Tuning for mergeout planning.
+#[derive(Debug, Clone)]
+pub struct MergeoutPolicy {
+    /// Row count ceiling of stratum 0.
+    pub base_rows: u64,
+    /// Size ratio between consecutive strata.
+    pub factor: u64,
+    /// Containers per stratum that trigger a merge, and the maximum
+    /// fan-in of one job (large fan-ins are what §2.3 tries to avoid in
+    /// the execution engine).
+    pub fanin: usize,
+    /// Fraction (0..=100) of deleted rows that makes a container
+    /// eligible regardless of stratum pressure.
+    pub purge_threshold_pct: u64,
+}
+
+impl Default for MergeoutPolicy {
+    fn default() -> Self {
+        MergeoutPolicy {
+            base_rows: 4096,
+            factor: 8,
+            fanin: 4,
+            purge_threshold_pct: 20,
+        }
+    }
+}
+
+impl MergeoutPolicy {
+    /// Which stratum a container of `rows` rows belongs to.
+    pub fn stratum(&self, rows: u64) -> usize {
+        let mut bound = self.base_rows.max(1);
+        let mut s = 0;
+        while rows > bound && s < 62 {
+            bound = bound.saturating_mul(self.factor.max(2));
+            s += 1;
+        }
+        s
+    }
+}
+
+/// A container as mergeout sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeInput {
+    pub oid: Oid,
+    pub rows: u64,
+    pub deleted: u64,
+}
+
+/// One planned mergeout job: the input containers to replace with a
+/// single merged output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeJob {
+    pub inputs: Vec<Oid>,
+}
+
+/// Plan mergeout jobs for one projection+shard's containers.
+///
+/// Strategy: (1) any stratum holding ≥ `fanin` containers merges its
+/// `fanin` smallest; (2) containers past the delete threshold merge in
+/// pairs-or-more with their stratum neighbours (or alone, purely to
+/// purge deletes, when no neighbour exists).
+pub fn plan_mergeout(containers: &[MergeInput], policy: &MergeoutPolicy) -> Vec<MergeJob> {
+    let mut by_stratum: HashMap<usize, Vec<MergeInput>> = HashMap::new();
+    for c in containers {
+        by_stratum.entry(policy.stratum(c.rows)).or_default().push(*c);
+    }
+
+    let mut jobs = Vec::new();
+    let mut consumed: Vec<Oid> = Vec::new();
+    let mut strata: Vec<_> = by_stratum.into_iter().collect();
+    strata.sort_by_key(|(s, _)| *s);
+    for (_, mut group) in strata {
+        group.sort_by_key(|c| c.rows);
+        // Rule 1: stratum pressure.
+        while group.len() >= policy.fanin {
+            let batch: Vec<MergeInput> = group.drain(..policy.fanin).collect();
+            consumed.extend(batch.iter().map(|c| c.oid));
+            jobs.push(MergeJob {
+                inputs: batch.into_iter().map(|c| c.oid).collect(),
+            });
+        }
+        // Rule 2: delete purge.
+        let heavy: Vec<MergeInput> = group
+            .iter()
+            .filter(|c| {
+                c.rows > 0 && c.deleted * 100 >= c.rows * policy.purge_threshold_pct
+                    && policy.purge_threshold_pct > 0
+            })
+            .copied()
+            .collect();
+        for h in heavy {
+            if consumed.contains(&h.oid) {
+                continue;
+            }
+            consumed.push(h.oid);
+            jobs.push(MergeJob {
+                inputs: vec![h.oid],
+            });
+        }
+    }
+    jobs
+}
+
+/// K-way merge of already-sorted row batches by the given sort columns.
+/// Stable across inputs (ties resolve by input index), so repeated
+/// mergeouts are deterministic.
+pub fn merge_sorted_rows(
+    inputs: Vec<Vec<Vec<Value>>>,
+    sort_cols: &[usize],
+) -> Vec<Vec<Value>> {
+    #[derive(PartialEq, Eq)]
+    struct HeapKey(Vec<Value>, usize);
+    impl Ord for HeapKey {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+    impl PartialOrd for HeapKey {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let key_of = |row: &Vec<Value>| -> Vec<Value> {
+        sort_cols.iter().map(|&c| row[c].clone()).collect()
+    };
+
+    let total: usize = inputs.iter().map(|v| v.len()).sum();
+    let mut heads: Vec<usize> = vec![0; inputs.len()];
+    let mut heap: BinaryHeap<Reverse<HeapKey>> = BinaryHeap::new();
+    for (i, rows) in inputs.iter().enumerate() {
+        if !rows.is_empty() {
+            heap.push(Reverse(HeapKey(key_of(&rows[0]), i)));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse(HeapKey(_, src))) = heap.pop() {
+        let idx = heads[src];
+        out.push(inputs[src][idx].clone());
+        heads[src] += 1;
+        if heads[src] < inputs[src].len() {
+            heap.push(Reverse(HeapKey(key_of(&inputs[src][heads[src]]), src)));
+        }
+    }
+    out
+}
+
+/// Select a mergeout coordinator per shard, balancing coordinator load
+/// across nodes (§6.2: "taking care to keep the workload balanced").
+/// `subscribers` lists the ACTIVE subscribers of each shard; only those
+/// nodes are eligible for that shard.
+pub fn select_coordinators(
+    subscribers: &[(ShardId, Vec<NodeId>)],
+) -> HashMap<ShardId, NodeId> {
+    let mut load: HashMap<NodeId, usize> = HashMap::new();
+    let mut out = HashMap::new();
+    // Assign most-constrained shards first.
+    let mut order: Vec<&(ShardId, Vec<NodeId>)> = subscribers.iter().collect();
+    order.sort_by_key(|(s, nodes)| (nodes.len(), *s));
+    for (shard, nodes) in order {
+        if nodes.is_empty() {
+            continue;
+        }
+        let pick = *nodes
+            .iter()
+            .min_by_key(|n| (load.get(n).copied().unwrap_or(0), n.0))
+            .unwrap();
+        *load.entry(pick).or_insert(0) += 1;
+        out.insert(*shard, pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(oid: u64, rows: u64) -> MergeInput {
+        MergeInput {
+            oid: Oid(oid),
+            rows,
+            deleted: 0,
+        }
+    }
+
+    #[test]
+    fn strata_are_exponential() {
+        let p = MergeoutPolicy::default();
+        assert_eq!(p.stratum(100), 0);
+        assert_eq!(p.stratum(4096), 0);
+        assert_eq!(p.stratum(4097), 1);
+        assert_eq!(p.stratum(32768), 1);
+        assert_eq!(p.stratum(32769), 2);
+    }
+
+    #[test]
+    fn stratum_pressure_triggers_merge() {
+        let p = MergeoutPolicy::default();
+        let containers: Vec<MergeInput> = (0..5).map(|i| c(i, 100)).collect();
+        let jobs = plan_mergeout(&containers, &p);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].inputs.len(), 4); // fanin smallest
+    }
+
+    #[test]
+    fn no_merge_below_fanin() {
+        let p = MergeoutPolicy::default();
+        let containers: Vec<MergeInput> = (0..3).map(|i| c(i, 100)).collect();
+        assert!(plan_mergeout(&containers, &p).is_empty());
+    }
+
+    #[test]
+    fn different_strata_do_not_mix() {
+        let p = MergeoutPolicy::default();
+        // 3 small + 3 large: neither stratum reaches fanin 4.
+        let mut containers: Vec<MergeInput> = (0..3).map(|i| c(i, 100)).collect();
+        containers.extend((10..13).map(|i| c(i, 100_000)));
+        assert!(plan_mergeout(&containers, &p).is_empty());
+    }
+
+    #[test]
+    fn delete_heavy_container_purges() {
+        let p = MergeoutPolicy::default();
+        let containers = vec![
+            MergeInput {
+                oid: Oid(1),
+                rows: 1000,
+                deleted: 400,
+            },
+            c(2, 1000),
+        ];
+        let jobs = plan_mergeout(&containers, &p);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].inputs, vec![Oid(1)]);
+    }
+
+    #[test]
+    fn tuples_merge_logarithmically() {
+        // Simulate repeated loads of 1000-row containers and count how
+        // many times a tuple generation is merged. With fanin 4 and
+        // factor 8 the bound is ~log_4 of the total.
+        let p = MergeoutPolicy {
+            base_rows: 1000,
+            factor: 4,
+            fanin: 4,
+            purge_threshold_pct: 0,
+        };
+        let mut containers: Vec<MergeInput> = Vec::new();
+        let mut next_oid = 0u64;
+        let mut merge_events = 0u64;
+        let mut merged_rows = 0u64;
+        let mut total_rows = 0u64;
+        for _ in 0..256 {
+            containers.push(c(next_oid, 1000));
+            next_oid += 1;
+            total_rows += 1000;
+            loop {
+                let jobs = plan_mergeout(&containers, &p);
+                if jobs.is_empty() {
+                    break;
+                }
+                for job in jobs {
+                    let rows: u64 = job
+                        .inputs
+                        .iter()
+                        .map(|oid| {
+                            containers.iter().find(|x| x.oid == *oid).unwrap().rows
+                        })
+                        .sum();
+                    containers.retain(|x| !job.inputs.contains(&x.oid));
+                    containers.push(c(next_oid, rows));
+                    next_oid += 1;
+                    merge_events += 1;
+                    merged_rows += rows;
+                }
+            }
+        }
+        // Average merges per tuple = merged_rows / total_rows; should
+        // be small (each tuple merged a fixed number of times).
+        let avg = merged_rows as f64 / total_rows as f64;
+        assert!(avg < 6.0, "tuples merged {avg} times on average");
+        assert!(merge_events > 0);
+        // Container count stays bounded.
+        assert!(containers.len() < 16, "{} containers", containers.len());
+    }
+
+    #[test]
+    fn kway_merge_produces_sorted_output() {
+        let a = vec![
+            vec![Value::Int(1), Value::Str("a".into())],
+            vec![Value::Int(5), Value::Str("a".into())],
+        ];
+        let b = vec![
+            vec![Value::Int(2), Value::Str("b".into())],
+            vec![Value::Int(9), Value::Str("b".into())],
+        ];
+        let c = vec![vec![Value::Int(3), Value::Str("c".into())]];
+        let merged = merge_sorted_rows(vec![a, b, c], &[0]);
+        let keys: Vec<i64> = merged.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 9]);
+    }
+
+    #[test]
+    fn kway_merge_is_stable_on_ties() {
+        let a = vec![vec![Value::Int(1), Value::Str("first".into())]];
+        let b = vec![vec![Value::Int(1), Value::Str("second".into())]];
+        let merged = merge_sorted_rows(vec![a, b], &[0]);
+        assert_eq!(merged[0][1], Value::Str("first".into()));
+        assert_eq!(merged[1][1], Value::Str("second".into()));
+    }
+
+    #[test]
+    fn kway_merge_empty_inputs() {
+        assert!(merge_sorted_rows(vec![], &[0]).is_empty());
+        assert!(merge_sorted_rows(vec![vec![], vec![]], &[0]).is_empty());
+    }
+
+    #[test]
+    fn coordinators_balanced() {
+        let subs: Vec<(ShardId, Vec<NodeId>)> = (0..4)
+            .map(|s| {
+                (
+                    ShardId(s),
+                    vec![NodeId(s % 2), NodeId((s + 1) % 2)],
+                )
+            })
+            .collect();
+        let coords = select_coordinators(&subs);
+        assert_eq!(coords.len(), 4);
+        let n0 = coords.values().filter(|n| n.0 == 0).count();
+        assert_eq!(n0, 2, "coordinators should balance: {coords:?}");
+    }
+
+    #[test]
+    fn coordinator_reassigned_on_failure() {
+        // Shard 0's subscribers shrink to node 1 only (node 0 died):
+        // the new selection must pick node 1.
+        let subs = vec![(ShardId(0), vec![NodeId(1)])];
+        let coords = select_coordinators(&subs);
+        assert_eq!(coords[&ShardId(0)], NodeId(1));
+        // No subscribers → no coordinator (cluster handles separately).
+        let none = select_coordinators(&[(ShardId(0), vec![])]);
+        assert!(none.is_empty());
+    }
+}

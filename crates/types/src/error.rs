@@ -1,0 +1,121 @@
+//! The workspace-wide error type.
+//!
+//! One enum rather than per-crate error types: the layers call into each
+//! other constantly (a query touches cache, storage, catalog, and shards)
+//! and the paper's interesting failures — S3 request failures, commit
+//! invariant violations, quorum loss — all need to propagate to the same
+//! callers.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, EonError>;
+
+/// All failure modes surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EonError {
+    /// Filesystem / object-store failure (possibly transient, §5.3).
+    Storage(String),
+    /// Object not found on the filesystem in use.
+    NotFound(String),
+    /// A simulated S3 throttle; callers are expected to retry.
+    Throttled,
+    /// Schema/type violation.
+    SchemaMismatch(String),
+    UnknownColumn(String),
+    UnknownTable(String),
+    /// Catalog object missing or version conflict.
+    Catalog(String),
+    /// OCC write-set validation failed at commit (§6.3).
+    WriteConflict(String),
+    /// Commit-time invariant violated: a subscriber was missing metadata
+    /// for one of its shards, or a participating node lost its
+    /// subscription mid-transaction (§3.2, §4.5).
+    CommitInvariant(String),
+    /// Cluster cannot form or continue: quorum or shard coverage lost
+    /// (§3.4).
+    ClusterDown(String),
+    /// Node is down / unreachable.
+    NodeDown(String),
+    /// Revive refused, e.g. the cluster_info lease has not expired
+    /// (§3.5).
+    Revive(String),
+    /// Query planning or execution error.
+    Query(String),
+    /// Admission control: no execution slots available and the caller
+    /// asked not to queue.
+    Saturated,
+    /// Corrupt on-disk data (bad magic, short read, checksum).
+    Corrupt(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for EonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use EonError::*;
+        match self {
+            Storage(s) => write!(f, "storage error: {s}"),
+            NotFound(s) => write!(f, "not found: {s}"),
+            Throttled => write!(f, "throttled by shared storage"),
+            SchemaMismatch(s) => write!(f, "schema mismatch: {s}"),
+            UnknownColumn(s) => write!(f, "unknown column: {s}"),
+            UnknownTable(s) => write!(f, "unknown table: {s}"),
+            Catalog(s) => write!(f, "catalog error: {s}"),
+            WriteConflict(s) => write!(f, "write-write conflict: {s}"),
+            CommitInvariant(s) => write!(f, "commit invariant violated: {s}"),
+            ClusterDown(s) => write!(f, "cluster down: {s}"),
+            NodeDown(s) => write!(f, "node down: {s}"),
+            Revive(s) => write!(f, "revive failed: {s}"),
+            Query(s) => write!(f, "query error: {s}"),
+            Saturated => write!(f, "no execution slots available"),
+            Corrupt(s) => write!(f, "corrupt data: {s}"),
+            Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EonError {}
+
+impl From<std::io::Error> for EonError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            EonError::NotFound(e.to_string())
+        } else {
+            EonError::Storage(e.to_string())
+        }
+    }
+}
+
+impl EonError {
+    /// Whether a retry loop should try again (the paper requires "a
+    /// properly balanced retry loop" around S3 access, §5.3).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EonError::Throttled) || matches!(self, EonError::Storage(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_conversion() {
+        let nf = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(matches!(EonError::from(nf), EonError::NotFound(_)));
+        let other = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no");
+        assert!(matches!(EonError::from(other), EonError::Storage(_)));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(EonError::Throttled.is_transient());
+        assert!(EonError::Storage("503".into()).is_transient());
+        assert!(!EonError::WriteConflict("t".into()).is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EonError::UnknownTable("t1".into()).to_string().contains("t1"));
+    }
+}

@@ -1,0 +1,333 @@
+//! The scalar value model.
+//!
+//! Vertica is a SQL engine; we reproduce the handful of types the TPC-H
+//! schema and the paper's workloads need: 64-bit integers, doubles,
+//! strings, booleans, and dates (days since the Unix epoch, matching how
+//! a columnar store would encode them). `Value::Null` is a first-class
+//! member so that delete vectors, outer joins, and ADD COLUMN defaults
+//! (§6.3) behave like SQL.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The SQL data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+    Bool,
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "VARCHAR",
+            DataType::Bool => "BOOLEAN",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+///
+/// Comparison follows SQL sort semantics with one deviation that
+/// simplifies a sorted column store: `Null` sorts *before* every other
+/// value and compares equal to itself, giving `Value` a total order that
+/// `sort_unstable` and min/max block metadata (§2.3) can rely on. Floats
+/// use IEEE total ordering for NaN so the order really is total.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    /// Days since 1970-01-01.
+    Date(i32),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for `Null` (which is
+    /// compatible with every type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view used by arithmetic and date pruning; `Int` and
+    /// `Date` both qualify.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Date(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::Date(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A rank used to order values of *different* types, so the total
+    /// order covers heterogeneous columns (which only arise transiently,
+    /// e.g. before type checking rejects a plan).
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // ints and floats compare numerically
+            Value::Date(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state)
+            }
+            // Int and Float that compare equal must hash equal.
+            Value::Int(v) => {
+                2u8.hash(state);
+                (*v as f64).to_bits().hash(state)
+            }
+            Value::Float(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state)
+            }
+            Value::Date(v) => {
+                3u8.hash(state);
+                v.hash(state)
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(d) => {
+                let (y, m, day) = days_to_ymd(*d);
+                write!(f, "{y:04}-{m:02}-{day:02}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Convert a `(year, month, day)` triple to days since the Unix epoch.
+/// Valid for the Gregorian calendar; used by the TPC-H generator and by
+/// date literals in queries.
+pub fn ymd_to_days(year: i32, month: u32, day: u32) -> i32 {
+    // Algorithm from Howard Hinnant's `days_from_civil`.
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let mp = ((month + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era as i64 * 146_097 + doe - 719_468) as i32
+}
+
+/// Inverse of [`ymd_to_days`].
+pub fn days_to_ymd(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m, d)
+}
+
+/// Convenience constructor for date values.
+pub fn date(year: i32, month: u32, day: u32) -> Value {
+    Value::Date(ymd_to_days(year, month, day))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        let mut v = vec![Value::Int(3), Value::Null, Value::Int(-1)];
+        v.sort();
+        assert_eq!(v[0], Value::Null);
+        assert_eq!(v[1], Value::Int(-1));
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+        assert_eq!(h(&Value::Str("x".into())), h(&Value::Str("x".into())));
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        for &(y, m, d) in &[(1970, 1, 1), (1992, 2, 29), (1998, 12, 1), (2026, 7, 5)] {
+            let days = ymd_to_days(y, m, d);
+            assert_eq!(days_to_ymd(days), (y, m, d));
+        }
+        assert_eq!(ymd_to_days(1970, 1, 1), 0);
+        assert_eq!(ymd_to_days(1970, 1, 2), 1);
+    }
+
+    #[test]
+    fn date_display() {
+        assert_eq!(date(1995, 3, 15).to_string(), "1995-03-15");
+    }
+
+    #[test]
+    fn total_order_on_nan() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(1.0);
+        // NaN has a defined place in the total order (after all numbers).
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Date(10).as_int(), Some(10));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Int(2).as_float(), Some(2.0));
+        assert_eq!(Value::Str("a".into()).as_str(), Some("a"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+    }
+}

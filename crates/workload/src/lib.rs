@@ -1,0 +1,18 @@
+//! Workloads for the paper's evaluation (§8):
+//!
+//! * [`tpch`] — a deterministic TPC-H-schema generator at laptop scale
+//!   plus plan builders for queries Q1–Q20 (Fig 10's x-axis). Queries
+//!   keep TPC-H's operator shapes — join graphs, aggregates,
+//!   selectivities — with the handful of simplifications documented on
+//!   each builder (we implement the engine, not a SQL front end).
+//! * [`dashboard`] — the "customer-supplied short query comprised of
+//!   multiple joins and aggregations" behind Fig 11a and Fig 12:
+//!   a star schema with a compact fact table and two dimensions.
+//! * [`copyload`] — the many-small-COPY generator of Fig 11b
+//!   ("typical of an internet of things workload").
+
+pub mod copyload;
+pub mod dashboard;
+pub mod tpch;
+
+pub use tpch::{load_tpch_enterprise, load_tpch_eon, tpch_query, TpchData, TPCH_QUERY_COUNT};

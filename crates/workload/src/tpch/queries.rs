@@ -1,0 +1,608 @@
+//! Plan builders for TPC-H Q1–Q20 (the Fig 10 x-axis).
+//!
+//! Queries keep TPC-H's operator shapes against the plan language of
+//! `eon-exec`. Documented simplifications (we build plans by hand, not
+//! through a SQL optimizer):
+//!
+//! * correlated subqueries become two-phase plans (Q2, Q15, Q17, Q18)
+//!   or constant thresholds (Q11);
+//! * queries whose aggregates sit *below* joins run with `Global`
+//!   scans, i.e. single-node (Q13, Q15, Q17, Q18, Q20) — the
+//!   distributed split only parallelizes topmost aggregates;
+//! * substitution parameters are fixed at the spec defaults.
+//!
+//! Distribution rule: `lineitem`/`orders` scans are shard-local (they
+//! are co-segmented on the order key, so their join is a §4 local
+//! join); every other joined table is `Global` (broadcast), and
+//! `nation`/`region` are replicated projections anyway.
+
+use eon_columnar::pruning::CmpOp;
+use eon_columnar::Predicate;
+use eon_exec::{AggFunc, AggSpec, Expr, JoinKind, Plan, ScanSpec, SortKey};
+use eon_types::value::ymd_to_days;
+use eon_types::Value;
+
+/// Number of TPC-H queries implemented (Fig 10 shows Q1–Q20).
+pub const TPCH_QUERY_COUNT: usize = 20;
+
+fn d(y: i32, m: u32, day: u32) -> Value {
+    Value::Date(ymd_to_days(y, m, day))
+}
+
+fn col(i: usize) -> Expr {
+    Expr::col(i)
+}
+
+fn lit(v: impl Into<Value>) -> Expr {
+    Expr::lit(v)
+}
+
+/// `price * (1 - discount)` given the column offsets.
+fn revenue(price: usize, discount: usize) -> Expr {
+    Expr::mul(col(price), Expr::sub(lit(1.0), col(discount)))
+}
+
+fn scan(table: &str) -> ScanSpec {
+    ScanSpec::new(table)
+}
+
+/// Build TPC-H query `q` (1-based). Panics if out of range.
+pub fn tpch_query(q: usize) -> Plan {
+    match q {
+        1 => q1(),
+        2 => q2(),
+        3 => q3(),
+        4 => q4(),
+        5 => q5(),
+        6 => q6(),
+        7 => q7(),
+        8 => q8(),
+        9 => q9(),
+        10 => q10(),
+        11 => q11(),
+        12 => q12(),
+        13 => q13(),
+        14 => q14(),
+        15 => q15(),
+        16 => q16(),
+        17 => q17(),
+        18 => q18(),
+        19 => q19(),
+        20 => q20(),
+        _ => panic!("TPC-H Q{q} not implemented (1..=20)"),
+    }
+}
+
+/// Q1: pricing summary report.
+fn q1() -> Plan {
+    Plan::scan(scan("lineitem").predicate(Predicate::cmp(10, CmpOp::Le, d(1998, 9, 2))))
+        .aggregate(
+            vec![8, 9], // returnflag, linestatus
+            vec![
+                AggSpec::sum(col(4)),
+                AggSpec::sum(col(5)),
+                AggSpec::sum(revenue(5, 6)),
+                AggSpec::sum(Expr::mul(revenue(5, 6), Expr::add(lit(1.0), col(7)))),
+                AggSpec::avg(col(4)),
+                AggSpec::avg(col(5)),
+                AggSpec::avg(col(6)),
+                AggSpec::count_star(),
+            ],
+        )
+        .sort(vec![SortKey::asc(0), SortKey::asc(1)])
+}
+
+/// Q2 (simplified): min supply cost per qualifying part in EUROPE; the
+/// spec's correlated "equals the minimum" filter becomes the grouped
+/// minimum itself.
+fn q2() -> Plan {
+    // partsupp(5) ⋈ supplier(7) ⋈ nation(4) ⋈ region(3) ⋈ part(9)
+    Plan::scan(scan("partsupp"))
+        .join(Plan::scan(scan("supplier").global()), vec![1], vec![0])
+        .join(Plan::scan(scan("nation").global()), vec![8], vec![0])
+        .join(
+            Plan::scan(scan("region").global().predicate(Predicate::eq(1, "EUROPE"))),
+            vec![14],
+            vec![0],
+        )
+        .join(
+            Plan::scan(scan("part").global().predicate(Predicate::eq(5, 15i64))),
+            vec![0],
+            vec![0],
+        )
+        .filter(Expr::like(col(23), "%BRASS"))
+        .aggregate(
+            vec![19, 21], // p_partkey, p_mfgr
+            vec![AggSpec::min(col(3))],
+        )
+        .sort(vec![SortKey::asc(0)])
+        .limit(100)
+}
+
+/// Q3: shipping priority.
+fn q3() -> Plan {
+    Plan::scan(scan("lineitem").predicate(Predicate::cmp(10, CmpOp::Gt, d(1995, 3, 15))))
+        .join(
+            Plan::scan(scan("orders").predicate(Predicate::cmp(4, CmpOp::Lt, d(1995, 3, 15)))),
+            vec![0],
+            vec![0],
+        )
+        .join(
+            Plan::scan(scan("customer").global().predicate(Predicate::eq(6, "BUILDING"))),
+            vec![17],
+            vec![0],
+        )
+        .aggregate(
+            vec![16, 20, 23], // o_orderkey, o_orderdate, o_shippriority
+            vec![AggSpec::sum(revenue(5, 6))],
+        )
+        .sort(vec![SortKey::desc(3), SortKey::asc(1)])
+        .limit(10)
+}
+
+/// Q4: order priority checking (semi join on late lineitems).
+fn q4() -> Plan {
+    let late_lines = Plan::scan(scan("lineitem"))
+        .filter(Expr::cmp(CmpOp::Lt, col(11), col(12))); // commit < receipt
+    Plan::scan(scan("orders").predicate(Predicate::And(vec![
+        Predicate::cmp(4, CmpOp::Ge, d(1993, 7, 1)),
+        Predicate::cmp(4, CmpOp::Lt, d(1993, 10, 1)),
+    ])))
+    .join_kind(late_lines, vec![0], vec![0], JoinKind::Semi)
+    .aggregate(vec![5], vec![AggSpec::count_star()])
+    .sort(vec![SortKey::asc(0)])
+}
+
+/// Q5: local supplier volume (ASIA).
+fn q5() -> Plan {
+    Plan::scan(scan("lineitem"))
+        .join(
+            Plan::scan(scan("orders").predicate(Predicate::And(vec![
+                Predicate::cmp(4, CmpOp::Ge, d(1994, 1, 1)),
+                Predicate::cmp(4, CmpOp::Lt, d(1995, 1, 1)),
+            ]))),
+            vec![0],
+            vec![0],
+        )
+        .join(Plan::scan(scan("customer").global()), vec![17], vec![0])
+        .join(Plan::scan(scan("supplier").global()), vec![2], vec![0])
+        .filter(Expr::eq(col(28), col(36))) // c_nationkey = s_nationkey
+        .join(Plan::scan(scan("nation").global()), vec![36], vec![0])
+        .join(
+            Plan::scan(scan("region").global().predicate(Predicate::eq(1, "ASIA"))),
+            vec![42],
+            vec![0],
+        )
+        .aggregate(vec![41], vec![AggSpec::sum(revenue(5, 6))]) // n_name
+        .sort(vec![SortKey::desc(1)])
+}
+
+/// Q6: forecasting revenue change (pure pushdown scan).
+fn q6() -> Plan {
+    Plan::scan(scan("lineitem").predicate(Predicate::And(vec![
+        Predicate::cmp(10, CmpOp::Ge, d(1994, 1, 1)),
+        Predicate::cmp(10, CmpOp::Lt, d(1995, 1, 1)),
+        Predicate::cmp(6, CmpOp::Ge, 0.05),
+        Predicate::cmp(6, CmpOp::Le, 0.07),
+        Predicate::cmp(4, CmpOp::Lt, 24.0),
+    ])))
+    .aggregate(vec![], vec![AggSpec::sum(Expr::mul(col(5), col(6)))])
+}
+
+/// Q7: volume shipping between FRANCE and GERMANY.
+fn q7() -> Plan {
+    let fr_de = |a: usize, b: usize| {
+        Expr::Or(vec![
+            Expr::And(vec![
+                Expr::eq(col(a), lit("FRANCE")),
+                Expr::eq(col(b), lit("GERMANY")),
+            ]),
+            Expr::And(vec![
+                Expr::eq(col(a), lit("GERMANY")),
+                Expr::eq(col(b), lit("FRANCE")),
+            ]),
+        ])
+    };
+    Plan::scan(scan("lineitem").predicate(Predicate::And(vec![
+        Predicate::cmp(10, CmpOp::Ge, d(1995, 1, 1)),
+        Predicate::cmp(10, CmpOp::Le, d(1996, 12, 31)),
+    ])))
+    .join(Plan::scan(scan("orders")), vec![0], vec![0])
+    .join(Plan::scan(scan("customer").global()), vec![17], vec![0])
+    .join(Plan::scan(scan("supplier").global()), vec![2], vec![0])
+    .join(Plan::scan(scan("nation").global()), vec![36], vec![0]) // supp nation
+    .join(Plan::scan(scan("nation").global()), vec![28], vec![0]) // cust nation
+    .filter(fr_de(41, 45))
+    .project(
+        vec![
+            col(41),
+            col(45),
+            Expr::ExtractYear(Box::new(col(10))),
+            revenue(5, 6),
+        ],
+        vec!["supp_nation", "cust_nation", "l_year", "volume"],
+    )
+    .aggregate(vec![0, 1, 2], vec![AggSpec::sum(col(3))])
+    .sort(vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)])
+}
+
+/// Q8: national market share (BRAZIL / AMERICA / ECONOMY ANODIZED
+/// STEEL).
+fn q8() -> Plan {
+    Plan::scan(scan("lineitem"))
+        .join(
+            Plan::scan(scan("orders").predicate(Predicate::And(vec![
+                Predicate::cmp(4, CmpOp::Ge, d(1995, 1, 1)),
+                Predicate::cmp(4, CmpOp::Le, d(1996, 12, 31)),
+            ]))),
+            vec![0],
+            vec![0],
+        )
+        .join(
+            Plan::scan(
+                scan("part")
+                    .global()
+                    .predicate(Predicate::eq(4, "ECONOMY ANODIZED STEEL")),
+            ),
+            vec![1],
+            vec![0],
+        )
+        .join(Plan::scan(scan("customer").global()), vec![17], vec![0])
+        .join(Plan::scan(scan("nation").global()), vec![37], vec![0]) // cust nation
+        .join(
+            Plan::scan(scan("region").global().predicate(Predicate::eq(1, "AMERICA"))),
+            vec![44],
+            vec![0],
+        )
+        .join(Plan::scan(scan("supplier").global()), vec![2], vec![0])
+        .join(Plan::scan(scan("nation").global()), vec![52], vec![0]) // supp nation
+        .project(
+            vec![
+                Expr::ExtractYear(Box::new(col(20))),
+                Expr::Case {
+                    whens: vec![(Expr::eq(col(57), lit("BRAZIL")), revenue(5, 6))],
+                    otherwise: Box::new(lit(0.0)),
+                },
+                revenue(5, 6),
+            ],
+            vec!["o_year", "brazil_volume", "volume"],
+        )
+        .aggregate(vec![0], vec![AggSpec::sum(col(1)), AggSpec::sum(col(2))])
+        .project(
+            vec![col(0), Expr::div(col(1), col(2))],
+            vec!["o_year", "mkt_share"],
+        )
+        .sort(vec![SortKey::asc(0)])
+}
+
+/// Q9: product type profit measure ("green" parts).
+fn q9() -> Plan {
+    Plan::scan(scan("lineitem"))
+        .join(Plan::scan(scan("orders")), vec![0], vec![0])
+        .join(Plan::scan(scan("part").global()), vec![1], vec![0])
+        .filter(Expr::like(col(26), "%green%")) // p_name
+        .join(Plan::scan(scan("supplier").global()), vec![2], vec![0])
+        .join(Plan::scan(scan("nation").global()), vec![37], vec![0])
+        .join(
+            Plan::scan(scan("partsupp").global()),
+            vec![1, 2],
+            vec![0, 1],
+        )
+        .project(
+            vec![
+                col(42), // n_name
+                Expr::ExtractYear(Box::new(col(20))),
+                Expr::sub(revenue(5, 6), Expr::mul(col(48), col(4))),
+            ],
+            vec!["nation", "o_year", "amount"],
+        )
+        .aggregate(vec![0, 1], vec![AggSpec::sum(col(2))])
+        .sort(vec![SortKey::asc(0), SortKey::desc(1)])
+}
+
+/// Q10: returned item reporting (top 20 customers).
+fn q10() -> Plan {
+    Plan::scan(scan("lineitem").predicate(Predicate::eq(8, "R")))
+        .join(
+            Plan::scan(scan("orders").predicate(Predicate::And(vec![
+                Predicate::cmp(4, CmpOp::Ge, d(1993, 10, 1)),
+                Predicate::cmp(4, CmpOp::Lt, d(1994, 1, 1)),
+            ]))),
+            vec![0],
+            vec![0],
+        )
+        .join(Plan::scan(scan("customer").global()), vec![17], vec![0])
+        .join(Plan::scan(scan("nation").global()), vec![28], vec![0])
+        .aggregate(
+            vec![25, 26, 30, 34], // c_custkey, c_name, c_acctbal, n_name
+            vec![AggSpec::sum(revenue(5, 6))],
+        )
+        .sort(vec![SortKey::desc(4)])
+        .limit(20)
+}
+
+/// Q11 (simplified): important stock in GERMANY; the spec's
+/// "> fraction of total" subquery becomes a constant threshold.
+fn q11() -> Plan {
+    Plan::scan(scan("partsupp"))
+        .join(Plan::scan(scan("supplier").global()), vec![1], vec![0])
+        .join(
+            Plan::scan(scan("nation").global().predicate(Predicate::eq(1, "GERMANY"))),
+            vec![8],
+            vec![0],
+        )
+        .aggregate(vec![0], vec![AggSpec::sum(Expr::mul(col(3), col(2)))])
+        .filter(Expr::cmp(CmpOp::Gt, col(1), lit(75_000.0)))
+        .sort(vec![SortKey::desc(1)])
+}
+
+/// Q12: shipping modes and order priority.
+fn q12() -> Plan {
+    let urgent = Expr::Or(vec![
+        Expr::eq(col(21), lit("1-URGENT")),
+        Expr::eq(col(21), lit("2-HIGH")),
+    ]);
+    Plan::scan(scan("lineitem").predicate(Predicate::And(vec![
+        Predicate::Or(vec![Predicate::eq(14, "MAIL"), Predicate::eq(14, "SHIP")]),
+        Predicate::cmp(12, CmpOp::Ge, d(1994, 1, 1)),
+        Predicate::cmp(12, CmpOp::Lt, d(1995, 1, 1)),
+    ])))
+    .filter(Expr::And(vec![
+        Expr::cmp(CmpOp::Lt, col(11), col(12)), // commit < receipt
+        Expr::cmp(CmpOp::Lt, col(10), col(11)), // ship < commit
+    ]))
+    .join(Plan::scan(scan("orders")), vec![0], vec![0])
+    .aggregate(
+        vec![14], // l_shipmode
+        vec![
+            AggSpec::sum(Expr::Case {
+                whens: vec![(urgent.clone(), lit(1i64))],
+                otherwise: Box::new(lit(0i64)),
+            }),
+            AggSpec::sum(Expr::Case {
+                whens: vec![(urgent, lit(0i64))],
+                otherwise: Box::new(lit(1i64)),
+            }),
+        ],
+    )
+    .sort(vec![SortKey::asc(0)])
+}
+
+/// Q13: customer distribution (two-level aggregate ⇒ Global scans).
+fn q13() -> Plan {
+    Plan::scan(scan("customer").global())
+        .join_kind(
+            Plan::scan(scan("orders").global())
+                .filter(Expr::Like {
+                    expr: Box::new(col(8)),
+                    pattern: "%special%requests%".into(),
+                    negated: true,
+                }),
+            vec![0],
+            vec![1],
+            JoinKind::Left,
+        )
+        .aggregate(
+            vec![0],
+            vec![AggSpec::new(AggFunc::Count, col(8))], // count(o_orderkey), NULL-skipping
+        )
+        .aggregate(vec![1], vec![AggSpec::count_star()])
+        .sort(vec![SortKey::desc(1), SortKey::desc(0)])
+}
+
+/// Q14: promotion effect.
+fn q14() -> Plan {
+    Plan::scan(scan("lineitem").predicate(Predicate::And(vec![
+        Predicate::cmp(10, CmpOp::Ge, d(1995, 9, 1)),
+        Predicate::cmp(10, CmpOp::Lt, d(1995, 10, 1)),
+    ])))
+    .join(Plan::scan(scan("part").global()), vec![1], vec![0])
+    .project(
+        vec![
+            Expr::Case {
+                whens: vec![(Expr::like(col(20), "PROMO%"), revenue(5, 6))],
+                otherwise: Box::new(lit(0.0)),
+            },
+            revenue(5, 6),
+        ],
+        vec!["promo", "rev"],
+    )
+    .aggregate(vec![], vec![AggSpec::sum(col(0)), AggSpec::sum(col(1))])
+    .project(
+        vec![Expr::mul(lit(100.0), Expr::div(col(0), col(1)))],
+        vec!["promo_revenue"],
+    )
+}
+
+/// Q15 (simplified): top supplier by quarterly revenue; the spec's
+/// "= max(total)" becomes ORDER BY … LIMIT 1. Aggregate feeds a join ⇒
+/// Global scans.
+fn q15() -> Plan {
+    Plan::scan(scan("lineitem").global().predicate(Predicate::And(vec![
+        Predicate::cmp(10, CmpOp::Ge, d(1996, 1, 1)),
+        Predicate::cmp(10, CmpOp::Lt, d(1996, 4, 1)),
+    ])))
+    .aggregate(vec![2], vec![AggSpec::sum(revenue(5, 6))])
+    .join(Plan::scan(scan("supplier").global()), vec![0], vec![0])
+    .project(
+        vec![col(0), col(3), col(1)],
+        vec!["s_suppkey", "s_name", "total_revenue"],
+    )
+    .sort(vec![SortKey::desc(2), SortKey::asc(0)])
+    .limit(1)
+}
+
+/// Q16: parts/supplier relationship (anti join + count distinct).
+fn q16() -> Plan {
+    let complainers = Plan::scan(scan("supplier").global())
+        .filter(Expr::like(col(6), "%Customer%Complaints%"));
+    Plan::scan(scan("partsupp"))
+        .join(
+            Plan::scan(scan("part").global().predicate(Predicate::cmp(
+                3,
+                CmpOp::Ne,
+                "Brand#45",
+            ))),
+            vec![0],
+            vec![0],
+        )
+        .filter(Expr::And(vec![
+            Expr::Like {
+                expr: Box::new(col(9)),
+                pattern: "MEDIUM POLISHED%".into(),
+                negated: true,
+            },
+            Expr::InList {
+                expr: Box::new(col(10)),
+                list: vec![
+                    Value::Int(49),
+                    Value::Int(14),
+                    Value::Int(23),
+                    Value::Int(45),
+                    Value::Int(19),
+                    Value::Int(3),
+                    Value::Int(36),
+                    Value::Int(9),
+                ],
+                negated: false,
+            },
+        ]))
+        .join_kind(complainers, vec![1], vec![0], JoinKind::Anti)
+        .aggregate(
+            vec![8, 9, 10], // brand, type, size
+            vec![AggSpec::new(AggFunc::CountDistinct, col(1))],
+        )
+        .sort(vec![
+            SortKey::desc(3),
+            SortKey::asc(0),
+            SortKey::asc(1),
+            SortKey::asc(2),
+        ])
+}
+
+/// Q17 (two-phase avg ⇒ Global scans): small-quantity-order revenue.
+fn q17() -> Plan {
+    let avg_qty = Plan::scan(scan("lineitem").global())
+        .aggregate(vec![1], vec![AggSpec::avg(col(4))]); // per partkey
+    Plan::scan(scan("lineitem").global())
+        .join(
+            Plan::scan(scan("part").global().predicate(Predicate::And(vec![
+                Predicate::eq(3, "Brand#23"),
+                Predicate::eq(6, "MED BOX"),
+            ]))),
+            vec![1],
+            vec![0],
+        )
+        .join(avg_qty, vec![1], vec![0])
+        .filter(Expr::cmp(
+            CmpOp::Lt,
+            col(4),
+            Expr::mul(lit(0.2), col(26)),
+        ))
+        .aggregate(vec![], vec![AggSpec::sum(col(5))])
+        .project(vec![Expr::div(col(0), lit(7.0))], vec!["avg_yearly"])
+}
+
+/// Q18 (aggregate feeds joins ⇒ Global scans): large volume customers.
+fn q18() -> Plan {
+    Plan::scan(scan("lineitem").global())
+        .aggregate(vec![0], vec![AggSpec::sum(col(4))])
+        .filter(Expr::cmp(CmpOp::Gt, col(1), lit(300.0)))
+        .join(Plan::scan(scan("orders").global()), vec![0], vec![0])
+        .join(Plan::scan(scan("customer").global()), vec![3], vec![0])
+        .project(
+            vec![col(12), col(11), col(0), col(6), col(5), col(1)],
+            vec![
+                "c_name",
+                "c_custkey",
+                "o_orderkey",
+                "o_orderdate",
+                "o_totalprice",
+                "sum_qty",
+            ],
+        )
+        .sort(vec![SortKey::desc(4), SortKey::asc(3)])
+        .limit(100)
+}
+
+/// Q19: discounted revenue (disjunctive predicates).
+fn q19() -> Plan {
+    let arm = |brand: &str, containers: &[&str], qlo: f64, qhi: f64, size_hi: i64| {
+        Expr::And(vec![
+            Expr::eq(col(19), lit(brand)),
+            Expr::InList {
+                expr: Box::new(col(22)),
+                list: containers.iter().map(|c| Value::Str((*c).into())).collect(),
+                negated: false,
+            },
+            Expr::cmp(CmpOp::Ge, col(4), lit(qlo)),
+            Expr::cmp(CmpOp::Le, col(4), lit(qhi)),
+            Expr::cmp(CmpOp::Le, col(21), lit(size_hi)),
+            Expr::InList {
+                expr: Box::new(col(14)),
+                list: vec![Value::Str("AIR".into()), Value::Str("REG AIR".into())],
+                negated: false,
+            },
+            Expr::eq(col(13), lit("DELIVER IN PERSON")),
+        ])
+    };
+    Plan::scan(scan("lineitem"))
+        .join(Plan::scan(scan("part").global()), vec![1], vec![0])
+        .filter(Expr::Or(vec![
+            arm("Brand#12", &["SM CASE", "SM BOX"], 1.0, 11.0, 5),
+            arm("Brand#23", &["MED BAG", "MED BOX"], 10.0, 20.0, 10),
+            arm("Brand#34", &["LG CASE", "LG BOX"], 20.0, 30.0, 15),
+        ]))
+        .aggregate(vec![], vec![AggSpec::sum(revenue(5, 6))])
+}
+
+/// Q20 (simplified semi-join chain ⇒ Global scans): potential part
+/// promotion — CANADA suppliers of well-stocked "forest" parts.
+fn q20() -> Plan {
+    let forest_stock = Plan::scan(
+        scan("partsupp")
+            .global()
+            .predicate(Predicate::cmp(2, CmpOp::Gt, 500i64)),
+    )
+    .join(Plan::scan(scan("part").global()), vec![0], vec![0])
+    .filter(Expr::like(col(6), "forest%")) // p_name
+    .project(vec![col(1)], vec!["ps_suppkey"]);
+    Plan::scan(scan("supplier").global())
+        .join(
+            Plan::scan(scan("nation").global().predicate(Predicate::eq(1, "CANADA"))),
+            vec![3],
+            vec![0],
+        )
+        .join_kind(forest_stock, vec![0], vec![0], JoinKind::Semi)
+        .project(vec![col(1), col(2)], vec!["s_name", "s_address"])
+        .sort(vec![SortKey::asc(0)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_build() {
+        for q in 1..=TPCH_QUERY_COUNT {
+            let plan = tpch_query(q);
+            assert!(!plan.tables().is_empty(), "Q{q} scans nothing");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn q21_not_implemented() {
+        tpch_query(21);
+    }
+
+    #[test]
+    fn lineitem_queries_scan_lineitem() {
+        for q in [1, 3, 6, 12, 14, 19] {
+            assert!(
+                tpch_query(q).tables().contains(&"lineitem"),
+                "Q{q} missing lineitem"
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the Eon-mode reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem crate so that examples
+//! and downstream users can depend on a single crate.
+
+pub use eon_cache as cache;
+pub use eon_catalog as catalog;
+pub use eon_cluster as cluster;
+pub use eon_columnar as columnar;
+pub use eon_core as core;
+pub use eon_enterprise as enterprise;
+pub use eon_exec as exec;
+pub use eon_shard as shard;
+pub use eon_sql as sql;
+pub use eon_storage as storage;
+pub use eon_tm as tm;
+pub use eon_types as types;
+pub use eon_workload as workload;

@@ -1,0 +1,102 @@
+//! SQL front end vs plan API on real TPC-H data: the same query
+//! expressed both ways must return the same rows. This pins the whole
+//! pipeline — parser, name resolution, predicate pushdown, distributed
+//! execution — against the independently hand-planned workloads.
+
+use std::sync::Arc;
+
+use eon_core::{EonConfig, EonDb};
+use eon_storage::MemFs;
+use eon_workload::tpch::{load_tpch_eon, TpchData};
+use eon_workload::tpch_query;
+
+fn setup() -> Arc<EonDb> {
+    let data = TpchData::generate(0.002, 0x501);
+    let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(3, 3)).unwrap();
+    load_tpch_eon(&db, &data).unwrap();
+    db
+}
+
+fn approx_eq(a: &[Vec<eon_types::Value>], b: &[Vec<eon_types::Value>]) -> bool {
+    use eon_types::Value;
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(x, y)| match (x, y) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        let scale = x.abs().max(y.abs()).max(1.0);
+                        (x - y).abs() / scale < 1e-9
+                    }
+                    _ => x == y,
+                })
+        })
+}
+
+#[test]
+fn q1_pricing_summary_via_sql() {
+    let db = setup();
+    let sql = "SELECT l_returnflag, l_linestatus, \
+                      SUM(l_quantity), SUM(l_extendedprice), \
+                      SUM(l_extendedprice * (1 - l_discount)), \
+                      SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)), \
+                      AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount), COUNT(*) \
+               FROM lineitem \
+               WHERE l_shipdate <= DATE '1998-09-02' \
+               GROUP BY l_returnflag, l_linestatus \
+               ORDER BY l_returnflag, l_linestatus";
+    let via_sql = db.sql(sql).unwrap();
+    let via_plan = db.query(&tpch_query(1)).unwrap();
+    assert!(!via_sql.is_empty());
+    assert!(approx_eq(&via_sql, &via_plan), "Q1 mismatch");
+}
+
+#[test]
+fn q6_forecast_revenue_via_sql() {
+    let db = setup();
+    let sql = "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+               WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+                 AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
+    let via_sql = db.sql(sql).unwrap();
+    let via_plan = db.query(&tpch_query(6)).unwrap();
+    assert!(approx_eq(&via_sql, &via_plan), "Q6 mismatch: {via_sql:?} vs {via_plan:?}");
+}
+
+#[test]
+fn q3_shipping_priority_via_sql() {
+    let db = setup();
+    // The plan version scans lineitem first; SQL puts orders first —
+    // different join orders, same rows (up to float rounding).
+    let sql = "SELECT l.l_orderkey, o.o_orderdate, o.o_shippriority, \
+                      SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+               FROM lineitem l \
+               JOIN orders o ON l.l_orderkey = o.o_orderkey \
+               JOIN customer c ON o.o_custkey = c.c_custkey \
+               WHERE c.c_mktsegment = 'BUILDING' \
+                 AND o.o_orderdate < DATE '1995-03-15' \
+                 AND l.l_shipdate > DATE '1995-03-15' \
+               GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority \
+               ORDER BY revenue DESC, 2 ASC LIMIT 10";
+    let via_sql = db.sql(sql).unwrap();
+    // The plan version's output is (okey, odate, priority, revenue) too.
+    let via_plan = db.query(&tpch_query(3)).unwrap();
+    assert!(approx_eq(&via_sql, &via_plan), "Q3 mismatch");
+}
+
+#[test]
+fn q10_returned_items_via_sql() {
+    let db = setup();
+    let sql = "SELECT c.c_custkey, c.c_name, c.c_acctbal, n.n_name, \
+                      SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+               FROM lineitem l \
+               JOIN orders o ON l.l_orderkey = o.o_orderkey \
+               JOIN customer c ON o.o_custkey = c.c_custkey \
+               JOIN nation n ON c.c_nationkey = n.n_nationkey \
+               WHERE l.l_returnflag = 'R' \
+                 AND o.o_orderdate >= DATE '1993-10-01' \
+                 AND o.o_orderdate < DATE '1994-01-01' \
+               GROUP BY c.c_custkey, c.c_name, c.c_acctbal, n.n_name \
+               ORDER BY revenue DESC LIMIT 20";
+    let via_sql = db.sql(sql).unwrap();
+    let via_plan = db.query(&tpch_query(10)).unwrap();
+    assert!(approx_eq(&via_sql, &via_plan), "Q10 mismatch");
+}
