@@ -1,0 +1,261 @@
+//! Crash-schedule chaos harness (DESIGN.md "Fault model").
+//!
+//! Drives a fixed workload schedule — loads, a parallel query, DML,
+//! mergeout, metadata sync, restart of every node, and a full §3.5
+//! revive — against a cluster whose [`FaultPlan`] is armed to crash at
+//! one named site. After every injected crash the harness restarts the
+//! dead nodes and re-runs the failed step (the plan is one-shot, so the
+//! retry runs clean), then verifies the crash-consistency invariants
+//! via [`eon_core::check_crash_invariants`]:
+//!
+//! * committed data answers **exactly** (nothing lost, nothing
+//!   duplicated, no uncommitted rows visible);
+//! * every catalog reference resolves on shared storage;
+//! * the leak scan reclaims every crash-orphaned upload.
+//!
+//! The whole run is deterministic for a given `(seed, ambiguous)`
+//! pair: the fault plan, the S3 simulator's failure dice, participant
+//! selection, and mergeout all draw from seeded RNGs, so two runs fire
+//! the same crashes and converge to the same final state. The
+//! [`CrashRunReport::digest`] folds the fired sites, the final table
+//! contents, and the surviving `data/` keys into one value the
+//! determinism tests (and `chaos_sweep --seeds N`) compare across runs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use eon_columnar::pruning::CmpOp;
+use eon_columnar::{Predicate, Projection};
+use eon_core::{check_crash_invariants, EonConfig, EonDb, TableModel};
+use eon_exec::{Plan, ScanSpec};
+use eon_storage::fault::SITES;
+use eon_storage::{FaultInjector, FaultPlan, S3Config, S3SimFs};
+use eon_types::{schema, EonError, NodeId, Value};
+
+/// Nodes (= shards) in the chaos cluster. Small enough to keep a
+/// 32-seed sweep fast, large enough that one dead node leaves the
+/// cluster viable (k-safety 1) and failover has somewhere to go.
+const NODES: usize = 3;
+
+/// Ambiguous-outcome probability when the sweep runs in `ambiguous`
+/// mode: one in twenty PUT/DELETEs is applied but reports an error.
+const AMBIGUOUS_RATE: f64 = 0.05;
+
+/// Outcome of one crash-schedule run that upheld every invariant.
+#[derive(Debug, Clone)]
+pub struct CrashRunReport {
+    /// Site names of the injected crashes, in firing order.
+    pub fired: Vec<String>,
+    /// Injected crashes observed by the driver (a crash during
+    /// recovery itself also counts).
+    pub crashes: usize,
+    /// Orphaned objects the post-crash leak scans reclaimed.
+    pub reclaimed: usize,
+    /// Rows the table holds at the end of the schedule.
+    pub rows: usize,
+    /// Order-insensitive fingerprint of (fired sites, final rows,
+    /// surviving `data/` keys) for cross-run determinism checks.
+    pub digest: u64,
+}
+
+/// Arm a seeded plan over every named site and run the schedule.
+pub fn seeded_crash_schedule(seed: u64, ambiguous: bool) -> Result<CrashRunReport, String> {
+    crash_schedule(FaultPlan::seeded(seed, SITES, NODES as u64), seed, ambiguous)
+}
+
+/// Kill-and-restart every node in turn. Cycling even healthy nodes
+/// gives each a fresh instance id, so uploads orphaned by an earlier
+/// crash stop looking like a live node's in-flight work and the leak
+/// scan may reclaim them. A fault firing *during* recovery (e.g. a
+/// checkpoint site reached while catching up) counts as one more crash
+/// and the restart is retried — the plan is one-shot, so the second
+/// attempt runs clean.
+fn restart_all(db: &Arc<EonDb>, crashes: &mut usize) -> Result<(), String> {
+    for id in 0..NODES as u64 {
+        let mut attempts = 0;
+        loop {
+            if let Some(node) = db.membership().get(NodeId(id)) {
+                if node.is_up() {
+                    db.kill_node(NodeId(id))
+                        .map_err(|e| format!("kill node{id}: {e}"))?;
+                }
+            }
+            match db.restart_node(NodeId(id)) {
+                Ok(_) => break,
+                Err(EonError::FaultInjected(_)) if attempts == 0 => {
+                    attempts += 1;
+                    *crashes += 1;
+                }
+                Err(e) => return Err(format!("restart node{id}: {e}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run one schedule step. An injected crash "kills the process": the
+/// driver restarts every node (fresh instances, local recovery from
+/// shared storage) and re-runs the step, which must then succeed —
+/// every fault site sits *before* its commit, so a crashed step left
+/// no committed trace and the retry is a plain re-execution.
+fn step<F>(db: &Arc<EonDb>, crashes: &mut usize, what: &str, f: F) -> Result<(), String>
+where
+    F: Fn(&Arc<EonDb>) -> eon_types::Result<()>,
+{
+    match f(db) {
+        Ok(()) => Ok(()),
+        Err(EonError::FaultInjected(site)) => {
+            *crashes += 1;
+            restart_all(db, crashes)?;
+            f(db).map_err(|e| format!("{what}: retry after crash at {site} failed: {e}"))
+        }
+        Err(e) => Err(format!("{what}: {e}")),
+    }
+}
+
+fn int_rows(range: std::ops::Range<i64>) -> Vec<Vec<Value>> {
+    range.map(|i| vec![Value::Int(i), Value::Int(i * 7)]).collect()
+}
+
+fn scan_sorted(db: &Arc<EonDb>) -> Result<Vec<Vec<Value>>, String> {
+    let mut rows = db
+        .query(&Plan::scan(ScanSpec::new("t")))
+        .map_err(|e| format!("scan: {e}"))?;
+    rows.sort();
+    Ok(rows)
+}
+
+/// Run the full crash schedule with `plan` armed. Returns the report
+/// if every step completed and every invariant held, else a
+/// description of the first violation.
+pub fn crash_schedule(
+    plan: FaultInjector,
+    s3_seed: u64,
+    ambiguous: bool,
+) -> Result<CrashRunReport, String> {
+    let s3 = Arc::new(S3SimFs::new(S3Config {
+        ambiguous_rate: if ambiguous { AMBIGUOUS_RATE } else { 0.0 },
+        seed: s3_seed,
+        ..S3Config::instant()
+    }));
+    let config = EonConfig::new(NODES, NODES).faults(plan.clone());
+    // No fault site precedes the first commit, so creation cannot crash.
+    let db = EonDb::create(s3.clone(), config.clone()).map_err(|e| format!("create: {e}"))?;
+    let s = schema![("id", Int), ("v", Int)];
+    db.create_table(
+        "t",
+        s.clone(),
+        vec![Projection::super_projection("p", &s, &[0], &[0])],
+    )
+    .map_err(|e| format!("create_table: {e}"))?;
+
+    let mut model = TableModel::new("t");
+    let mut crashes = 0usize;
+    let mut reclaimed = 0usize;
+
+    // Two loads: exercises load.pre_upload / load.upload /
+    // load.pre_commit, the second against a non-empty table.
+    for batch in [int_rows(0..600), int_rows(600..1200)] {
+        step(&db, &mut crashes, "copy", |db| {
+            db.copy_into("t", batch.clone()).map(|_| ())
+        })?;
+        model.rows.extend(batch);
+    }
+
+    // Parallel scan: the query.worker.local site kills a participant
+    // mid-query; failover must still return the exact answer.
+    let got = scan_sorted(&db)?;
+    let mut want = model.rows.clone();
+    want.sort();
+    if got != want {
+        return Err(format!(
+            "mid-schedule scan inexact: got {} rows, want {}",
+            got.len(),
+            want.len()
+        ));
+    }
+
+    // DML: delete vectors via dml.upload / dml.pre_commit.
+    step(&db, &mut crashes, "delete", |db| {
+        db.delete_where("t", &Predicate::cmp(0, CmpOp::Lt, 200i64))
+            .map(|_| ())
+    })?;
+    model.rows.retain(|r| !matches!(r[0], Value::Int(i) if i < 200));
+
+    // Mergeout rewrites containers (mergeout.pre_write / pre_commit)
+    // and parks the replaced files with the reaper.
+    step(&db, &mut crashes, "mergeout", |db| {
+        db.run_mergeout().map(|_| ())
+    })?;
+
+    // Metadata sync: checkpoints (catalog.ckpt.pre_write), per-node
+    // uploads (catalog.sync.*), and cluster_info (sync.pre_info_write).
+    step(&db, &mut crashes, "sync", |db| {
+        db.sync_metadata(1_000).map(|_| ())
+    })?;
+
+    // One more load after the sync so revive has to recover past the
+    // last checkpoint from the txn-log tail.
+    let batch = int_rows(1200..1500);
+    step(&db, &mut crashes, "copy", |db| {
+        db.copy_into("t", batch.clone()).map(|_| ())
+    })?;
+    model.rows.extend(batch);
+
+    // Unconditional full restart: whatever crashed above, every node
+    // now recovers from disk + shared storage under a fresh instance.
+    restart_all(&db, &mut crashes)?;
+
+    // Final sync so the consensus truncation covers every commit —
+    // revive must lose nothing.
+    step(&db, &mut crashes, "final sync", |db| {
+        db.sync_metadata(2_000).map(|_| ())
+    })?;
+
+    let report = check_crash_invariants(&db, std::slice::from_ref(&model))
+        .map_err(|e| format!("post-restart invariants: {e}"))?;
+    reclaimed += report.reclaimed.len();
+
+    // Cluster death and §3.5 revive: drop the old cluster, wait out
+    // the lease, and bring the database back from shared storage
+    // alone. The revive sites crash after the lease check and before
+    // the new cluster_info write; both leave shared storage revivable.
+    drop(db);
+    let revive_now = 5_000_000;
+    let db = match EonDb::revive(s3.clone(), config.clone(), revive_now) {
+        Ok(db) => db,
+        Err(EonError::FaultInjected(_)) => {
+            crashes += 1;
+            EonDb::revive(s3.clone(), config.clone(), revive_now)
+                .map_err(|e| format!("revive retry: {e}"))?
+        }
+        Err(e) => return Err(format!("revive: {e}")),
+    };
+
+    let report = check_crash_invariants(&db, std::slice::from_ref(&model))
+        .map_err(|e| format!("post-revive invariants: {e}"))?;
+    reclaimed += report.reclaimed.len();
+
+    // Determinism fingerprint: what crashed, what the table holds, and
+    // which objects survived on shared storage.
+    let fired: Vec<String> = plan.fired().into_iter().map(|e| e.site).collect();
+    let rows = scan_sorted(&db)?;
+    let mut keys = db
+        .shared()
+        .list("data/")
+        .map_err(|e| format!("list: {e}"))?;
+    keys.sort();
+    let mut h = DefaultHasher::new();
+    fired.hash(&mut h);
+    format!("{rows:?}").hash(&mut h);
+    keys.hash(&mut h);
+
+    Ok(CrashRunReport {
+        fired,
+        crashes,
+        reclaimed,
+        rows: rows.len(),
+        digest: h.finish(),
+    })
+}

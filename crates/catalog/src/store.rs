@@ -11,7 +11,8 @@
 use eon_types::{EonError, Result, TxnVersion};
 use parking_lot::Mutex;
 
-use eon_storage::SharedFs;
+use eon_storage::fault::{site, FaultPlan};
+use eon_storage::{FaultInjector, SharedFs};
 
 use crate::log::{ckpt_key, txn_key, version_of_key, Checkpoint, TxnRecord};
 use crate::state::CatalogState;
@@ -41,6 +42,9 @@ pub struct CatalogStore {
     shared_prefix: String,
     /// Highest version uploaded to shared storage.
     uploaded_hi: Mutex<TxnVersion>,
+    /// Crash-point plan threaded down from the database config
+    /// (DESIGN.md "Fault model"); inert unless a chaos test arms it.
+    faults: Mutex<FaultInjector>,
 }
 
 const LOCAL_PREFIX: &str = "catalog/";
@@ -52,7 +56,14 @@ impl CatalogStore {
             shared,
             shared_prefix: format!("meta/{incarnation}/"),
             uploaded_hi: Mutex::new(TxnVersion::ZERO),
+            faults: Mutex::new(FaultPlan::inert()),
         }
+    }
+
+    /// Install the crash-point plan (called when the owning node is
+    /// commissioned or restarted).
+    pub fn set_faults(&self, faults: FaultInjector) {
+        *self.faults.lock() = faults;
     }
 
     pub fn shared_prefix(&self) -> &str {
@@ -70,6 +81,7 @@ impl CatalogStore {
     /// Write a checkpoint locally and prune old checkpoints + the log
     /// records they subsume, retaining [`CHECKPOINTS_RETAINED`].
     pub fn write_checkpoint(&self, ckpt: &Checkpoint) -> Result<()> {
+        self.faults.lock().hit(site::CKPT_PRE_WRITE)?;
         self.local
             .write(&ckpt_key(LOCAL_PREFIX, ckpt.version), ckpt.encode())?;
         let mut ckpts = self.local.list(&format!("{LOCAL_PREFIX}ckpt/"))?;
@@ -95,6 +107,7 @@ impl CatalogStore {
     /// sync, §3.5, and the flush on clean shutdown). Returns the new
     /// sync interval.
     pub fn sync_to_shared(&self) -> Result<SyncInterval> {
+        self.faults.lock().hit(site::SYNC_PRE_UPLOAD)?;
         for kind in ["ckpt/", "txn/"] {
             let local_keys = self.local.list(&format!("{LOCAL_PREFIX}{kind}"))?;
             let shared_keys = self.shared.list(&format!("{}{kind}", self.shared_prefix))?;
@@ -102,6 +115,9 @@ impl CatalogStore {
                 let suffix = lk.trim_start_matches(LOCAL_PREFIX);
                 let sk = format!("{}{suffix}", self.shared_prefix);
                 if !shared_keys.contains(&sk) {
+                    // A crash here leaves the sync interval partially
+                    // advanced: some files uploaded, later ones not.
+                    self.faults.lock().hit(site::SYNC_MID_UPLOAD)?;
                     let data = self.local.read(&lk)?;
                     // §5.3 retry loop: uploads must survive transient
                     // S3 failures or the sync interval never advances.

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use eon_cache::FileCache;
 use eon_catalog::{Catalog, CatalogStore, Checkpoint};
-use eon_storage::{InstanceId, MemFs, SharedFs, SidFactory, StorageId};
+use eon_storage::{FaultInjector, InstanceId, MemFs, SharedFs, SidFactory, StorageId};
 use eon_types::{NodeId, Result, TxnVersion};
 
 use crate::slots::ExecSlots;
@@ -99,6 +99,13 @@ impl NodeRuntime {
 
     pub fn is_up(&self) -> bool {
         self.up.load(Ordering::SeqCst)
+    }
+
+    /// Install the crash-point plan on this node's catalog store
+    /// (called by the database when the node is commissioned or
+    /// restarted, so recovery code paths are instrumented too).
+    pub fn set_faults(&self, faults: FaultInjector) {
+        self.store.set_faults(faults);
     }
 
     /// Simulate process death. In-memory catalog/cache index are gone;

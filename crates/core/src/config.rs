@@ -1,5 +1,8 @@
 //! Database configuration.
 
+use eon_storage::fault::FaultPlan;
+use eon_storage::FaultInjector;
+
 /// Configuration for an Eon-mode database. The segment shard count is
 /// fixed at creation (§3.1); everything else can vary over the
 /// database's life.
@@ -25,6 +28,11 @@ pub struct EonConfig {
     /// the host CPU (DESIGN.md §1) — without it, 3 simulated nodes and
     /// 9 simulated nodes have identical total compute.
     pub fragment_ms: u64,
+    /// Crash-point fault plan (DESIGN.md "Fault model"). Inert by
+    /// default; chaos tests install a seeded [`FaultPlan`] to kill the
+    /// process at a named commit-path site. Shared (`Arc`) so every
+    /// layer sees the same one-shot schedule.
+    pub faults: FaultInjector,
 }
 
 impl Default for EonConfig {
@@ -38,6 +46,7 @@ impl Default for EonConfig {
             cache_bytes: 256 << 20,
             lease_ms: 10_000,
             fragment_ms: 0,
+            faults: FaultPlan::inert(),
         }
     }
 }
@@ -68,6 +77,11 @@ impl EonConfig {
 
     pub fn fragment_ms(mut self, ms: u64) -> Self {
         self.fragment_ms = ms;
+        self
+    }
+
+    pub fn faults(mut self, plan: FaultInjector) -> Self {
+        self.faults = plan;
         self
     }
 }

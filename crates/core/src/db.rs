@@ -137,14 +137,16 @@ impl EonDb {
 
     pub(crate) fn commission_node(&self, id: NodeId) -> Arc<NodeRuntime> {
         let seed = self.instance_seed.fetch_add(1, Ordering::Relaxed);
-        NodeRuntime::new(
+        let node = NodeRuntime::new(
             id,
             self.shared.clone(),
             &format!("{}/node{}", self.incarnation(), id.0),
             self.config.cache_bytes,
             self.config.exec_slots,
             seed,
-        )
+        );
+        node.set_faults(self.config.faults.clone());
+        node
     }
 
     /// Any up node, rotated by the session counter — clients connect to

@@ -8,6 +8,7 @@
 
 use eon_cache::CacheMode;
 use eon_catalog::CatalogOp;
+use eon_storage::fault::site as fault_site;
 use eon_columnar::{DeleteVector, Predicate};
 use eon_exec::crunch::CrunchSlice;
 use eon_exec::{Plan, ScanSpec};
@@ -54,6 +55,9 @@ impl EonDb {
             total += positions.len() as u64;
             let dv = DeleteVector::new(positions);
             let key = coord.next_sid().object_key_with("dv");
+            // Crash site: dies between delete-vector uploads, orphaning
+            // any DV files already on shared storage.
+            self.config.faults.hit(fault_site::DML_UPLOAD)?;
             // Delete marks are files too: cache + upload before commit.
             coord.cache.put_through(&key, dv.encode())?;
             txn.push(CatalogOp::AddDeleteVector(eon_catalog::DeleteVectorMeta {
@@ -67,6 +71,9 @@ impl EonDb {
         if total == 0 {
             return Ok(0);
         }
+        // Crash site: delete vectors uploaded, commit never runs — the
+        // deletes must stay invisible and the DV files get reclaimed.
+        self.config.faults.hit(fault_site::DML_PRE_COMMIT)?;
         self.commit_cluster(txn, &coord)?;
         Ok(total)
     }

@@ -1,0 +1,175 @@
+//! Crash-consistency invariants (DESIGN.md "Fault model").
+//!
+//! After an injected crash plus restart/revive, three things must hold
+//! — they are the operational content of §3.5 ("committed transactions
+//! never lose files"), snapshot isolation (uncommitted work is
+//! invisible), and §6.5 (reference-counted deletion reclaims every
+//! orphan):
+//!
+//! 1. **Exactness** — every committed table answers a full scan with
+//!    exactly its model rows: nothing lost, nothing duplicated, and no
+//!    uncommitted rows leaking in.
+//! 2. **No dangling references** — every container and delete-vector
+//!    key in the catalog exists on shared storage.
+//! 3. **No leaks** — after a leak scan, every `data/` object on shared
+//!    storage is referenced by the catalog or parked with the reaper;
+//!    crash-orphaned uploads are gone.
+//!
+//! The chaos harness (`eon-bench::chaos`) drives a seeded crash
+//! schedule and calls [`check_crash_invariants`] after each recovery.
+
+use eon_exec::{Plan, ScanSpec};
+use eon_types::{EonError, Result, Value};
+
+use crate::db::EonDb;
+
+/// What the database *should* contain for one table: the rows of every
+/// transaction whose commit returned success. Order-insensitive.
+#[derive(Debug, Clone, Default)]
+pub struct TableModel {
+    pub name: String,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl TableModel {
+    pub fn new(name: &str) -> Self {
+        TableModel {
+            name: name.to_owned(),
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// Evidence from a passing invariant check.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    /// Orphaned files the leak scan reclaimed.
+    pub reclaimed: Vec<String>,
+    /// `data/` objects on shared storage after the scan.
+    pub live_objects: usize,
+}
+
+/// Verify the crash-consistency invariants against `models`. Returns
+/// the report on success, the first violated invariant as an error.
+pub fn check_crash_invariants(db: &EonDb, models: &[TableModel]) -> Result<InvariantReport> {
+    // 1. Exactness: committed data answers exactly; uncommitted loads
+    //    are invisible. Sort both sides — COPY order is not row order.
+    for model in models {
+        let plan = Plan::scan(ScanSpec::new(&model.name));
+        let mut got = db.query(&plan)?;
+        got.sort();
+        let mut want = model.rows.clone();
+        want.sort();
+        if got != want {
+            return Err(EonError::Internal(format!(
+                "exactness violated for {}: got {} rows, want {}",
+                model.name,
+                got.len(),
+                want.len()
+            )));
+        }
+    }
+
+    // 2. No dangling references: every catalog key is durable.
+    let snap = db.snapshot()?;
+    for c in snap.containers.values() {
+        if !db.shared().exists(&c.key)? {
+            return Err(EonError::Internal(format!(
+                "container {} references missing object {}",
+                c.oid, c.key
+            )));
+        }
+    }
+    for dv in snap.delete_vectors.values() {
+        if !db.shared().exists(&dv.key)? {
+            return Err(EonError::Internal(format!(
+                "delete vector {} references missing object {}",
+                dv.oid, dv.key
+            )));
+        }
+    }
+
+    // 3. No leaks: reclaim crash orphans, then account for every
+    //    remaining data object.
+    let reclaimed = db.leak_scan()?;
+    let mut referenced: std::collections::HashSet<String> = snap
+        .containers
+        .values()
+        .map(|c| c.key.clone())
+        .chain(snap.delete_vectors.values().map(|d| d.key.clone()))
+        .collect();
+    referenced.extend(db.reaper.pending_keys());
+    let survivors = db.shared().list("data/")?;
+    for key in &survivors {
+        if !referenced.contains(key) {
+            // Only a live node's in-flight uploads may escape the scan.
+            let live = db
+                .membership()
+                .up_nodes()
+                .iter()
+                .any(|n| eon_storage::StorageId::key_has_instance(key, n.instance()));
+            if !live {
+                return Err(EonError::Internal(format!(
+                    "leaked object survived the scan: {key}"
+                )));
+            }
+        }
+    }
+    Ok(InvariantReport {
+        reclaimed,
+        live_objects: survivors.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EonConfig;
+    use eon_columnar::Projection;
+    use eon_storage::MemFs;
+    use eon_types::schema;
+    use std::sync::Arc;
+
+    fn db_and_model() -> (Arc<EonDb>, TableModel) {
+        let db = EonDb::create(Arc::new(MemFs::new()), EonConfig::new(3, 3)).unwrap();
+        let s = schema![("id", Int), ("v", Int)];
+        db.create_table(
+            "t",
+            s.clone(),
+            vec![Projection::super_projection("p", &s, &[0], &[0])],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+            .collect();
+        db.copy_into("t", rows.clone()).unwrap();
+        let mut model = TableModel::new("t");
+        model.rows = rows;
+        (db, model)
+    }
+
+    #[test]
+    fn healthy_database_passes() {
+        let (db, model) = db_and_model();
+        let report = check_crash_invariants(&db, &[model]).unwrap();
+        assert!(report.reclaimed.is_empty());
+        assert!(report.live_objects > 0);
+    }
+
+    #[test]
+    fn wrong_model_fails_exactness() {
+        let (db, mut model) = db_and_model();
+        model.rows.pop();
+        assert!(check_crash_invariants(&db, &[model]).is_err());
+    }
+
+    #[test]
+    fn orphan_from_dead_instance_is_reclaimed() {
+        let (db, model) = db_and_model();
+        db.shared()
+            .write("data/ab/00000000000000000000000000000cafe_0000000000000001", bytes::Bytes::from_static(b"orphan"))
+            .unwrap();
+        let report = check_crash_invariants(&db, &[model]).unwrap();
+        assert_eq!(report.reclaimed.len(), 1);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod config;
 pub mod db;
 pub mod ddl;
+pub mod invariants;
 pub mod lap;
 pub mod dml;
 pub mod lifecycle;
@@ -34,4 +35,5 @@ pub mod sql_api;
 
 pub use config::EonConfig;
 pub use db::EonDb;
+pub use invariants::{check_crash_invariants, InvariantReport, TableModel};
 pub use query::SessionOpts;

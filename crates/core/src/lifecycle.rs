@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use eon_catalog::{CatalogOp, CatalogState, ClusterInfo, SubState, Subscription};
 use eon_cluster::NodeRuntime;
+use eon_storage::fault::site as fault_site;
 use eon_shard::{can_drop_subscription, rebalance_plan};
 use eon_types::{EonError, NodeId, Result, TxnVersion};
 
@@ -58,6 +59,7 @@ impl EonDb {
             self.config.exec_slots,
             seed,
         );
+        node.set_faults(self.config.faults.clone());
         node.recover_local()?;
 
         // Metadata transfer *before* rejoining the commit fan-out: the
@@ -304,6 +306,9 @@ impl EonDb {
             )));
         }
         let truncation = info.truncation_version;
+        // Crash site: lease checked, nothing recovered yet — a retried
+        // revive must start over cleanly.
+        config.faults.hit(fault_site::REVIVE_POST_LEASE)?;
 
         // Find the best recoverable state at or below the truncation
         // version across the old incarnation's per-node uploads.
@@ -385,6 +390,11 @@ impl EonDb {
             }));
         }
         db.commit_cluster(txn, &coord)?;
+
+        // Crash site: cluster rebuilt in memory but the committing
+        // `cluster_info.json` write never happens — the old info (and
+        // its expired lease) still governs; a retried revive succeeds.
+        db.config.faults.hit(fault_site::REVIVE_PRE_INFO_WRITE)?;
 
         // Commit point of revive: the new cluster_info.json (§3.5).
         let new_info = ClusterInfo {

@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use eon_catalog::{CatalogOp, ContainerMeta, SubState};
 use eon_cluster::NodeRuntime;
+use eon_storage::fault::site as fault_site;
 use eon_columnar::{split_rows_by_shard, Projection, RosWriter};
 use eon_shard::{select_participants, AssignmentProblem};
 use eon_types::{EonError, NodeId, Result, ShardId, Value};
@@ -108,6 +109,9 @@ impl EonDb {
         let snapshot = txn.snapshot().clone();
         let assignment = self.writer_assignment(&snapshot)?;
         let n_rows = rows.len() as u64;
+        // Crash site: validated but nothing uploaded yet — a crash here
+        // must leave no trace at all.
+        self.config.faults.hit(fault_site::LOAD_PRE_UPLOAD)?;
 
         for (proj_oid, proj) in &t.projections {
             let proj_rows: Vec<Vec<Value>> = match &proj.live_aggregate {
@@ -155,6 +159,11 @@ impl EonDb {
                 }
             }
         }
+
+        // Crash site: every container is on shared storage but the
+        // commit never runs — the §3.5 orphaned-upload scenario the
+        // §6.5 leak scan exists for.
+        self.config.faults.hit(fault_site::LOAD_PRE_COMMIT)?;
 
         // Commit point: all uploads finished. Under the commit lock,
         // re-check that the writers still hold their subscriptions —
@@ -209,6 +218,9 @@ impl EonDb {
         mut rows: Vec<Vec<Value>>,
         coord: &Arc<NodeRuntime>,
     ) -> Result<ContainerMeta> {
+        // Crash site: dies between uploads, leaving earlier containers
+        // of the same (uncommitted) load orphaned on shared storage.
+        self.config.faults.hit(fault_site::LOAD_UPLOAD)?;
         proj.sort_rows(&mut rows);
         let width = proj.columns.len();
         let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); width];

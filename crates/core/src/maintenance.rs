@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 
 use eon_cache::CacheMode;
 use eon_catalog::{CatalogOp, ClusterInfo, SubState};
+use eon_storage::fault::site as fault_site;
 use eon_tm::{plan_mergeout, select_coordinators, MergeoutPolicy};
 use eon_types::{Oid, Result, ShardId, TxnVersion};
 
@@ -44,6 +45,12 @@ impl Reaper {
 
     pub fn pending_count(&self) -> usize {
         self.pending.lock().len()
+    }
+
+    /// Keys currently awaiting safe deletion (invariant-checker
+    /// introspection: pending keys are accounted for, not leaked).
+    pub fn pending_keys(&self) -> Vec<String> {
+        self.pending.lock().iter().map(|p| p.key.clone()).collect()
     }
 
     /// Take the deletes that are safe given the cluster's minimum
@@ -119,7 +126,15 @@ impl EonDb {
             );
         }
 
-        for ((proj_oid, shard), inputs) in groups {
+        // Fixed job order: HashMap iteration varies run to run, and if
+        // a crash lands mid-mergeout the job being executed determines
+        // which upload is orphaned — seeded chaos runs must replay
+        // identically (DESIGN.md "Fault model").
+        let mut groups: Vec<((Oid, ShardId), Vec<eon_tm::mergeout::MergeInput>)> =
+            groups.into_iter().collect();
+        groups.sort_by_key(|(k, _)| *k);
+        for ((proj_oid, shard), mut inputs) in groups {
+            inputs.sort_by_key(|i| (i.rows, i.oid));
             let jobs = plan_mergeout(&inputs, &policy);
             if jobs.is_empty() {
                 continue;
@@ -183,10 +198,17 @@ impl EonDb {
         }
         let merged = eon_tm::merge_sorted_rows(batches, &proj.sort.0);
         if !merged.is_empty() {
+            // Crash site: inputs read, merged container not yet written
+            // — nothing on shared storage changes.
+            self.config.faults.hit(fault_site::MERGEOUT_PRE_WRITE)?;
             let meta =
                 self.write_container(worker, &proj, proj_oid, table.oid, shard, merged, &coord)?;
             txn.push(CatalogOp::AddContainer(meta));
         }
+        // Crash site: the merged container is uploaded but the Add+Drop
+        // swap never commits — old containers stay live (queries must
+        // still answer from them) and the new file is an orphan (§6.5).
+        self.config.faults.hit(fault_site::MERGEOUT_PRE_COMMIT)?;
         // The commit path registers the dropped files with the reaper.
         self.commit_cluster(txn, &coord)?;
         Ok(())
@@ -234,6 +256,10 @@ impl EonDb {
         }
         let truncation = eon_shard::consensus_truncation(&subscribers, &intervals)
             .ok_or_else(|| eon_types::EonError::Internal("no consensus truncation".into()))?;
+        // Crash site: catalogs uploaded but `cluster_info.json` never
+        // rewritten — revive must work from the *previous* info's
+        // truncation version (§3.5).
+        self.config.faults.hit(fault_site::SYNC_PRE_INFO_WRITE)?;
         let info = ClusterInfo {
             truncation_version: truncation,
             incarnation: self.incarnation(),

@@ -126,7 +126,34 @@ impl EonDb {
     }
 
     /// Execute with session options.
+    ///
+    /// Mid-query participant failover (§4.1): "should a node go down
+    /// in the middle of a query's execution, the query fails and is
+    /// restarted with a different set of participants" — the restart is
+    /// the *coordinator's* job, not the client's. When a worker dies
+    /// during its local phase, participation is recomputed over the
+    /// surviving nodes and the query re-runs, up to a bounded number of
+    /// failovers; any other error (or an unviable cluster) surfaces
+    /// immediately.
     pub fn query_with(&self, plan: &Plan, opts: &SessionOpts) -> Result<Vec<Vec<Value>>> {
+        const MAX_FAILOVERS: usize = 3;
+        let mut failovers = 0;
+        loop {
+            match self.try_query(plan, opts) {
+                Err(EonError::NodeDown(who)) if failovers < MAX_FAILOVERS => {
+                    // A participant died. try_query re-checks viability
+                    // and recomputes participation from the up-set, so
+                    // looping is the recompute.
+                    failovers += 1;
+                    let _ = who;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One attempt: pick participants from the current up-set and run.
+    fn try_query(&self, plan: &Plan, opts: &SessionOpts) -> Result<Vec<Vec<Value>>> {
         self.ensure_viable()?;
         let snapshot = self.snapshot()?;
         // Answer eligible aggregations from Live Aggregate Projections
@@ -170,11 +197,22 @@ impl EonDb {
                 let snapshot = snapshot.clone();
                 let all_shards = all_shards.clone();
                 let fragment_ms = self.config.fragment_ms;
+                let faults = self.config.faults.clone();
                 handles.push(scope.spawn(move || {
                     let _slots = node.slots.acquire(shards.len().max(1));
                     // Simulated per-node compute (see EonConfig::fragment_ms).
                     if fragment_ms > 0 {
                         std::thread::sleep(std::time::Duration::from_millis(fragment_ms));
+                    }
+                    // Crash site: this participant's process dies during
+                    // its local phase (§4.1). Node-scoped so a seeded
+                    // plan picks a deterministic victim.
+                    if faults
+                        .hit_node(eon_storage::fault::site::QUERY_WORKER_LOCAL, node.id.0)
+                        .is_err()
+                    {
+                        node.kill();
+                        return Err(EonError::NodeDown(format!("{} died mid-query", node.id)));
                     }
                     let token = node.begin_query(version);
                     let provider = NodeProvider {
@@ -188,6 +226,11 @@ impl EonDb {
                     };
                     let out = dp.execute_local(&provider);
                     node.finish_query(token);
+                    // A worker killed out from under a running local
+                    // phase cannot vouch for its partial result.
+                    if out.is_ok() && !node.is_up() {
+                        return Err(EonError::NodeDown(format!("{} died mid-query", node.id)));
+                    }
                     out
                 }));
             }
@@ -313,6 +356,68 @@ mod tests {
         let db = db_loaded(4, 3);
         db.membership().get(NodeId(0)).unwrap().kill();
         assert_eq!(db.query(&sum_by_grp()).unwrap(), expected_sum_by_grp());
+    }
+
+    #[test]
+    fn participant_killed_mid_query_fails_over() {
+        use eon_storage::fault::{site, FaultPlan};
+        // 4 nodes / 3 shards with k=1: any single node can die and the
+        // survivors still cover every shard. Arm a crash that kills
+        // node 1 the first time it runs a local phase.
+        let plan_inject = FaultPlan::at_node(site::QUERY_WORKER_LOCAL, 0, 1);
+        let db = {
+            let db = EonDb::create(
+                Arc::new(MemFs::new()),
+                EonConfig::new(4, 3).faults(plan_inject.clone()),
+            )
+            .unwrap();
+            let s = schema![("id", Int), ("grp", Int), ("price", Int)];
+            db.create_table(
+                "sales",
+                s.clone(),
+                vec![Projection::super_projection("p", &s, &[0], &[0])],
+            )
+            .unwrap();
+            let rows: Vec<Vec<Value>> = (0..2000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 7), Value::Int(i * 3)])
+                .collect();
+            db.copy_into("sales", rows).unwrap();
+            db
+        };
+        // Run queries until the armed crash actually fires (node 1 may
+        // not participate in the very first session).
+        let mut fired = false;
+        for _ in 0..20 {
+            let out = db.query(&sum_by_grp()).expect("failover should hide the death");
+            assert_eq!(out, expected_sum_by_grp());
+            if !plan_inject.fired().is_empty() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "crash site never fired");
+        // The victim really is down, and queries keep answering.
+        assert!(!db.membership().get(NodeId(1)).unwrap().is_up());
+        assert_eq!(db.query(&sum_by_grp()).unwrap(), expected_sum_by_grp());
+    }
+
+    #[test]
+    fn failover_is_bounded_when_cluster_goes_unviable() {
+        use eon_storage::fault::{site, FaultPlan};
+        // 3 nodes / 3 shards, k=1: shard coverage survives one death
+        // but not two. Kill nodes until the cluster is unviable and
+        // check the query surfaces an error instead of looping.
+        let db = db_loaded(3, 3);
+        db.membership().get(NodeId(0)).unwrap().kill();
+        db.membership().get(NodeId(1)).unwrap().kill();
+        assert!(db.query(&sum_by_grp()).is_err());
+        // And an armed-but-unfired plan on a healthy db leaves queries
+        // untouched (inert-path sanity).
+        let db2 = db_loaded(3, 3);
+        db2.config().faults.hit(site::LOAD_PRE_COMMIT).unwrap();
+        let inert = FaultPlan::inert();
+        assert!(inert.hit_node(site::QUERY_WORKER_LOCAL, 0).is_ok());
+        assert_eq!(db2.query(&sum_by_grp()).unwrap(), expected_sum_by_grp());
     }
 
     #[test]

@@ -91,7 +91,7 @@ mod tests {
     use crate::mem::MemFs;
 
     #[test]
-    fn default_exists_uses_list() {
+    fn exists_matches_exact_keys_only() {
         let fs = MemFs::new();
         fs.write("a/b", Bytes::from_static(b"x")).unwrap();
         assert!(fs.exists("a/b").unwrap());

@@ -11,6 +11,7 @@
 //! Fig 7 and the retry loop §5.3 demands around fallible shared-storage
 //! access.
 
+pub mod fault;
 pub mod fs;
 pub mod mem;
 pub mod posix;
@@ -19,6 +20,7 @@ pub mod retryfs;
 pub mod s3sim;
 pub mod sid;
 
+pub use fault::{FaultEvent, FaultInjector, FaultPlan};
 pub use fs::{FileSystem, FsStats, SharedFs};
 pub use mem::MemFs;
 pub use posix::PosixFs;

@@ -87,6 +87,15 @@ impl FileSystem for MemFs {
             .collect())
     }
 
+    fn exists(&self, path: &str) -> Result<bool> {
+        // Direct key probe; the trait default would list the whole
+        // prefix range. Still billed as a list, like S3's LIST-based
+        // existence check (§5.3).
+        let mut g = self.inner.lock();
+        g.stats.lists += 1;
+        Ok(g.objects.contains_key(path))
+    }
+
     fn delete(&self, path: &str) -> Result<()> {
         let mut g = self.inner.lock();
         g.stats.deletes += 1;

@@ -102,6 +102,7 @@ mod tests {
                 max_attempts: 25,
                 base_backoff: std::time::Duration::ZERO,
                 max_backoff: std::time::Duration::ZERO,
+                ..Default::default()
             },
         );
         for i in 0..50 {

@@ -41,6 +41,13 @@ pub struct S3Config {
     pub fail_rate: f64,
     /// Probability a request is throttled (`EonError::Throttled`).
     pub throttle_rate: f64,
+    /// Probability a PUT or DELETE is **applied but reports an error**
+    /// — the response is lost in flight, so the caller cannot tell a
+    /// failed request from a successful one (the ambiguous outcome the
+    /// §5.3 idempotent-retry assumption exists for). The error is
+    /// transient, so retry loops re-issue the request; correctness then
+    /// rests on PUT-same-bytes and DELETE being idempotent.
+    pub ambiguous_rate: f64,
     /// Reject PUTs to keys that already exist. Vertica never overwrites
     /// data files (§5.2), so enabling this in tests catches bugs; it is
     /// off by default because `cluster_info.json` (§3.5) *is* replaced.
@@ -65,6 +72,7 @@ impl Default for S3Config {
             bytes_per_micro: 100, // ~100 MB/s per stream
             fail_rate: 0.0,
             throttle_rate: 0.0,
+            ambiguous_rate: 0.0,
             reject_overwrite: false,
             seed: 0x5e_ed,
             // S3 price card shape: GET $0.4/1M, PUT+LIST $5/1M.
@@ -91,6 +99,16 @@ impl S3Config {
         S3Config {
             fail_rate,
             throttle_rate,
+            seed,
+            ..Self::instant()
+        }
+    }
+
+    /// Instant but with the given ambiguous-outcome rate: PUT/DELETE
+    /// apply, then report a (transient) error.
+    pub fn ambiguous(ambiguous_rate: f64, seed: u64) -> Self {
+        S3Config {
+            ambiguous_rate,
             seed,
             ..Self::instant()
         }
@@ -145,26 +163,41 @@ impl S3SimFs {
         }
         Ok(())
     }
+
+    /// Roll the ambiguous-outcome dice *after* a mutation has been
+    /// applied: true means "eat the response" — the caller sees a
+    /// transient error even though the store changed.
+    fn ambiguous_roll(&self) -> bool {
+        self.config.ambiguous_rate > 0.0
+            && self.rng.lock().gen::<f64>() < self.config.ambiguous_rate
+    }
 }
 
 impl FileSystem for S3SimFs {
     fn write(&self, path: &str, data: Bytes) -> Result<()> {
         self.request(data.len(), self.config.put_price)?;
-        if self.config.reject_overwrite && self.store.list(path)?.iter().any(|k| k == path) {
-            return Err(EonError::Storage(format!("overwrite of immutable object {path}")));
+        if self.config.reject_overwrite && self.store.exists(path)? {
+            // An identical re-PUT is the idempotent retry of an
+            // ambiguous outcome, not an overwrite — only *different*
+            // bytes violate immutability (§5.2).
+            if self.store.read(path)? != data {
+                return Err(EonError::Storage(format!("overwrite of immutable object {path}")));
+            }
         }
-        self.store.write(path, data)
+        self.store.write(path, data)?;
+        if self.ambiguous_roll() {
+            return Err(EonError::Storage(format!(
+                "ambiguous outcome: PUT {path} applied but response lost"
+            )));
+        }
+        Ok(())
     }
 
     fn read(&self, path: &str) -> Result<Bytes> {
-        // Look up size first so the bandwidth charge reflects the
-        // transfer; a miss still pays the request latency.
-        let size = self.store.list(path)?.iter().any(|k| k == path);
-        let transfer = if size {
-            self.store.size(path).unwrap_or(0) as usize
-        } else {
-            0
-        };
+        // Probe the size first (O(log n) on the backing MemFs, not a
+        // keyspace scan) so the bandwidth charge reflects the transfer;
+        // a miss still pays the request latency.
+        let transfer = self.store.size(path).unwrap_or(0) as usize;
         self.request(transfer, self.config.get_price)?;
         self.store.read(path)
     }
@@ -189,7 +222,18 @@ impl FileSystem for S3SimFs {
 
     fn delete(&self, path: &str) -> Result<()> {
         self.request(0, self.config.put_price)?;
-        self.store.delete(path)
+        self.store.delete(path)?;
+        if self.ambiguous_roll() {
+            return Err(EonError::Storage(format!(
+                "ambiguous outcome: DELETE {path} applied but response lost"
+            )));
+        }
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> Result<bool> {
+        self.request(0, self.config.list_price)?;
+        self.store.exists(path)
     }
 
     fn stats(&self) -> FsStats {
@@ -271,6 +315,51 @@ mod tests {
         assert!(fs.write("immutable", Bytes::from_static(b"b")).is_err());
         // Original data untouched.
         assert_eq!(fs.read("immutable").unwrap().as_ref(), b"a");
+    }
+
+    #[test]
+    fn ambiguous_put_applies_and_retry_is_idempotent() {
+        // Force every mutation to report an ambiguous error.
+        let fs = S3SimFs::new(S3Config {
+            reject_overwrite: true, // must coexist with immutability checks
+            ..S3Config::ambiguous(1.0, 11)
+        });
+        let err = fs.write("obj", Bytes::from_static(b"payload")).unwrap_err();
+        assert!(err.is_transient(), "ambiguous outcomes must be retryable");
+        // Applied despite the error:
+        assert_eq!(fs.read("obj").unwrap().as_ref(), b"payload");
+        // The §5.3 retry: same bytes again. Not an overwrite violation,
+        // no duplicate, no corruption — at worst another ambiguous error.
+        for _ in 0..3 {
+            let _ = fs.write("obj", Bytes::from_static(b"payload"));
+        }
+        assert_eq!(fs.read("obj").unwrap().as_ref(), b"payload");
+        assert_eq!(fs.list("obj").unwrap(), vec!["obj"]);
+        // Different bytes are still rejected as an overwrite.
+        assert!(fs.write("obj", Bytes::from_static(b"other")).is_err());
+        assert_eq!(fs.read("obj").unwrap().as_ref(), b"payload");
+    }
+
+    #[test]
+    fn ambiguous_delete_applies_and_retry_is_idempotent() {
+        let fs = S3SimFs::new(S3Config::ambiguous(1.0, 12));
+        let _ = fs.write("victim", Bytes::from_static(b"x"));
+        let err = fs.delete("victim").unwrap_err();
+        assert!(err.is_transient());
+        assert!(!fs.exists("victim").unwrap());
+        // Retrying the delete of a now-missing object stays harmless
+        // (S3 delete semantics, §6.5's idempotent delete protocol).
+        let _ = fs.delete("victim");
+        assert!(!fs.exists("victim").unwrap());
+    }
+
+    #[test]
+    fn ambiguous_rate_zero_never_fires() {
+        let fs = instant();
+        for i in 0..100 {
+            fs.write(&format!("k{i}"), Bytes::from_static(b"v")).unwrap();
+            fs.delete(&format!("k{i}")).unwrap();
+        }
     }
 
     #[test]

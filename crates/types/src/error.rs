@@ -47,6 +47,10 @@ pub enum EonError {
     Saturated,
     /// Corrupt on-disk data (bad magic, short read, checksum).
     Corrupt(String),
+    /// A deterministic crash-point fired (fault-injection harness).
+    /// Deliberately **not** transient: a simulated process death must
+    /// propagate out of the operation, not be retried away.
+    FaultInjected(String),
     /// Anything else.
     Internal(String),
 }
@@ -70,6 +74,7 @@ impl fmt::Display for EonError {
             Query(s) => write!(f, "query error: {s}"),
             Saturated => write!(f, "no execution slots available"),
             Corrupt(s) => write!(f, "corrupt data: {s}"),
+            FaultInjected(s) => write!(f, "injected fault: crash at {s}"),
             Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -112,6 +117,7 @@ mod tests {
         assert!(EonError::Throttled.is_transient());
         assert!(EonError::Storage("503".into()).is_transient());
         assert!(!EonError::WriteConflict("t".into()).is_transient());
+        assert!(!EonError::FaultInjected("load.pre_commit".into()).is_transient());
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Crash-point chaos (DESIGN.md "Fault model"): a seeded [`FaultPlan`]
+//! crashes the cluster at named sites in the load, DML, mergeout,
+//! sync, revive, and query paths; the `eon-bench` chaos harness
+//! restarts/revives and verifies the crash-consistency invariants —
+//! committed data answers exactly, uncommitted work is invisible, and
+//! the leak scan reclaims every orphaned upload. The full sweep is
+//! `cargo run --release --bin chaos_sweep -- --seeds 32`; these tests
+//! pin the two properties the sweep relies on: every named site is
+//! reachable, and a given seed replays identically.
+
+use eon_bench::chaos::{crash_schedule, seeded_crash_schedule};
+use eon_db as _;
+use eon_storage::fault::{site, FaultPlan, SITES};
+
+/// Crash at every named site in turn: the schedule must reach the
+/// site, take the crash, recover, and still uphold every invariant.
+#[test]
+fn every_named_site_crashes_and_recovers() {
+    for s in SITES {
+        let report = crash_schedule(FaultPlan::at(s, 0), 0xc4a05, false)
+            .unwrap_or_else(|e| panic!("site {s}: {e}"));
+        assert!(
+            report.fired.iter().any(|f| f == s),
+            "site {s} never fired (fired: {:?})",
+            report.fired
+        );
+        // The query site kills a participant instead of surfacing an
+        // error (failover absorbs it); every other site must have been
+        // observed by the driver as a crash.
+        if *s != site::QUERY_WORKER_LOCAL {
+            assert!(report.crashes >= 1, "site {s}: crash not observed");
+        }
+    }
+}
+
+/// Same fault-plan seed ⇒ same crash sites and same post-recovery
+/// state, run to run.
+#[test]
+fn seeded_schedule_replays_identically() {
+    for seed in [0u64, 3, 11] {
+        let a = seeded_crash_schedule(seed, false).unwrap();
+        let b = seeded_crash_schedule(seed, false).unwrap();
+        assert_eq!(a.fired, b.fired, "seed {seed}: crash sites diverged");
+        assert_eq!(a.digest, b.digest, "seed {seed}: final state diverged");
+        assert_eq!(a.rows, b.rows);
+    }
+}
+
+/// Determinism holds with ambiguous S3 outcomes layered on top: the
+/// simulator's dice are seeded, so applied-but-reported-failed PUTs
+/// land on the same requests in both runs.
+#[test]
+fn ambiguous_mode_replays_identically() {
+    let a = seeded_crash_schedule(7, true).unwrap();
+    let b = seeded_crash_schedule(7, true).unwrap();
+    assert_eq!(a.fired, b.fired);
+    assert_eq!(a.digest, b.digest);
+}
+
+/// A slice of the seed sweep in-tree so `cargo test` exercises the
+/// invariants without the release-mode binary.
+#[test]
+fn seed_sweep_slice_upholds_invariants() {
+    for seed in 0..6u64 {
+        for ambiguous in [false, true] {
+            seeded_crash_schedule(seed, ambiguous)
+                .unwrap_or_else(|e| panic!("seed {seed} ambiguous={ambiguous}: {e}"));
+        }
+    }
+}
