@@ -10,6 +10,7 @@
 //!     cargo run --release --bin chaos_sweep -- --seeds 32
 
 use eon_bench::chaos::{crash_schedule, seeded_crash_schedule};
+use eon_bench::{metrics_summary, print_json};
 use eon_storage::fault::{FaultPlan, SITES};
 
 fn main() {
@@ -32,6 +33,9 @@ fn main() {
     let mut crashes = 0usize;
     let mut reclaimed = 0usize;
     let mut failures: Vec<serde_json::Value> = Vec::new();
+    // Deterministic metrics snapshot of the first passing run — same
+    // seed, same snapshot, byte for byte (see tests/crash_chaos.rs).
+    let mut metrics_sample: Option<String> = None;
 
     // Phase 1: every named site, deterministically.
     for site in SITES {
@@ -41,6 +45,7 @@ fn main() {
                 passed += 1;
                 crashes += r.crashes;
                 reclaimed += r.reclaimed;
+                metrics_sample.get_or_insert(r.metrics);
                 if !r.fired.iter().any(|s| s == site) {
                     // The schedule is supposed to reach every site.
                     passed -= 1;
@@ -72,6 +77,18 @@ fn main() {
                 })),
             }
         }
+    }
+
+    if let Some(text) = &metrics_sample {
+        let snapshot: serde_json::Value =
+            serde_json::from_str(text).expect("snapshot is valid JSON");
+        print_json(
+            "chaos_metrics",
+            serde_json::json!({
+                "summary": metrics_summary(&snapshot),
+                "snapshot": snapshot,
+            }),
+        );
     }
 
     let failed = runs - passed;

@@ -12,9 +12,10 @@
 
 use std::sync::Arc;
 
-use eon_bench::{print_json, print_table, scale_factor, time_best_of};
+use eon_bench::{metrics_summary, print_json, print_table, scale_factor, time_best_of};
 use eon_core::{EonConfig, EonDb, SessionOpts};
 use eon_enterprise::{EnterpriseConfig, EnterpriseDb};
+use eon_obs::Registry;
 use eon_storage::{S3Config, S3SimFs};
 use eon_workload::tpch::{load_tpch_enterprise, load_tpch_eon, TpchData};
 use eon_workload::{tpch_query, TPCH_QUERY_COUNT};
@@ -34,8 +35,15 @@ fn main() {
     load_tpch_enterprise(&ent, &data).unwrap();
 
     eprintln!("loading Eon (4 nodes, 4 shards, simulated S3)…");
-    let s3 = Arc::new(S3SimFs::new(S3Config::default()));
-    let eon = EonDb::create(s3, EonConfig::new(4, 4).exec_slots(8)).unwrap();
+    let registry = Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(S3Config::default(), &registry));
+    let eon = EonDb::create(
+        s3,
+        EonConfig::new(4, 4)
+            .exec_slots(8)
+            .observability(registry.clone()),
+    )
+    .unwrap();
     load_tpch_eon(&eon, &data).unwrap();
 
     let mut rows = Vec::new();
@@ -73,6 +81,20 @@ fn main() {
         ]);
         eprintln!("Q{q} done");
     }
+    // Whole-run observability dump: the in-cache/from-S3 split above
+    // is visible here as depot hits vs bypasses, and the S3 column's
+    // cost as GET counts. The Prometheus text goes to stderr so the
+    // stdout JSON stream stays machine-parseable.
+    let snapshot = registry.snapshot();
+    print_json(
+        "fig10_metrics",
+        serde_json::json!({
+            "summary": metrics_summary(&snapshot),
+            "snapshot": snapshot,
+        }),
+    );
+    eprintln!("\n-- metrics (prometheus text) --\n{}", registry.prometheus_text());
+
     print_table(
         &format!("Fig 10 — TPC-H (SF {sf}) query runtime, ms"),
         &["query", "enterprise", "eon in-cache", "eon from S3"],

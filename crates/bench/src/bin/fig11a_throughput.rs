@@ -20,10 +20,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use eon_bench::vsim::{sim_per_minute, simulate, Fragment, OpSpec};
-use eon_bench::{print_json, print_table};
+use eon_bench::{metrics_summary, print_json, print_table};
 use eon_core::{EonConfig, EonDb, SessionOpts};
 use eon_enterprise::{EnterpriseConfig, EnterpriseDb};
-use eon_storage::MemFs;
+use eon_obs::Registry;
+use eon_storage::{S3Config, S3SimFs};
 use eon_workload::dashboard;
 
 const SHARDS: usize = 3;
@@ -32,10 +33,16 @@ const SLOTS: usize = 4;
 const FRAG_MS: u64 = 100;
 const HORIZON_MS: u64 = 60_000;
 
-fn eon_cluster(nodes: usize, data: &dashboard::DashboardData) -> Arc<EonDb> {
+/// Build one Eon cluster over an instant (zero-latency) simulated S3
+/// with its own metrics registry, so each configuration's depot hit
+/// ratio and S3 request mix can be dumped separately at the end.
+fn eon_cluster(nodes: usize, data: &dashboard::DashboardData, registry: &Registry) -> Arc<EonDb> {
+    let s3 = Arc::new(S3SimFs::with_metrics(S3Config::instant(), registry));
     let db = EonDb::create(
-        Arc::new(MemFs::new()),
-        EonConfig::new(nodes, SHARDS).exec_slots(SLOTS),
+        s3,
+        EonConfig::new(nodes, SHARDS)
+            .exec_slots(SLOTS)
+            .observability(registry.clone()),
     )
     .unwrap();
     dashboard::load_eon(&db, data).unwrap();
@@ -96,9 +103,13 @@ fn enterprise_qpm(db: &EnterpriseDb, clients: usize) -> f64 {
 fn main() {
     let data = dashboard::generate(2_000, 0x11a);
     eprintln!("building clusters…");
-    let eon3 = eon_cluster(3, &data);
-    let eon6 = eon_cluster(6, &data);
-    let eon9 = eon_cluster(9, &data);
+    let regs: Vec<(&str, Registry)> = ["eon3", "eon6", "eon9"]
+        .into_iter()
+        .map(|l| (l, Registry::new()))
+        .collect();
+    let eon3 = eon_cluster(3, &data, &regs[0].1);
+    let eon6 = eon_cluster(6, &data, &regs[1].1);
+    let eon9 = eon_cluster(9, &data, &regs[2].1);
     let ent9 = EnterpriseDb::create(EnterpriseConfig {
         num_nodes: 9,
         exec_slots: SLOTS,
@@ -128,6 +139,29 @@ fn main() {
             format!("{en:.0}"),
         ]);
     }
+    // The simulated queries above only exercise participant selection;
+    // run one real dashboard query per cluster so the depot read path
+    // (hits/misses) shows up in the dump alongside the load-time puts.
+    for db in [&eon3, &eon6, &eon9] {
+        db.query(&dashboard::short_query(0)).unwrap();
+        db.query(&dashboard::short_query(0)).unwrap();
+    }
+
+    // Per-configuration observability dump: the load and the queries
+    // above drove the real depot and S3 paths, so each registry now
+    // holds that cluster's request mix.
+    for (label, reg) in &regs {
+        let snapshot = reg.snapshot();
+        print_json(
+            "fig11a_metrics",
+            serde_json::json!({
+                "config": label,
+                "summary": metrics_summary(&snapshot),
+                "snapshot": snapshot,
+            }),
+        );
+    }
+
     print_table(
         "Fig 11a — dashboard query throughput (queries/min, virtual-time)",
         &["threads", "eon 3n/3s", "eon 6n/3s", "eon 9n/3s", "enterprise 9n"],

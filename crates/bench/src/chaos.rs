@@ -29,6 +29,7 @@ use eon_columnar::pruning::CmpOp;
 use eon_columnar::{Predicate, Projection};
 use eon_core::{check_crash_invariants, EonConfig, EonDb, TableModel};
 use eon_exec::{Plan, ScanSpec};
+use eon_obs::Registry;
 use eon_storage::fault::SITES;
 use eon_storage::{FaultInjector, FaultPlan, S3Config, S3SimFs};
 use eon_types::{schema, EonError, NodeId, Value};
@@ -57,6 +58,10 @@ pub struct CrashRunReport {
     /// Order-insensitive fingerprint of (fired sites, final rows,
     /// surviving `data/` keys) for cross-run determinism checks.
     pub digest: u64,
+    /// Deterministic metrics snapshot (JSON text) covering the whole
+    /// run: depot counters, S3 requests by verb, injected faults,
+    /// retries, mergeout totals. Byte-identical across same-seed runs.
+    pub metrics: String,
 }
 
 /// Arm a seeded plan over every named site and run the schedule.
@@ -134,12 +139,18 @@ pub fn crash_schedule(
     s3_seed: u64,
     ambiguous: bool,
 ) -> Result<CrashRunReport, String> {
-    let s3 = Arc::new(S3SimFs::new(S3Config {
-        ambiguous_rate: if ambiguous { AMBIGUOUS_RATE } else { 0.0 },
-        seed: s3_seed,
-        ..S3Config::instant()
-    }));
-    let config = EonConfig::new(NODES, NODES).faults(plan.clone());
+    let registry = Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(
+        S3Config {
+            ambiguous_rate: if ambiguous { AMBIGUOUS_RATE } else { 0.0 },
+            seed: s3_seed,
+            ..S3Config::instant()
+        },
+        &registry,
+    ));
+    let config = EonConfig::new(NODES, NODES)
+        .faults(plan.clone())
+        .observability(registry.clone());
     // No fault site precedes the first commit, so creation cannot crash.
     let db = EonDb::create(s3.clone(), config.clone()).map_err(|e| format!("create: {e}"))?;
     let s = schema![("id", Int), ("v", Int)];
@@ -257,5 +268,6 @@ pub fn crash_schedule(
         reclaimed,
         rows: rows.len(),
         digest: h.finish(),
+        metrics: registry.deterministic_snapshot().to_string(),
     })
 }

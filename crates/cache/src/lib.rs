@@ -22,7 +22,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use eon_storage::{with_retry, FileSystem, FsStats, RetryPolicy, SharedFs};
+use eon_obs::{Counter, Gauge, Registry};
+use eon_storage::{with_retry_observed, FileSystem, FsStats, RetryPolicy, SharedFs};
 use eon_types::{EonError, Result};
 use parking_lot::Mutex;
 
@@ -53,6 +54,38 @@ struct Entry {
     pinned: bool,
 }
 
+/// Registry handles mirroring [`CacheStats`], plus warm-up and retry
+/// counters that only exist in the registry. Always present — the
+/// constructor wires a private registry until
+/// [`FileCache::attach_metrics`] swaps in the shared one.
+#[derive(Clone)]
+struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    bypasses: Arc<Counter>,
+    warmup_files: Arc<Counter>,
+    warmup_bytes: Arc<Counter>,
+    retries: Arc<Counter>,
+    used_bytes: Arc<Gauge>,
+}
+
+impl CacheMetrics {
+    fn register(registry: &Registry, node: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("node", node), ("subsystem", "depot")];
+        CacheMetrics {
+            hits: registry.counter("depot_hits_total", labels),
+            misses: registry.counter("depot_misses_total", labels),
+            evictions: registry.counter("depot_evictions_total", labels),
+            bypasses: registry.counter("depot_bypasses_total", labels),
+            warmup_files: registry.counter("depot_warmup_files_total", labels),
+            warmup_bytes: registry.counter("depot_warmup_bytes_total", labels),
+            retries: registry.counter("depot_retries_total", labels),
+            used_bytes: registry.gauge("depot_used_bytes", labels),
+        }
+    }
+}
+
 struct Inner {
     entries: HashMap<String, Entry>,
     /// LRU index: (stamp, key) ascending — oldest first.
@@ -61,6 +94,7 @@ struct Inner {
     used: u64,
     stats: CacheStats,
     never_prefixes: Vec<String>,
+    metrics: CacheMetrics,
 }
 
 impl Inner {
@@ -103,8 +137,33 @@ impl FileCache {
                 used: 0,
                 stats: CacheStats::default(),
                 never_prefixes: Vec::new(),
+                metrics: CacheMetrics::register(&Registry::new(), "detached"),
             }),
         }
+    }
+
+    /// Re-home this cache's counters onto a shared registry, labeled by
+    /// node. Anything already counted is carried over, so registry
+    /// totals always agree with [`CacheStats`].
+    pub fn attach_metrics(&self, registry: &Registry, node: &str) {
+        let mut g = self.inner.lock();
+        let m = CacheMetrics::register(registry, node);
+        m.hits.add(g.stats.hits);
+        m.misses.add(g.stats.misses);
+        m.evictions.add(g.stats.evictions);
+        m.bypasses.add(g.stats.bypasses);
+        m.used_bytes.set(g.used as i64);
+        g.metrics = m;
+    }
+
+    /// Clone of the retry counter handle, for use outside the lock.
+    fn retry_counter(&self) -> Arc<Counter> {
+        self.inner.lock().metrics.retries.clone()
+    }
+
+    fn backing_read(&self, key: &str) -> Result<Bytes> {
+        let retries = self.retry_counter();
+        with_retry_observed(&self.retry, |_| retries.inc(), || self.backing.read(key))
     }
 
     pub fn capacity(&self) -> u64 {
@@ -151,6 +210,7 @@ impl FileCache {
         g.entries.clear();
         g.lru.clear();
         g.used = 0;
+        g.metrics.used_bytes.set(0);
         Ok(())
     }
 
@@ -193,6 +253,7 @@ impl FileCache {
                         g.used -= e.size;
                     }
                     g.stats.evictions += 1;
+                    g.metrics.evictions.inc();
                     self.local.delete(&k)?;
                 }
                 None => break, // everything pinned; overshoot rather than fail
@@ -210,6 +271,7 @@ impl FileCache {
             },
         );
         g.used += size;
+        g.metrics.used_bytes.set(g.used as i64);
         Ok(())
     }
 
@@ -220,6 +282,7 @@ impl FileCache {
         if let Some(e) = g.entries.remove(key) {
             g.lru.remove(&(e.stamp, key.to_owned()));
             g.used -= e.size;
+            g.metrics.used_bytes.set(g.used as i64);
             self.local.delete(key)?;
         }
         Ok(())
@@ -228,18 +291,27 @@ impl FileCache {
     /// Read a whole object with an explicit cache mode.
     pub fn read_with(&self, key: &str, mode: CacheMode) -> Result<Bytes> {
         if mode == CacheMode::Bypass {
-            self.inner.lock().stats.bypasses += 1;
-            return with_retry(&self.retry, || self.backing.read(key));
+            {
+                let mut g = self.inner.lock();
+                g.stats.bypasses += 1;
+                g.metrics.bypasses.inc();
+            }
+            return self.backing_read(key);
         }
         if self.contains(key) {
             let data = self.local.read(key)?;
             let mut g = self.inner.lock();
             g.stats.hits += 1;
+            g.metrics.hits.inc();
             g.touch(key);
             return Ok(data);
         }
-        let data = with_retry(&self.retry, || self.backing.read(key))?;
-        self.inner.lock().stats.misses += 1;
+        let data = self.backing_read(key)?;
+        {
+            let mut g = self.inner.lock();
+            g.stats.misses += 1;
+            g.metrics.misses.inc();
+        }
         self.insert_local(key, data.clone())?;
         Ok(data)
     }
@@ -248,7 +320,10 @@ impl FileCache {
     /// data-load path (Fig 8 steps 2–3) calls this.
     pub fn put_through(&self, key: &str, data: Bytes) -> Result<()> {
         self.insert_local(key, data.clone())?;
-        with_retry(&self.retry, || self.backing.write(key, data.clone()))
+        let retries = self.retry_counter();
+        with_retry_observed(&self.retry, |_| retries.inc(), || {
+            self.backing.write(key, data.clone())
+        })
     }
 
     /// Most-recently-used keys fitting in `budget` bytes — what a peer
@@ -276,8 +351,18 @@ impl FileCache {
         let mut n = 0;
         // Oldest first so the *newest* files end up most recent in LRU.
         for key in peer_mru.iter().rev() {
-            match with_retry(&self.retry, || self.backing.read(key)) {
+            // A peer may cache what this node is configured never to
+            // (per-node never-cache policy): don't even fetch those.
+            if self.never_cached(key) {
+                continue;
+            }
+            match self.backing_read(key) {
                 Ok(data) => {
+                    {
+                        let g = self.inner.lock();
+                        g.metrics.warmup_files.inc();
+                        g.metrics.warmup_bytes.add(data.len() as u64);
+                    }
                     self.insert_local(key, data)?;
                     n += 1;
                 }
@@ -301,18 +386,26 @@ impl FileSystem for FileCache {
     fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
         // Whole-file caching: fault the object in, then slice locally.
         if !self.contains(path) && !self.never_cached(path) {
-            let data = with_retry(&self.retry, || self.backing.read(path))?;
-            self.inner.lock().stats.misses += 1;
+            let data = self.backing_read(path)?;
+            {
+                let mut g = self.inner.lock();
+                g.stats.misses += 1;
+                g.metrics.misses.inc();
+            }
             self.insert_local(path, data)?;
         }
         if self.contains(path) {
             let mut g = self.inner.lock();
             g.stats.hits += 1;
+            g.metrics.hits.inc();
             g.touch(path);
             drop(g);
             self.local.read_range(path, offset, len)
         } else {
-            with_retry(&self.retry, || self.backing.read_range(path, offset, len))
+            let retries = self.retry_counter();
+            with_retry_observed(&self.retry, |_| retries.inc(), || {
+                self.backing.read_range(path, offset, len)
+            })
         }
     }
 
@@ -320,17 +413,20 @@ impl FileSystem for FileCache {
         if self.contains(path) {
             self.local.size(path)
         } else {
-            with_retry(&self.retry, || self.backing.size(path))
+            let retries = self.retry_counter();
+            with_retry_observed(&self.retry, |_| retries.inc(), || self.backing.size(path))
         }
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
-        with_retry(&self.retry, || self.backing.list(prefix))
+        let retries = self.retry_counter();
+        with_retry_observed(&self.retry, |_| retries.inc(), || self.backing.list(prefix))
     }
 
     fn delete(&self, path: &str) -> Result<()> {
         self.evict(path)?;
-        with_retry(&self.retry, || self.backing.delete(path))
+        let retries = self.retry_counter();
+        with_retry_observed(&self.retry, |_| retries.inc(), || self.backing.delete(path))
     }
 
     fn stats(&self) -> FsStats {
@@ -471,6 +567,56 @@ mod tests {
         assert!(newcomer.contains("f3") && newcomer.contains("f2"));
         // Missing files are skipped silently.
         assert_eq!(newcomer.warm_from(&["ghost".into()]).unwrap(), 0);
+    }
+
+    #[test]
+    fn warm_from_respects_capacity_budget() {
+        let (backing, peer) = setup(1000);
+        for (k, n) in [("old", 40), ("mid", 40), ("new", 40)] {
+            peer.put_through(k, payload(n)).unwrap();
+        }
+        // Newcomer can only hold two of the three files: warming must
+        // stay within capacity and keep the *newest* ones.
+        let newcomer = FileCache::new(Arc::new(MemFs::new()), backing, 80);
+        newcomer.warm_from(&peer.mru_list(1000)).unwrap();
+        assert!(newcomer.used_bytes() <= 80);
+        assert!(newcomer.contains("new") && newcomer.contains("mid"));
+        assert!(!newcomer.contains("old"));
+    }
+
+    #[test]
+    fn warm_from_skips_never_cache_prefixes() {
+        let (backing, peer) = setup(1000);
+        peer.put_through("archive/cold", payload(10)).unwrap();
+        peer.put_through("hot", payload(10)).unwrap();
+        let newcomer = FileCache::new(Arc::new(MemFs::new()), backing.clone(), 1000);
+        newcomer.never_cache_prefix("archive/");
+        let gets = backing.stats().gets;
+        let warmed = newcomer.warm_from(&peer.mru_list(1000)).unwrap();
+        assert_eq!(warmed, 1);
+        assert!(newcomer.contains("hot"));
+        assert!(!newcomer.contains("archive/cold"));
+        // The excluded file was not even fetched from shared storage.
+        assert_eq!(backing.stats().gets, gets + 1);
+    }
+
+    #[test]
+    fn warm_from_increments_warmup_metrics() {
+        let (backing, peer) = setup(1000);
+        peer.put_through("f1", payload(10)).unwrap();
+        peer.put_through("f2", payload(30)).unwrap();
+        let newcomer = FileCache::new(Arc::new(MemFs::new()), backing, 1000);
+        let registry = Registry::new();
+        newcomer.attach_metrics(&registry, "n1");
+        newcomer.warm_from(&peer.mru_list(1000)).unwrap();
+        let snap = registry.deterministic_snapshot();
+        let metric = |name: &str| {
+            snap.get(&format!("{name}{{node=\"n1\",subsystem=\"depot\"}}"))
+                .and_then(|v| v.as_u64())
+                .unwrap()
+        };
+        assert_eq!(metric("depot_warmup_files_total"), 2);
+        assert_eq!(metric("depot_warmup_bytes_total"), 40);
     }
 
     #[test]

@@ -6,13 +6,37 @@
 //! Fig 11a experiment.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use eon_obs::{Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex};
+
+/// Registry handles for the slot semaphore. The queue-wait histogram is
+/// wall-clock (excluded from deterministic snapshots); the acquisition
+/// counters are pure functions of the workload.
+#[derive(Clone)]
+struct SlotMetrics {
+    acquired: Arc<Counter>,
+    slots_acquired: Arc<Counter>,
+    queue_wait_us: Arc<Histogram>,
+}
+
+impl SlotMetrics {
+    fn register(registry: &Registry, node: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("node", node), ("subsystem", "exec")];
+        SlotMetrics {
+            acquired: registry.counter("exec_slot_acquisitions_total", labels),
+            slots_acquired: registry.counter("exec_slots_acquired_total", labels),
+            queue_wait_us: registry.timing_histogram("exec_slot_queue_wait_us", labels),
+        }
+    }
+}
 
 struct Inner {
     available: Mutex<usize>,
     cv: Condvar,
     capacity: usize,
+    metrics: Mutex<SlotMetrics>,
 }
 
 /// A counting semaphore over a node's execution slots.
@@ -42,8 +66,15 @@ impl ExecSlots {
                 available: Mutex::new(capacity),
                 cv: Condvar::new(),
                 capacity,
+                metrics: Mutex::new(SlotMetrics::register(&Registry::new(), "detached")),
             }),
         }
+    }
+
+    /// Re-home this semaphore's counters onto a shared registry,
+    /// labeled by node.
+    pub fn attach_metrics(&self, registry: &Registry, node: &str) {
+        *self.inner.metrics.lock() = SlotMetrics::register(registry, node);
     }
 
     pub fn capacity(&self) -> usize {
@@ -59,11 +90,17 @@ impl ExecSlots {
     /// still makes progress (it just serializes).
     pub fn acquire(&self, n: usize) -> SlotGuard {
         let n = n.min(self.inner.capacity).max(1);
+        let queued = Instant::now();
         let mut avail = self.inner.available.lock();
         while *avail < n {
             self.inner.cv.wait(&mut avail);
         }
         *avail -= n;
+        drop(avail);
+        let m = self.inner.metrics.lock();
+        m.acquired.inc();
+        m.slots_acquired.add(n as u64);
+        m.queue_wait_us.observe(queued.elapsed().as_micros() as u64);
         SlotGuard {
             inner: self.inner.clone(),
             n,
@@ -78,6 +115,10 @@ impl ExecSlots {
             return None;
         }
         *avail -= n;
+        drop(avail);
+        let m = self.inner.metrics.lock();
+        m.acquired.inc();
+        m.slots_acquired.add(n as u64);
         Some(SlotGuard {
             inner: self.inner.clone(),
             n,

@@ -33,6 +33,12 @@ pub struct EonConfig {
     /// process at a named commit-path site. Shared (`Arc`) so every
     /// layer sees the same one-shot schedule.
     pub faults: FaultInjector,
+    /// Metrics registry (DESIGN.md "Observability"). Every subsystem
+    /// the database commissions — depots, exec slots, retry layer,
+    /// coordinator, tuple mover — registers its counters here. Shared
+    /// (`Arc` inside), so benches can hand in their own registry and
+    /// snapshot it after a run.
+    pub obs: eon_obs::Registry,
 }
 
 impl Default for EonConfig {
@@ -47,6 +53,7 @@ impl Default for EonConfig {
             lease_ms: 10_000,
             fragment_ms: 0,
             faults: FaultPlan::inert(),
+            obs: eon_obs::Registry::new(),
         }
     }
 }
@@ -82,6 +89,12 @@ impl EonConfig {
 
     pub fn faults(mut self, plan: FaultInjector) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Use `registry` for all of this database's metrics.
+    pub fn observability(mut self, registry: eon_obs::Registry) -> Self {
+        self.obs = registry;
         self
     }
 }

@@ -37,8 +37,9 @@ impl EonDb {
     /// shard), and subscribe nodes via the ring rebalance.
     pub fn create(shared: SharedFs, config: EonConfig) -> Result<Arc<EonDb>> {
         assert!(config.num_nodes > 0 && config.num_shards > 0);
-        // Uniform §5.3 retry loop around every shared-storage access.
-        let shared = eon_storage::RetryFs::wrap(shared);
+        // Uniform §5.3 retry loop around every shared-storage access;
+        // its retry count lands in the database registry.
+        let shared = eon_storage::RetryFs::wrap_with(shared, &config.obs);
         let incarnation = format!("inc{:08x}", 0xe0ee_0000u32);
         let db = Arc::new(EonDb {
             shared: shared.clone(),
@@ -95,6 +96,11 @@ impl EonDb {
         &self.config
     }
 
+    /// The database metrics registry (DESIGN.md "Observability").
+    pub fn metrics(&self) -> &eon_obs::Registry {
+        &self.config.obs
+    }
+
     pub fn shared(&self) -> &SharedFs {
         &self.shared
     }
@@ -146,6 +152,9 @@ impl EonDb {
             seed,
         );
         node.set_faults(self.config.faults.clone());
+        let label = format!("node{}", id.0);
+        node.cache.attach_metrics(&self.config.obs, &label);
+        node.slots.attach_metrics(&self.config.obs, &label);
         node
     }
 

@@ -296,7 +296,7 @@ impl EonDb {
         config: EonConfig,
         now_ms: u64,
     ) -> Result<Arc<EonDb>> {
-        let shared = eon_storage::RetryFs::wrap(shared);
+        let shared = eon_storage::RetryFs::wrap_with(shared, &config.obs);
         let info = ClusterInfo::read(shared.as_ref())?
             .ok_or_else(|| EonError::Revive("no cluster_info.json on shared storage".into()))?;
         if info.lease_live(now_ms) {

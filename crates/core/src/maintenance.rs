@@ -106,6 +106,7 @@ impl EonDb {
 
         let snapshot = coord.catalog.snapshot();
         let policy = MergeoutPolicy::default();
+        let metrics = eon_tm::MergeoutMetrics::register(&self.config.obs);
         let mut jobs_run = 0;
 
         // Group containers by (projection, shard) and plan each group.
@@ -150,7 +151,7 @@ impl EonDb {
 
             for job in jobs {
                 jobs_run += 1;
-                self.execute_merge_job(&worker, proj_oid, shard, &job.inputs)?;
+                self.execute_merge_job(&worker, proj_oid, shard, &job.inputs, &policy, &metrics)?;
             }
         }
         Ok(jobs_run)
@@ -165,6 +166,8 @@ impl EonDb {
         proj_oid: Oid,
         shard: ShardId,
         inputs: &[Oid],
+        policy: &MergeoutPolicy,
+        metrics: &eon_tm::MergeoutMetrics,
     ) -> Result<()> {
         let coord = self.pick_coordinator()?;
         let mut txn = coord.catalog.begin();
@@ -197,12 +200,14 @@ impl EonDb {
             txn.push(CatalogOp::DropContainer(*oid));
         }
         let merged = eon_tm::merge_sorted_rows(batches, &proj.sort.0);
+        let mut rewritten = (0u64, 0u64, 0usize); // rows, bytes, stratum
         if !merged.is_empty() {
             // Crash site: inputs read, merged container not yet written
             // — nothing on shared storage changes.
             self.config.faults.hit(fault_site::MERGEOUT_PRE_WRITE)?;
             let meta =
                 self.write_container(worker, &proj, proj_oid, table.oid, shard, merged, &coord)?;
+            rewritten = (meta.rows, meta.size_bytes, policy.stratum(meta.rows));
             txn.push(CatalogOp::AddContainer(meta));
         }
         // Crash site: the merged container is uploaded but the Add+Drop
@@ -211,6 +216,7 @@ impl EonDb {
         self.config.faults.hit(fault_site::MERGEOUT_PRE_COMMIT)?;
         // The commit path registers the dropped files with the reaper.
         self.commit_cluster(txn, &coord)?;
+        metrics.record_job(inputs.len(), rewritten.0, rewritten.1, rewritten.2);
         Ok(())
     }
 

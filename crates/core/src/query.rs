@@ -17,6 +17,7 @@ use eon_cluster::NodeRuntime;
 use eon_exec::crunch::CrunchSlice;
 use eon_exec::execute::LocalResult;
 use eon_exec::{auto_distribute, Plan};
+use eon_obs::QueryProfile;
 use eon_shard::{select_participants, AssignmentProblem};
 use eon_types::{EonError, NodeId, Result, ShardId, Value};
 
@@ -136,24 +137,62 @@ impl EonDb {
     /// failovers; any other error (or an unviable cluster) surfaces
     /// immediately.
     pub fn query_with(&self, plan: &Plan, opts: &SessionOpts) -> Result<Vec<Vec<Value>>> {
+        self.query_inner(plan, opts, None)
+    }
+
+    /// [`EonDb::query_with`], additionally collecting an
+    /// `EXPLAIN ANALYZE`-style [`QueryProfile`]: per-participant
+    /// local-phase and slot-wait spans, failover count, rows returned.
+    pub fn query_profiled(
+        &self,
+        plan: &Plan,
+        opts: &SessionOpts,
+    ) -> Result<(Vec<Vec<Value>>, QueryProfile)> {
+        let profile = QueryProfile::new();
+        let rows = self.query_inner(plan, opts, Some(&profile))?;
+        profile.annotate("rows_returned", rows.len() as i64);
+        Ok((rows, profile))
+    }
+
+    fn query_inner(
+        &self,
+        plan: &Plan,
+        opts: &SessionOpts,
+        profile: Option<&QueryProfile>,
+    ) -> Result<Vec<Vec<Value>>> {
         const MAX_FAILOVERS: usize = 3;
+        let labels: &[(&str, &str)] = &[("subsystem", "coordinator")];
+        let attempts = self.config.obs.counter("coordinator_query_attempts_total", labels);
+        let failed_over = self.config.obs.counter("coordinator_failovers_total", labels);
         let mut failovers = 0;
         loop {
-            match self.try_query(plan, opts) {
+            attempts.inc();
+            match self.try_query(plan, opts, profile) {
                 Err(EonError::NodeDown(who)) if failovers < MAX_FAILOVERS => {
                     // A participant died. try_query re-checks viability
                     // and recomputes participation from the up-set, so
                     // looping is the recompute.
                     failovers += 1;
+                    failed_over.inc();
                     let _ = who;
                 }
-                other => return other,
+                other => {
+                    if let Some(p) = profile {
+                        p.annotate("failovers", failovers as i64);
+                    }
+                    return other;
+                }
             }
         }
     }
 
     /// One attempt: pick participants from the current up-set and run.
-    fn try_query(&self, plan: &Plan, opts: &SessionOpts) -> Result<Vec<Vec<Value>>> {
+    fn try_query(
+        &self,
+        plan: &Plan,
+        opts: &SessionOpts,
+        profile: Option<&QueryProfile>,
+    ) -> Result<Vec<Vec<Value>>> {
         self.ensure_viable()?;
         let snapshot = self.snapshot()?;
         // Answer eligible aggregations from Live Aggregate Projections
@@ -199,7 +238,15 @@ impl EonDb {
                 let fragment_ms = self.config.fragment_ms;
                 let faults = self.config.faults.clone();
                 handles.push(scope.spawn(move || {
+                    let queued = std::time::Instant::now();
                     let _slots = node.slots.acquire(shards.len().max(1));
+                    if let Some(p) = profile {
+                        p.record_span(
+                            "slot_wait",
+                            &node.id.to_string(),
+                            queued.elapsed().as_micros() as u64,
+                        );
+                    }
                     // Simulated per-node compute (see EonConfig::fragment_ms).
                     if fragment_ms > 0 {
                         std::thread::sleep(std::time::Duration::from_millis(fragment_ms));
@@ -224,7 +271,10 @@ impl EonDb {
                         cache_mode,
                         crunch: if slice.is_split() { Some(*slice) } else { None },
                     };
+                    let local_span =
+                        profile.map(|p| p.span("local_phase", &node.id.to_string()));
                     let out = dp.execute_local(&provider);
+                    drop(local_span);
                     node.finish_query(token);
                     // A worker killed out from under a running local
                     // phase cannot vouch for its partial result.
@@ -240,7 +290,10 @@ impl EonDb {
                 .collect::<Result<Vec<_>>>()
         })?;
 
-        dp.finish(results)
+        let merge_span = profile.map(|p| p.span("coordinator_merge", ""));
+        let out = dp.finish(results);
+        drop(merge_span);
+        out
     }
 }
 
@@ -276,7 +329,7 @@ mod tests {
     }
 
     fn expected_sum_by_grp() -> Vec<Vec<Value>> {
-        let mut sums = vec![(0i64, 0i64); 7];
+        let mut sums = [(0i64, 0i64); 7];
         for i in 0..2000i64 {
             sums[(i % 7) as usize].0 += i * 3;
             sums[(i % 7) as usize].1 += 1;

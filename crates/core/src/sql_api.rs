@@ -33,6 +33,32 @@ impl EonDb {
         let plan = eon_sql::compile(query, &schemas)?;
         self.query_with(&plan, opts)
     }
+
+    /// `EXPLAIN`: render the plan a statement would run, without
+    /// executing it.
+    pub fn sql_explain(&self, query: &str) -> Result<String> {
+        let schemas = SnapshotSchemas(self.snapshot()?);
+        eon_sql::explain(query, &schemas)
+    }
+
+    /// `EXPLAIN ANALYZE`: execute the statement and return its rows
+    /// together with a text report combining the plan tree and the
+    /// per-query profile (compile time, per-participant slot wait and
+    /// local-phase time, coordinator merge, failovers, rows returned).
+    pub fn sql_explain_analyze(
+        &self,
+        query: &str,
+        opts: &SessionOpts,
+    ) -> Result<(Vec<Vec<Value>>, String)> {
+        let compile_started = std::time::Instant::now();
+        let schemas = SnapshotSchemas(self.snapshot()?);
+        let plan = eon_sql::compile(query, &schemas)?;
+        let compile_us = compile_started.elapsed().as_micros() as u64;
+        let (rows, profile) = self.query_profiled(&plan, opts)?;
+        profile.record_span("compile", "", compile_us);
+        let report = format!("{}\n{}", plan.describe(), profile.render());
+        Ok((rows, report))
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +186,33 @@ mod tests {
         assert!(db
             .sql("SELECT region_id FROM sales s JOIN regions r ON s.region_id = r.region_id")
             .is_err());
+    }
+
+    #[test]
+    fn explain_shows_pushdown_without_executing() {
+        let db = db_loaded();
+        let text = db
+            .sql_explain("SELECT grp, COUNT(*) FROM sales WHERE price > 10 GROUP BY grp")
+            .unwrap();
+        assert!(text.contains("Scan sales"), "{text}");
+        assert!(text.contains("[pushdown]"), "{text}");
+        assert!(text.contains("Aggregate"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_returns_rows_and_profile() {
+        let db = db_loaded();
+        let (rows, report) = db
+            .sql_explain_analyze(
+                "SELECT grp, COUNT(*) FROM sales GROUP BY grp ORDER BY grp",
+                &SessionOpts::default(),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(report.contains("Scan sales"), "{report}");
+        assert!(report.contains("Query Profile"), "{report}");
+        assert!(report.contains("local_phase"), "{report}");
+        assert!(report.contains("rows_returned = 2"), "{report}");
     }
 
     #[test]

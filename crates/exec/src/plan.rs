@@ -270,6 +270,78 @@ impl Plan {
         out
     }
 
+    /// Pretty tree rendering — the body of the SQL layer's `EXPLAIN`
+    /// and the plan half of `EXPLAIN ANALYZE` profiles.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        self.describe_into(&mut out, 0);
+        out
+    }
+
+    fn describe_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            Plan::Scan(s) => {
+                out.push_str(&format!("Scan {}", s.table));
+                if let Some(p) = &s.projection {
+                    out.push_str(&format!(" (projection {p})"));
+                }
+                if let Some(cols) = &s.columns {
+                    out.push_str(&format!(" cols={cols:?}"));
+                }
+                if s.predicate != Predicate::True {
+                    out.push_str(" [pushdown]");
+                }
+                if s.distribute == Distribution::Global {
+                    out.push_str(" [global]");
+                }
+                out.push('\n');
+            }
+            Plan::Filter { input, .. } => {
+                out.push_str("Filter\n");
+                input.describe_into(out, depth + 1);
+            }
+            Plan::Project { input, names, .. } => {
+                out.push_str(&format!("Project {names:?}\n"));
+                input.describe_into(out, depth + 1);
+            }
+            Plan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => {
+                out.push_str(&format!("Join {kind:?} on {left_keys:?}={right_keys:?}\n"));
+                left.describe_into(out, depth + 1);
+                right.describe_into(out, depth + 1);
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let funcs: Vec<_> = aggs.iter().map(|a| a.func).collect();
+                out.push_str(&format!("Aggregate group_by={group_by:?} {funcs:?}\n"));
+                input.describe_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys } => {
+                let cols: Vec<_> = keys
+                    .iter()
+                    .map(|k| if k.desc { format!("{}v", k.col) } else { format!("{}^", k.col) })
+                    .collect();
+                out.push_str(&format!("Sort {cols:?}\n"));
+                input.describe_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("Limit {n}\n"));
+                input.describe_into(out, depth + 1);
+            }
+        }
+    }
+
     /// Visit every scan in the tree.
     pub fn visit_scans<'a>(&'a self, f: &mut impl FnMut(&'a ScanSpec)) {
         match self {

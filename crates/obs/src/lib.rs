@@ -1,0 +1,474 @@
+//! Observability substrate (DESIGN.md "Observability"): a lock-cheap
+//! metrics registry plus per-query trace spans.
+//!
+//! The paper's evaluation hinges on quantities the engine must measure
+//! itself — depot hit ratios (§5.2), per-verb shared-storage request
+//! counts and simulated cost (§4), and per-node query timing under
+//! elasticity (§7). Every hot-path component (depot, S3 simulator,
+//! retry layer, execution slots, coordinator, tuple mover) registers
+//! its counters here; benches and the chaos harness snapshot the
+//! registry as JSON or a Prometheus-style text dump.
+//!
+//! ## Determinism
+//!
+//! Snapshots come in two flavors. [`Registry::snapshot`] includes
+//! everything. [`Registry::deterministic_snapshot`] excludes metrics
+//! registered as [`Determinism::WallClock`] (latency histograms,
+//! queue-wait times): under a fixed seed the remaining values are pure
+//! functions of the workload, so two same-seed runs render
+//! byte-identical JSON — the chaos determinism tests assert exactly
+//! that. Object keys are `BTreeMap`-ordered everywhere.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+mod profile;
+
+pub use profile::{QueryProfile, Span, SpanGuard};
+
+/// Whether a metric's value is a pure function of the seeded workload
+/// or depends on wall-clock scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// Same seed ⇒ same value. Included in deterministic snapshots.
+    Seeded,
+    /// Timing-dependent; excluded from deterministic snapshots.
+    WallClock,
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (e.g. bytes currently cached).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram with fixed bucket upper bounds (cumulative, Prometheus
+/// style). Records `count`, `sum`, and per-bucket counts.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<u64>) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Default micros-scale bounds: 100µs … ~100s, then +Inf.
+    pub fn default_micro_bounds() -> Vec<u64> {
+        vec![
+            100,
+            1_000,
+            10_000,
+            50_000,
+            100_000,
+            500_000,
+            1_000_000,
+            10_000_000,
+            100_000_000,
+        ]
+    }
+
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// (upper bound, non-cumulative count) per bucket; the final entry
+    /// is the overflow (+Inf) bucket.
+    pub fn buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            out.push((self.bounds.get(i).copied(), b.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+/// Sorted, deduplicated label set. Kept small (node / subsystem /
+/// verb-style labels), compared as a whole for registry identity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    pub fn new(pairs: &[(&str, &str)]) -> Self {
+        let mut v: Vec<(String, String)> = pairs
+            .iter()
+            .map(|&(k, val)| (k.to_string(), val.to_string()))
+            .collect();
+        v.sort();
+        v.dedup();
+        Labels(v)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    fn render_suffix(&self) -> String {
+        if self.0.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = self
+            .0
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\"", v = v.replace('"', "\\\"")))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    metric: Metric,
+    determinism: Determinism,
+}
+
+#[derive(Default)]
+struct Inner {
+    // BTreeMap so iteration (snapshots, prometheus dumps) is ordered.
+    metrics: BTreeMap<(String, Labels), Entry>,
+}
+
+/// The shared metrics registry. Cheap to clone (an `Arc` inside);
+/// handle lookups take a registration lock, but the returned
+/// `Arc<Counter>`/`Arc<Gauge>`/`Arc<Histogram>` handles update via
+/// relaxed atomics with no lock at all — register once at construction
+/// time, update on the hot path for the cost of an `fetch_add`.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+// Manual impl: `EonConfig` derives Debug and carries a Registry, but
+// dumping every registered series there would drown the output.
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inner.lock().metrics.len();
+        write!(f, "Registry({n} metrics)")
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Counter handle, registering on first use. Re-registration with
+    /// the same name+labels returns the same underlying counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter_with(name, labels, Determinism::Seeded)
+    }
+
+    pub fn counter_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        determinism: Determinism,
+    ) -> Arc<Counter> {
+        let key = (name.to_string(), Labels::new(labels));
+        let mut inner = self.inner.lock();
+        let entry = inner.metrics.entry(key).or_insert_with(|| Entry {
+            metric: Metric::Counter(Arc::new(Counter::default())),
+            determinism,
+        });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge_with(name, labels, Determinism::Seeded)
+    }
+
+    pub fn gauge_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        determinism: Determinism,
+    ) -> Arc<Gauge> {
+        let key = (name.to_string(), Labels::new(labels));
+        let mut inner = self.inner.lock();
+        let entry = inner.metrics.entry(key).or_insert_with(|| Entry {
+            metric: Metric::Gauge(Arc::new(Gauge::default())),
+            determinism,
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Histogram with fixed bucket upper bounds. Histograms of
+    /// wall-clock durations should pass [`Determinism::WallClock`].
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<u64>,
+        determinism: Determinism,
+    ) -> Arc<Histogram> {
+        let key = (name.to_string(), Labels::new(labels));
+        let mut inner = self.inner.lock();
+        let entry = inner.metrics.entry(key).or_insert_with(|| Entry {
+            metric: Metric::Histogram(Arc::new(Histogram::new(bounds))),
+            determinism,
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Convenience: a wall-clock latency histogram in microseconds.
+    pub fn timing_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(
+            name,
+            labels,
+            Histogram::default_micro_bounds(),
+            Determinism::WallClock,
+        )
+    }
+
+    /// Full JSON snapshot: every metric, including wall-clock ones.
+    pub fn snapshot(&self) -> serde_json::Value {
+        self.render_json(true)
+    }
+
+    /// JSON snapshot of seeded metrics only — byte-identical across
+    /// same-seed runs (see module docs).
+    pub fn deterministic_snapshot(&self) -> serde_json::Value {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, include_wall_clock: bool) -> serde_json::Value {
+        let inner = self.inner.lock();
+        let mut out: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+        for ((name, labels), entry) in &inner.metrics {
+            if !include_wall_clock && entry.determinism == Determinism::WallClock {
+                continue;
+            }
+            let key = format!("{name}{}", labels.render_suffix());
+            let val = match &entry.metric {
+                Metric::Counter(c) => serde_json::Value::from(c.get()),
+                Metric::Gauge(g) => serde_json::Value::from(g.get()),
+                Metric::Histogram(h) => {
+                    let mut m = BTreeMap::new();
+                    m.insert("count".to_string(), serde_json::Value::from(h.count()));
+                    m.insert("sum".to_string(), serde_json::Value::from(h.sum()));
+                    let buckets: Vec<serde_json::Value> = h
+                        .buckets()
+                        .into_iter()
+                        .map(|(bound, n)| {
+                            let le = match bound {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let mut bm = BTreeMap::new();
+                            bm.insert("le".to_string(), serde_json::Value::from(le));
+                            bm.insert("n".to_string(), serde_json::Value::from(n));
+                            serde_json::Value::Object(bm)
+                        })
+                        .collect();
+                    m.insert("buckets".to_string(), serde_json::Value::Array(buckets));
+                    serde_json::Value::Object(m)
+                }
+            };
+            out.insert(key, val);
+        }
+        serde_json::Value::Object(out)
+    }
+
+    /// Prometheus-style text exposition (counters/gauges as bare
+    /// samples, histograms as cumulative `_bucket`/`_sum`/`_count`).
+    pub fn prometheus_text(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for ((name, labels), entry) in &inner.metrics {
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{name}{} {}\n", labels.render_suffix(), c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{name}{} {}\n", labels.render_suffix(), g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (bound, n) in h.buckets() {
+                        cumulative += n;
+                        let le = match bound {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        let mut pairs: Vec<(String, String)> = labels
+                            .iter()
+                            .map(|(k, v)| (k.to_string(), v.to_string()))
+                            .collect();
+                        pairs.push(("le".to_string(), le));
+                        let rendered: Vec<String> = pairs
+                            .iter()
+                            .map(|(k, v)| format!("{k}=\"{v}\""))
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}_bucket{{{}}} {cumulative}\n",
+                            rendered.join(",")
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_sum{} {}\n",
+                        labels.render_suffix(),
+                        h.sum()
+                    ));
+                    out.push_str(&format!(
+                        "{name}_count{} {}\n",
+                        labels.render_suffix(),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_identity_and_snapshot() {
+        let r = Registry::new();
+        let a = r.counter("depot_hits", &[("node", "n1")]);
+        let b = r.counter("depot_hits", &[("node", "n1")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same name+labels must share a counter");
+        let snap = r.snapshot();
+        assert_eq!(snap["depot_hits{node=\"n1\"}"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn deterministic_snapshot_excludes_wall_clock() {
+        let r = Registry::new();
+        r.counter("seeded_ops", &[]).inc();
+        r.timing_histogram("latency_us", &[]).observe(42);
+        let det = r.deterministic_snapshot();
+        assert!(det.get("seeded_ops").is_some());
+        assert!(det.get("latency_us").is_none());
+        let full = r.snapshot();
+        assert!(full.get("latency_us").is_some());
+    }
+
+    #[test]
+    fn histogram_buckets_cumulative_in_prometheus() {
+        let r = Registry::new();
+        let h = r.histogram(
+            "sizes",
+            &[],
+            vec![10, 100],
+            Determinism::Seeded,
+        );
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 5055);
+        assert_eq!(
+            h.buckets(),
+            vec![(Some(10), 1), (Some(100), 1), (None, 1)]
+        );
+        let text = r.prometheus_text();
+        assert!(text.contains("sizes_bucket{le=\"10\"} 1\n"), "{text}");
+        assert!(text.contains("sizes_bucket{le=\"100\"} 2\n"), "{text}");
+        assert!(text.contains("sizes_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("sizes_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn snapshots_render_identically_for_identical_updates() {
+        let run = || {
+            let r = Registry::new();
+            for node in ["n2", "n1"] {
+                let c = r.counter("s3_requests", &[("node", node), ("verb", "get")]);
+                c.add(7);
+            }
+            r.gauge("depot_used_bytes", &[("node", "n1")]).set(1 << 20);
+            r.deterministic_snapshot().to_string()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn labels_sorted_regardless_of_input_order() {
+        let a = Labels::new(&[("b", "2"), ("a", "1")]);
+        let b = Labels::new(&[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render_suffix(), "{a=\"1\",b=\"2\"}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-query trace spans: the substrate for the SQL layer's
+//! `EXPLAIN ANALYZE`-style profile. A [`QueryProfile`] collects named,
+//! possibly labeled [`Span`]s (wall-clock durations — profiles are
+//! inherently non-deterministic and never part of deterministic
+//! snapshots) plus integer annotations (rows, bytes, retries).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub name: String,
+    /// e.g. the participant node for a local-phase span.
+    pub label: String,
+    pub micros: u64,
+}
+
+#[derive(Default)]
+struct ProfileInner {
+    spans: Vec<Span>,
+    annotations: Vec<(String, i64)>,
+}
+
+/// Shared, thread-safe span collector for one query execution.
+#[derive(Clone, Default)]
+pub struct QueryProfile {
+    inner: Arc<Mutex<ProfileInner>>,
+}
+
+impl QueryProfile {
+    pub fn new() -> Self {
+        QueryProfile::default()
+    }
+
+    /// Start a span; the returned guard records it on drop.
+    pub fn span(&self, name: &str, label: &str) -> SpanGuard {
+        SpanGuard {
+            profile: self.clone(),
+            name: name.to_string(),
+            label: label.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    pub fn record_span(&self, name: &str, label: &str, micros: u64) {
+        self.inner.lock().spans.push(Span {
+            name: name.to_string(),
+            label: label.to_string(),
+            micros,
+        });
+    }
+
+    /// Attach a scalar fact to the profile (rows returned, failover
+    /// retries, slots waited on, …).
+    pub fn annotate(&self, key: &str, value: i64) {
+        self.inner.lock().annotations.push((key.to_string(), value));
+    }
+
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.lock().spans.clone()
+    }
+
+    pub fn annotations(&self) -> Vec<(String, i64)> {
+        self.inner.lock().annotations.clone()
+    }
+
+    /// `EXPLAIN ANALYZE`-style rendering: one line per span in
+    /// recording order, indents by phase, annotations at the end.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::from("Query Profile\n");
+        for s in &inner.spans {
+            if s.label.is_empty() {
+                out.push_str(&format!("  {:<28} {:>10} us\n", s.name, s.micros));
+            } else {
+                out.push_str(&format!(
+                    "  {:<28} {:>10} us  [{}]\n",
+                    s.name, s.micros, s.label
+                ));
+            }
+        }
+        for (k, v) in &inner.annotations {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        out
+    }
+}
+
+/// RAII span recorder.
+pub struct SpanGuard {
+    profile: QueryProfile,
+    name: String,
+    label: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let micros = self.start.elapsed().as_micros() as u64;
+        self.profile.record_span(&self.name, &self.label, micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_order_and_render() {
+        let p = QueryProfile::new();
+        {
+            let _g = p.span("compile", "");
+        }
+        p.record_span("local_phase", "node1", 1234);
+        p.annotate("rows", 42);
+        let spans = p.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "compile");
+        assert_eq!(spans[1].label, "node1");
+        let text = p.render();
+        assert!(text.contains("local_phase"));
+        assert!(text.contains("[node1]"));
+        assert!(text.contains("rows = 42"));
+    }
+}

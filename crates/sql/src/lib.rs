@@ -41,3 +41,9 @@ pub fn compile(
 ) -> eon_types::Result<eon_exec::Plan> {
     plan(&parse(sql)?, schemas)
 }
+
+/// `EXPLAIN`: compile the statement and render the plan tree without
+/// executing it. Shows pushdown and distribution decisions per scan.
+pub fn explain(sql: &str, schemas: &dyn SchemaSource) -> eon_types::Result<String> {
+    Ok(compile(sql, schemas)?.describe())
+}

@@ -24,7 +24,7 @@ pub use fault::{FaultEvent, FaultInjector, FaultPlan};
 pub use fs::{FileSystem, FsStats, SharedFs};
 pub use mem::MemFs;
 pub use posix::PosixFs;
-pub use retry::{with_retry, RetryPolicy};
+pub use retry::{with_retry, with_retry_observed, RetryPolicy};
 pub use retryfs::RetryFs;
 pub use s3sim::{S3Config, S3SimFs};
 pub use sid::{InstanceId, SidFactory, StorageId};

@@ -115,7 +115,19 @@ impl RetryPolicy {
 ///
 /// Throttles back off twice as hard as plain failures — the service is
 /// telling us to slow down, and hammering it is how you stay throttled.
-pub fn with_retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+pub fn with_retry<T>(policy: &RetryPolicy, op: impl FnMut() -> Result<T>) -> Result<T> {
+    with_retry_observed(policy, |_| {}, op)
+}
+
+/// [`with_retry`] with an observation hook: `on_retry(&err)` runs once
+/// per retry, before the backoff sleep. The depot and [`crate::RetryFs`]
+/// use it to count retries in the metrics registry without the policy
+/// layer knowing about metrics.
+pub fn with_retry_observed<T>(
+    policy: &RetryPolicy,
+    mut on_retry: impl FnMut(&eon_types::EonError),
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
     let mut rng = policy.jitter_seed.map(StdRng::seed_from_u64);
     let mut prev = policy.base_backoff;
     let mut slept = Duration::ZERO;
@@ -144,6 +156,7 @@ pub fn with_retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> Result<T>) ->
                         return Err(e);
                     }
                 }
+                on_retry(&e);
                 slept += sleep;
                 if !sleep.is_zero() {
                     std::thread::sleep(sleep);

@@ -8,28 +8,40 @@
 //! so retrying them blindly is safe; that is precisely why the UDFS
 //! API has no append or rename (§5.3).
 
+use std::sync::Arc;
+
 use bytes::Bytes;
+use eon_obs::{Counter, Registry};
 use eon_types::Result;
 
 use crate::fs::{FileSystem, FsStats, SharedFs};
-use crate::retry::{with_retry, RetryPolicy};
+use crate::retry::{with_retry_observed, RetryPolicy};
 
 /// Retrying wrapper over any filesystem.
 pub struct RetryFs {
     inner: SharedFs,
     policy: RetryPolicy,
+    /// `s3_retries_total` — one tick per re-issued request. Wired to a
+    /// private registry until [`RetryFs::with_metrics`].
+    retries: Arc<Counter>,
 }
 
 impl RetryFs {
     pub fn new(inner: SharedFs) -> Self {
-        RetryFs {
-            inner,
-            policy: RetryPolicy::default(),
-        }
+        Self::with_metrics(inner, RetryPolicy::default(), &Registry::new())
     }
 
     pub fn with_policy(inner: SharedFs, policy: RetryPolicy) -> Self {
-        RetryFs { inner, policy }
+        Self::with_metrics(inner, policy, &Registry::new())
+    }
+
+    /// A wrapper whose retry count lands in `registry`.
+    pub fn with_metrics(inner: SharedFs, policy: RetryPolicy, registry: &Registry) -> Self {
+        RetryFs {
+            inner,
+            policy,
+            retries: registry.counter("s3_retries_total", &[("subsystem", "s3")]),
+        }
     }
 
     pub fn inner(&self) -> &SharedFs {
@@ -39,41 +51,50 @@ impl RetryFs {
     /// Wrap unless already wrapped (idempotent at the type level via
     /// the kind marker).
     pub fn wrap(fs: SharedFs) -> SharedFs {
+        Self::wrap_with(fs, &Registry::new())
+    }
+
+    /// [`RetryFs::wrap`] with the retry counter in `registry`.
+    pub fn wrap_with(fs: SharedFs, registry: &Registry) -> SharedFs {
         if fs.kind() == "retry" {
             fs
         } else {
-            std::sync::Arc::new(RetryFs::new(fs))
+            Arc::new(Self::with_metrics(fs, RetryPolicy::default(), registry))
         }
+    }
+
+    fn retrying<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
+        with_retry_observed(&self.policy, |_| self.retries.inc(), op)
     }
 }
 
 impl FileSystem for RetryFs {
     fn write(&self, path: &str, data: Bytes) -> Result<()> {
-        with_retry(&self.policy, || self.inner.write(path, data.clone()))
+        self.retrying(|| self.inner.write(path, data.clone()))
     }
 
     fn read(&self, path: &str) -> Result<Bytes> {
-        with_retry(&self.policy, || self.inner.read(path))
+        self.retrying(|| self.inner.read(path))
     }
 
     fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
-        with_retry(&self.policy, || self.inner.read_range(path, offset, len))
+        self.retrying(|| self.inner.read_range(path, offset, len))
     }
 
     fn size(&self, path: &str) -> Result<u64> {
-        with_retry(&self.policy, || self.inner.size(path))
+        self.retrying(|| self.inner.size(path))
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
-        with_retry(&self.policy, || self.inner.list(prefix))
+        self.retrying(|| self.inner.list(prefix))
     }
 
     fn exists(&self, path: &str) -> Result<bool> {
-        with_retry(&self.policy, || self.inner.exists(path))
+        self.retrying(|| self.inner.exists(path))
     }
 
     fn delete(&self, path: &str) -> Result<()> {
-        with_retry(&self.policy, || self.inner.delete(path))
+        self.retrying(|| self.inner.delete(path))
     }
 
     fn stats(&self) -> FsStats {

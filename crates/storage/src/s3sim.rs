@@ -18,13 +18,16 @@
 //!   the sense Vertica relies on: the engine never overwrites, and the
 //!   simulator can be configured to reject overwrites to verify that.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use eon_obs::{Counter, Registry};
 use eon_types::{EonError, Result};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::fs::{FileSystem, FsStats};
 use crate::mem::MemFs;
@@ -115,23 +118,87 @@ impl S3Config {
     }
 }
 
+/// splitmix64 finalizer — turns a hash into well-mixed dice bits.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Registry handles for the simulator (DESIGN.md "Observability").
+/// Always present; [`S3SimFs::new`] wires a private registry,
+/// [`S3SimFs::with_metrics`] the shared one.
+#[derive(Clone)]
+struct S3Metrics {
+    get: Arc<Counter>,
+    put: Arc<Counter>,
+    list: Arc<Counter>,
+    delete: Arc<Counter>,
+    cost: Arc<Counter>,
+    fail: Arc<Counter>,
+    throttle: Arc<Counter>,
+    ambiguous: Arc<Counter>,
+}
+
+impl S3Metrics {
+    fn register(registry: &Registry) -> Self {
+        let verb = |v| registry.counter("s3_requests_total", &[("subsystem", "s3"), ("verb", v)]);
+        let kind =
+            |k| registry.counter("s3_faults_injected_total", &[("subsystem", "s3"), ("kind", k)]);
+        S3Metrics {
+            get: verb("get"),
+            put: verb("put"),
+            list: verb("list"),
+            delete: verb("delete"),
+            cost: registry.counter("s3_cost_nanodollars_total", &[("subsystem", "s3")]),
+            fail: kind("fail"),
+            throttle: kind("throttle"),
+            ambiguous: kind("ambiguous"),
+        }
+    }
+
+    fn verb(&self, verb: &'static str) -> &Counter {
+        match verb {
+            "get" => &self.get,
+            "put" => &self.put,
+            "delete" => &self.delete,
+            _ => &self.list,
+        }
+    }
+}
+
 /// The simulated object store. Internally delegates storage to
 /// [`MemFs`]; this type adds the latency/cost/failure model.
+///
+/// Fault injection is **keyed-hash dice**, not a shared sequential RNG:
+/// each roll is a pure function of (seed, verb, path, per-key attempt
+/// number), so the multiset of injected faults does not depend on how
+/// parallel workers interleave their requests. That is what makes
+/// same-seed metric totals byte-identical across runs (the chaos
+/// determinism tests rely on it).
 pub struct S3SimFs {
     store: MemFs,
     config: S3Config,
-    rng: Mutex<StdRng>,
+    /// Per-(verb, path) request sequence numbers feeding the dice.
+    attempts: Mutex<HashMap<(&'static str, String), u64>>,
     cost: Mutex<u64>,
+    metrics: S3Metrics,
 }
 
 impl S3SimFs {
     pub fn new(config: S3Config) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
+        Self::with_metrics(config, &Registry::new())
+    }
+
+    /// A simulator whose request/cost/fault counters land in `registry`.
+    pub fn with_metrics(config: S3Config, registry: &Registry) -> Self {
         S3SimFs {
             store: MemFs::new(),
             config,
-            rng: Mutex::new(rng),
+            attempts: Mutex::new(HashMap::new()),
             cost: Mutex::new(0),
+            metrics: S3Metrics::register(registry),
         }
     }
 
@@ -143,9 +210,26 @@ impl S3SimFs {
         &self.config
     }
 
+    /// Uniform [0, 1) roll keyed by (seed, salt, verb, path, attempt).
+    fn unit_roll(&self, verb: &'static str, path: &str, attempt: u64, salt: u64) -> f64 {
+        let mut h = DefaultHasher::new();
+        (self.config.seed, salt, verb, path, attempt).hash(&mut h);
+        let bits = mix64(h.finish());
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_attempt(&self, verb: &'static str, path: &str) -> u64 {
+        let mut g = self.attempts.lock();
+        let n = g.entry((verb, path.to_string())).or_insert(0);
+        let attempt = *n;
+        *n += 1;
+        attempt
+    }
+
     /// Charge the per-request latency plus a bandwidth charge for
-    /// `transfer` bytes, then roll the failure dice.
-    fn request(&self, transfer: usize, price: u64) -> Result<()> {
+    /// `transfer` bytes, then roll the failure dice. Returns this
+    /// request's attempt number for the ambiguous-outcome roll.
+    fn request(&self, verb: &'static str, path: &str, transfer: usize, price: u64) -> Result<u64> {
         let mut delay = self.config.request_latency;
         if let Some(per_byte) = (transfer as u64).checked_div(self.config.bytes_per_micro) {
             delay += Duration::from_micros(per_byte);
@@ -154,28 +238,39 @@ impl S3SimFs {
             std::thread::sleep(delay);
         }
         *self.cost.lock() += price;
-        let roll: f64 = self.rng.lock().gen();
+        self.metrics.verb(verb).inc();
+        self.metrics.cost.add(price);
+        let attempt = self.next_attempt(verb, path);
+        let roll = self.unit_roll(verb, path, attempt, 0);
         if roll < self.config.throttle_rate {
+            self.metrics.throttle.inc();
             return Err(EonError::Throttled);
         }
         if roll < self.config.throttle_rate + self.config.fail_rate {
+            self.metrics.fail.inc();
             return Err(EonError::Storage("simulated S3 internal error".into()));
         }
-        Ok(())
+        Ok(attempt)
     }
 
     /// Roll the ambiguous-outcome dice *after* a mutation has been
     /// applied: true means "eat the response" — the caller sees a
     /// transient error even though the store changed.
-    fn ambiguous_roll(&self) -> bool {
-        self.config.ambiguous_rate > 0.0
-            && self.rng.lock().gen::<f64>() < self.config.ambiguous_rate
+    fn ambiguous_roll(&self, verb: &'static str, path: &str, attempt: u64) -> bool {
+        if self.config.ambiguous_rate <= 0.0 {
+            return false;
+        }
+        let fired = self.unit_roll(verb, path, attempt, 1) < self.config.ambiguous_rate;
+        if fired {
+            self.metrics.ambiguous.inc();
+        }
+        fired
     }
 }
 
 impl FileSystem for S3SimFs {
     fn write(&self, path: &str, data: Bytes) -> Result<()> {
-        self.request(data.len(), self.config.put_price)?;
+        let attempt = self.request("put", path, data.len(), self.config.put_price)?;
         if self.config.reject_overwrite && self.store.exists(path)? {
             // An identical re-PUT is the idempotent retry of an
             // ambiguous outcome, not an overwrite — only *different*
@@ -185,7 +280,7 @@ impl FileSystem for S3SimFs {
             }
         }
         self.store.write(path, data)?;
-        if self.ambiguous_roll() {
+        if self.ambiguous_roll("put", path, attempt) {
             return Err(EonError::Storage(format!(
                 "ambiguous outcome: PUT {path} applied but response lost"
             )));
@@ -198,12 +293,12 @@ impl FileSystem for S3SimFs {
         // keyspace scan) so the bandwidth charge reflects the transfer;
         // a miss still pays the request latency.
         let transfer = self.store.size(path).unwrap_or(0) as usize;
-        self.request(transfer, self.config.get_price)?;
+        self.request("get", path, transfer, self.config.get_price)?;
         self.store.read(path)
     }
 
     fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
-        self.request(len as usize, self.config.get_price)?;
+        self.request("get", path, len as usize, self.config.get_price)?;
         let all = self.store.read(path)?;
         let start = (offset as usize).min(all.len());
         let end = ((offset + len) as usize).min(all.len());
@@ -211,19 +306,19 @@ impl FileSystem for S3SimFs {
     }
 
     fn size(&self, path: &str) -> Result<u64> {
-        self.request(0, self.config.list_price)?;
+        self.request("list", path, 0, self.config.list_price)?;
         self.store.size(path)
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
-        self.request(0, self.config.list_price)?;
+        self.request("list", prefix, 0, self.config.list_price)?;
         self.store.list(prefix)
     }
 
     fn delete(&self, path: &str) -> Result<()> {
-        self.request(0, self.config.put_price)?;
+        let attempt = self.request("delete", path, 0, self.config.put_price)?;
         self.store.delete(path)?;
-        if self.ambiguous_roll() {
+        if self.ambiguous_roll("delete", path, attempt) {
             return Err(EonError::Storage(format!(
                 "ambiguous outcome: DELETE {path} applied but response lost"
             )));
@@ -232,7 +327,7 @@ impl FileSystem for S3SimFs {
     }
 
     fn exists(&self, path: &str) -> Result<bool> {
-        self.request(0, self.config.list_price)?;
+        self.request("list", path, 0, self.config.list_price)?;
         self.store.exists(path)
     }
 

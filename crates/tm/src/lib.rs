@@ -14,6 +14,7 @@ pub mod mergeout;
 pub mod wos;
 
 pub use mergeout::{
-    merge_sorted_rows, plan_mergeout, select_coordinators, MergeJob, MergeoutPolicy,
+    merge_sorted_rows, plan_mergeout, select_coordinators, MergeJob, MergeoutMetrics,
+    MergeoutPolicy,
 };
 pub use wos::Wos;

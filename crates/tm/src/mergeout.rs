@@ -12,7 +12,57 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
+use std::sync::Arc;
+
+use eon_obs::{Counter, Determinism, Histogram, Registry};
 use eon_types::{NodeId, Oid, ShardId, Value};
+
+/// Registry handles for the tuple mover (DESIGN.md "Observability").
+/// The maintenance loop in `eon-core` registers one of these against
+/// the database registry and records each executed merge job.
+#[derive(Clone)]
+pub struct MergeoutMetrics {
+    /// `tm_mergeout_jobs_total` — executed merge jobs.
+    pub jobs: Arc<Counter>,
+    /// `tm_mergeout_rows_rewritten_total` — rows written to merged
+    /// output containers.
+    pub rows_rewritten: Arc<Counter>,
+    /// `tm_mergeout_bytes_rewritten_total` — encoded bytes of merged
+    /// output containers.
+    pub bytes_rewritten: Arc<Counter>,
+    /// `tm_mergeout_inputs_total` — input containers consumed.
+    pub inputs_merged: Arc<Counter>,
+    /// `tm_mergeout_job_stratum` — stratum of each executed job's
+    /// output (seeded histogram; strata are small integers).
+    pub strata: Arc<Histogram>,
+}
+
+impl MergeoutMetrics {
+    pub fn register(registry: &Registry) -> Self {
+        let labels: &[(&str, &str)] = &[("subsystem", "tm")];
+        MergeoutMetrics {
+            jobs: registry.counter("tm_mergeout_jobs_total", labels),
+            rows_rewritten: registry.counter("tm_mergeout_rows_rewritten_total", labels),
+            bytes_rewritten: registry.counter("tm_mergeout_bytes_rewritten_total", labels),
+            inputs_merged: registry.counter("tm_mergeout_inputs_total", labels),
+            strata: registry.histogram(
+                "tm_mergeout_job_stratum",
+                labels,
+                vec![0, 1, 2, 3, 4, 6, 8],
+                Determinism::Seeded,
+            ),
+        }
+    }
+
+    /// Record one executed merge job.
+    pub fn record_job(&self, inputs: usize, rows: u64, bytes: u64, stratum: usize) {
+        self.jobs.inc();
+        self.inputs_merged.add(inputs as u64);
+        self.rows_rewritten.add(rows);
+        self.bytes_rewritten.add(bytes);
+        self.strata.observe(stratum as u64);
+    }
+}
 
 /// Tuning for mergeout planning.
 #[derive(Debug, Clone)]

@@ -268,7 +268,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut v = vec![Value::Int(3), Value::Null, Value::Int(-1)];
+        let mut v = [Value::Int(3), Value::Null, Value::Int(-1)];
         v.sort();
         assert_eq!(v[0], Value::Null);
         assert_eq!(v[1], Value::Int(-1));

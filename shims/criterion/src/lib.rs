@@ -1,0 +1,209 @@
+//! Offline stand-in for `criterion`. Same macro/builder surface as the
+//! real crate for the subset the workspace's benches use; measurement
+//! is a simple warm-up + timed-loop mean with text output (no plots,
+//! no statistics, no baselines).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time, self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let c = &*self.criterion;
+        let mut b = Bencher::new(c.warm_up_time, c.measurement_time, c.sample_size);
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.bench_function(&label, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function_name: impl fmt::Display, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: usize,
+    /// (total elapsed, iterations) recorded by the last `iter` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration, sample_size: usize) -> Self {
+        Bencher {
+            warm_up,
+            measure,
+            sample_size,
+            result: None,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measure: aim for sample_size batches within the budget.
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let target_iters = if per_iter.is_zero() {
+            self.sample_size as u64 * 1000
+        } else {
+            (self.measure.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64
+        };
+        let start = Instant::now();
+        let mut done: u64 = 0;
+        while done < target_iters {
+            black_box(f());
+            done += 1;
+            if start.elapsed() >= self.measure {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), done.max(1)));
+    }
+
+    fn report(&self, name: &str) {
+        match self.result {
+            Some((elapsed, iters)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{name:<40} {:>12.1} ns/iter ({iters} iters)", ns);
+            }
+            None => println!("{name:<40} (no measurement)"),
+        }
+    }
+}
+
+/// Both real-criterion forms: positional and `name/config/targets`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut __c = $config;
+            $( $target(&mut __c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut hits = 0u64;
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter("p1"), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        hits += 1;
+        assert_eq!(hits, 1);
+    }
+}

@@ -1,0 +1,506 @@
+//! Offline stand-in for `proptest`. Strategies generate values from a
+//! deterministic per-test seeded RNG; there is no shrinking — a failing
+//! case panics with the regular assert message (the generator is
+//! deterministic, so the failure reproduces on re-run). Case count
+//! comes from `PROPTEST_CASES` (default 64); `PROPTEST_SEED` perturbs
+//! the per-test seed for exploratory runs.
+
+use rand::{Rng, SeedableRng, StdRng};
+
+pub type TestRng = StdRng;
+
+/// Seed derived from the test's name so each property explores its own
+/// sequence, reproducibly.
+pub fn test_rng(test_name: &str) -> TestRng {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    let extra: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    StdRng::seed_from_u64(h.finish() ^ extra)
+}
+
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    pub alternatives: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.alternatives.is_empty(), "prop_oneof! of nothing");
+        let idx = rng.gen_range(0..self.alternatives.len());
+        self.alternatives[idx].generate(rng)
+    }
+}
+
+// --- primitive strategies ---------------------------------------------------
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+#[derive(Clone, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias toward boundary values the way real proptest's
+                // binary search of sizes tends to surface them.
+                match rng.gen_range(0..10u32) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => rng.gen::<u64>() as $t,
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.gen_range(0..20u32) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            5 => f64::MIN_POSITIVE,
+            // Full-range bit patterns (finite) plus unit-interval picks.
+            6..=12 => f64::from_bits(rng.gen::<u64>()),
+            _ => (rng.gen::<f64>() - 0.5) * 2e9,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.gen_bool(0.9) {
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        } else {
+            char::from_u32(rng.gen_range(0x80u32..0xd800)).unwrap_or('ő')
+        }
+    }
+}
+
+// Ranges are strategies.
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// Tuples of strategies are strategies.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+// --- string strategies from regex literals ----------------------------------
+
+/// `&str` is a strategy: the string is a regex in the tiny subset the
+/// workspace uses — literal chars, `.`, `[a-z0-9_]` classes, and
+/// `{m,n}` / `*` / `+` / `?` repetition of the last atom.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_regex(self, rng)
+    }
+}
+
+#[derive(Clone)]
+enum Atom {
+    Literal(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+}
+
+fn class_pick(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+    let mut idx = rng.gen_range(0..total);
+    for &(a, b) in ranges {
+        let span = b as u32 - a as u32 + 1;
+        if idx < span {
+            return char::from_u32(a as u32 + idx).unwrap();
+        }
+        idx -= span;
+    }
+    unreachable!()
+}
+
+fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom.
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "proptest shim: unterminated class in regex {pattern:?}"
+                );
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                assert!(
+                    i < chars.len(),
+                    "proptest shim: trailing backslash in regex {pattern:?}"
+                );
+                let c = chars[i];
+                i += 1;
+                match c {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    other => Atom::Literal(other),
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Parse an optional repetition suffix.
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| {
+                            panic!("proptest shim: unterminated {{}} in regex {pattern:?}")
+                        });
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().unwrap_or(0),
+                            b.trim().parse().unwrap_or(8),
+                        ),
+                        None => {
+                            let n = body.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::AnyChar => out.push(char::arbitrary(rng)),
+                Atom::Class(ranges) => out.push(class_pick(ranges, rng)),
+            }
+        }
+    }
+    out
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ".{0,16}".generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Sizes accepted as `Range<usize>` (exclusive upper bound, like
+    /// real proptest's `0..300`).
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy {
+            elem,
+            lo: size.start,
+            hi: size.end - 1,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.lo..=self.hi);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice among heterogeneous strategies with a common value
+/// type; each arm is boxed.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union { alternatives: vec![ $( $crate::Strategy::boxed($strat) ),+ ] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// No shrinking, so an assumption failure just skips the case by
+/// regenerating on the next loop iteration (implemented as early
+/// return from the closure body via labeled continue is not possible
+/// in a macro; we simply skip the rest of this case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Parameter binder for `proptest!`: handles both `pat in strategy`
+/// and `name: Type` (= `any::<Type>()`) forms, in any mix.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __prop_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $crate::__prop_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $pat:pat in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__prop_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// The property-test harness macro. Each `fn` runs `cases()` times
+/// with deterministically seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases = $crate::cases();
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for _ in 0..__cases {
+                // One closure call per case so prop_assume! can skip
+                // a case with `return`.
+                let __one = |__rng: &mut $crate::TestRng| {
+                    $crate::__prop_bind!(__rng, $($params)*);
+                    $body
+                };
+                __one(&mut __rng);
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mixed_binding_forms(a in 0i64..10, b: bool, s in "[a-z]{0,8}", t in (0u8..3u8, 5u8..9u8)) {
+            prop_assert!((0..10).contains(&a));
+            let _ = b;
+            prop_assert!(s.len() <= 8 && s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.0 < 3 && (5..9).contains(&t.1));
+        }
+
+        #[test]
+        fn oneof_and_map_cover_alternatives(v in crate::collection::vec(
+            prop_oneof![
+                Just(-1i64),
+                any::<i64>().prop_map(|x| x.saturating_abs()),
+            ],
+            0..50,
+        )) {
+            for x in v {
+                prop_assert!(x >= -1);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s = crate::collection::vec(0u64..100, 1..20);
+        for _ in 0..10 {
+            assert_eq!(
+                crate::Strategy::generate(&s, &mut a),
+                crate::Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `rand` crate. Implements the subset the
+//! workspace uses: `StdRng` (a seeded xoshiro256** generator with
+//! splitmix64 stream initialisation), the `Rng`/`RngCore`/`SeedableRng`
+//! traits, `gen`/`gen_bool`/`gen_range`/`fill_bytes`, and `thread_rng`.
+//!
+//! Statistical quality matches what the simulators need (uniform,
+//! long-period, well-mixed); the bit streams are NOT those of the real
+//! rand crate — every consumer in this workspace only relies on
+//! "same seed ⇒ same sequence", which this upholds.
+
+use std::cell::RefCell;
+use std::ops::{Bound, RangeBounds};
+
+pub mod rngs {
+    pub use crate::StdRng;
+    pub use crate::ThreadRng;
+}
+
+pub mod prelude {
+    pub use crate::{thread_rng, Rng, RngCore, SeedableRng, StdRng};
+}
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256** by Blackman & Vigna (public domain reference
+/// implementation), seeded through splitmix64 so that nearby seeds
+/// produce uncorrelated streams.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a generator (`rng.gen()`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    /// Uniform in [0, 1) from the top 53 bits, as the real crate does.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait UniformSampled: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self;
+    fn successor(self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl UniformSampled for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self {
+                assert!(lo < hi_excl, "gen_range: empty range");
+                let span = (hi_excl as $wide).wrapping_sub(lo as $wide) as u128;
+                // Multiply-shift bounded sampling; the tiny modulo bias
+                // over a 128-bit draw is far below observable for the
+                // simulators' ranges.
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                ((lo as $wide).wrapping_add(draw as $wide)) as $t
+            }
+            fn successor(self) -> Self { self + 1 }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128,
+);
+
+impl UniformSampled for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self {
+        assert!(lo < hi_excl, "gen_range: empty range");
+        let unit = <f64 as Standard>::sample(rng);
+        lo + unit * (hi_excl - lo)
+    }
+    fn successor(self) -> Self {
+        self // inclusive f64 upper bounds are treated as exclusive
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0,1]");
+        <f64 as Standard>::sample(self) < p
+    }
+
+    fn gen_range<T: UniformSampled, B: RangeBounds<T>>(&mut self, range: B) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n.successor(),
+            Bound::Unbounded => panic!("gen_range: unbounded start"),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n.successor(),
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => panic!("gen_range: unbounded end"),
+        };
+        T::sample_range(self, lo, hi)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+thread_local! {
+    static THREAD_RNG: RefCell<StdRng> = RefCell::new({
+        // Entropy without any external crate: hash the thread id and a
+        // monotonic counter through RandomState (itself OS-seeded).
+        use std::collections::hash_map::RandomState;
+        use std::hash::{BuildHasher, Hash, Hasher};
+        let mut h = RandomState::new().build_hasher();
+        std::thread::current().id().hash(&mut h);
+        std::time::SystemTime::UNIX_EPOCH.elapsed().ok().hash(&mut h);
+        StdRng::seed_from_u64(h.finish())
+    });
+}
+
+/// Handle to a thread-local OS-entropy-seeded generator.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadRng;
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        THREAD_RNG.with(|r| r.borrow_mut().next_u32())
+    }
+    fn next_u64(&mut self) -> u64 {
+        THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        THREAD_RNG.with(|r| r.borrow_mut().fill_bytes(dest))
+    }
+}
+
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let inc = r.gen_range(0..=3u64);
+            assert!(inc <= 3);
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} not ~0.5");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

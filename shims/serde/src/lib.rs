@@ -1,0 +1,447 @@
+//! Offline stand-in for `serde`, shaped so the workspace's existing
+//! serde-idiomatic code compiles unchanged. The data model is
+//! Value-centric: `Serialize` produces a [`value::Value`] tree and
+//! `Deserialize` consumes one; the generic `Serializer`/`Deserializer`
+//! traits are thin adapters over that tree so hand-written
+//! `#[serde(with = "...")]` modules (generic over `S: Serializer` /
+//! `D: Deserializer<'de>`) keep their real-serde signatures.
+//!
+//! Encoding conventions mirror serde_json: structs are objects, enums
+//! are externally tagged (`"Unit"` / `{"Variant": ...}`), newtype
+//! structs are transparent, map keys are stringified.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Number, Value, ValueDeserializer, ValueSerializer};
+
+/// The single error type for shim (de)serialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        Error {
+            msg: format!("expected {expected}, got {got}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    /// Convert to the shim's JSON-like value tree.
+    fn to_value(&self) -> Value;
+
+    /// real-serde-shaped entry point; routes through [`Self::to_value`].
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        Self: Sized,
+    {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: From<Error>;
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// No `'de` lifetime on the trait itself (the shim always deserializes
+/// from an owned `Value`), so every `Deserialize` is `DeserializeOwned`.
+pub trait Deserialize: Sized {
+    fn from_value(value: Value) -> Result<Self, Error>;
+
+    /// real-serde-shaped entry point; routes through [`Self::from_value`].
+    fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        Self::from_value(value).map_err(D::Error::from)
+    }
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: From<Error>;
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+pub mod ser {
+    pub use crate::{Error, Serialize, Serializer};
+}
+
+pub mod de {
+    pub use crate::Deserialize as DeserializeOwned;
+    pub use crate::{Deserialize, Deserializer, Error};
+}
+
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    t.to_value()
+}
+
+pub fn from_value<T: Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_value(v)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u128))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize, u128);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u128))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize, i128);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort the rendered elements.
+        let mut elems: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        elems.sort_by_key(|a| a.to_string());
+        Value::Array(elems)
+    }
+}
+
+fn key_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a string, number, or bool; got {other}"),
+    }
+}
+
+fn key_from_string<T: Deserialize>(s: String) -> Result<T, Error> {
+    match T::from_value(Value::String(s.clone())) {
+        Ok(v) => Ok(v),
+        Err(first) => match value::parse_number_str(&s) {
+            Some(n) => T::from_value(Value::Number(n)),
+            None => Err(first),
+        },
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(Error::unexpected("bool", &other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s),
+            other => Err(Error::unexpected("string", &other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::unexpected("single-char string", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::PosInt(p)) => {
+                        <$t>::try_from(p).map_err(|_| Error::custom(format!(
+                            "integer {p} out of range for {}", stringify!($t)
+                        )))
+                    }
+                    Value::Number(Number::NegInt(n)) => {
+                        <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                            "integer {n} out of range for {}", stringify!($t)
+                        )))
+                    }
+                    other => Err(Error::unexpected(stringify!($t), &other)),
+                }
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+impl Deserialize for f64 {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::unexpected("number", &other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(Error::unexpected("array", &other)),
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .into_iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("object", &other)),
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .into_iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("object", &other)),
+        }
+    }
+}
+
+fn fixed_array(v: Value, n: usize) -> Result<Vec<Value>, Error> {
+    match v {
+        Value::Array(items) if items.len() == n => Ok(items),
+        Value::Array(items) => Err(Error::custom(format!(
+            "expected array of length {n}, got length {}",
+            items.len()
+        ))),
+        other => Err(Error::unexpected("array", &other)),
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        let mut it = fixed_array(v, 2)?.into_iter();
+        Ok((
+            A::from_value(it.next().unwrap())?,
+            B::from_value(it.next().unwrap())?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        let mut it = fixed_array(v, 3)?.into_iter();
+        Ok((
+            A::from_value(it.next().unwrap())?,
+            B::from_value(it.next().unwrap())?,
+            C::from_value(it.next().unwrap())?,
+        ))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        Ok(v)
+    }
+}

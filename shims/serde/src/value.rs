@@ -1,0 +1,392 @@
+//! The JSON-like value tree at the center of the shim's data model,
+//! plus the compact writer (`Display`) and the `Value`-backed
+//! `Serializer`/`Deserializer` adapters used by derived code and
+//! `#[serde(with = "...")]` modules.
+//!
+//! Objects are `BTreeMap`s so every rendering of the same logical
+//! value is byte-identical — the chaos harness and the observability
+//! snapshots assert on exactly this.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Deserializer, Error, Serializer};
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    PosInt(u128),
+    NegInt(i128),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(p) => p as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(p) => u64::try_from(p).ok(),
+            Number::NegInt(_) | Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(p) => i64::try_from(p).ok(),
+            Number::NegInt(n) => i64::try_from(n).ok(),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        use Number::*;
+        match (*self, *other) {
+            (PosInt(a), PosInt(b)) => a == b,
+            (NegInt(a), NegInt(b)) => a == b,
+            (PosInt(a), NegInt(b)) | (NegInt(b), PosInt(a)) => {
+                b >= 0 && a == b as u128
+            }
+            (Float(a), Float(b)) => a == b,
+            // Integer-vs-float compare numerically (serde_json treats
+            // 1 and 1.0 as distinct, but nothing here relies on that).
+            (Float(f), other) | (other, Float(f)) => Number::as_f64(&other) == f,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(p) => write!(f, "{p}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(x) if !x.is_finite() => f.write_str("null"),
+            Number::Float(x) if x == x.trunc() && x.abs() < 1e16 => write!(f, "{x:.1}"),
+            Number::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl Value {
+    /// Externally tagged enum payload: `{"name": inner}`.
+    pub fn tag(name: &str, inner: Value) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert(name.to_string(), inner);
+        Value::Object(m)
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compact JSON — `format!("{v}")` is the canonical snapshot encoding.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Parse a bare JSON number (used for stringified map keys).
+pub(crate) fn parse_number_str(s: &str) -> Option<Number> {
+    if s.is_empty() {
+        return None;
+    }
+    if !s.contains(['.', 'e', 'E']) {
+        if let Some(rest) = s.strip_prefix('-') {
+            if rest.chars().all(|c| c.is_ascii_digit()) && !rest.is_empty() {
+                return s.parse::<i128>().ok().map(Number::NegInt);
+            }
+            return None;
+        }
+        if s.chars().all(|c| c.is_ascii_digit()) {
+            return s.parse::<u128>().ok().map(Number::PosInt);
+        }
+        return None;
+    }
+    s.parse::<f64>().ok().map(Number::Float)
+}
+
+/// `Serializer` that just hands back the `Value` — the terminal of
+/// every generic serialization path in the shim.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// `Deserializer` over an owned `Value`.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+    fn into_value(self) -> Result<Value, Error> {
+        Ok(self.value)
+    }
+}
+
+// From impls so `json!`-style construction works ergonomically.
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::PosInt(v as u128)) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize, u128);
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                let v = v as i128;
+                if v >= 0 { Value::Number(Number::PosInt(v as u128)) }
+                else { Value::Number(Number::NegInt(v)) }
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize, i128);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        if v.is_finite() {
+            Value::Number(Number::Float(v))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::from(*v)
+    }
+}
+
+impl From<&f32> for Value {
+    fn from(v: &f32) -> Value {
+        Value::from(*v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(m: BTreeMap<String, Value>) -> Value {
+        Value::Object(m)
+    }
+}

@@ -1,0 +1,513 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the in-repo
+//! serde shim. No syn/quote: the input item is parsed directly off the
+//! `proc_macro::TokenStream` (attributes skipped, `<`/`>` depth tracked
+//! to find field boundaries) and the generated impls are emitted as
+//! source strings re-parsed into a `TokenStream`.
+//!
+//! Supported shapes — exactly what the workspace uses: non-generic
+//! structs (named / tuple / unit) and enums (unit / tuple / struct
+//! variants), plus the field attributes `#[serde(default)]` and
+//! `#[serde(with = "module")]`. Anything else panics with a clear
+//! message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == name)
+    }
+}
+
+/// Consume leading attributes; fold any `#[serde(...)]` contents into
+/// (default, with).
+fn parse_attrs(c: &mut Cursor) -> (bool, Option<String>) {
+    let mut default = false;
+    let mut with = None;
+    while c.is_punct('#') {
+        c.next();
+        let group = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde shim derive: malformed attribute, got {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.is_ident("serde") {
+            continue; // doc comment, cfg, derive-helper of another macro…
+        }
+        inner.next();
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde shim derive: malformed #[serde(...)], got {other:?}"),
+        };
+        let mut a = Cursor::new(args.stream());
+        while let Some(tok) = a.next() {
+            match tok {
+                TokenTree::Ident(id) if id.to_string() == "default" => default = true,
+                TokenTree::Ident(id) if id.to_string() == "with" => {
+                    match (a.next(), a.next()) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            let s = lit.to_string();
+                            with = Some(s.trim_matches('"').to_string());
+                        }
+                        other => panic!("serde shim derive: malformed serde(with), {other:?}"),
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => panic!(
+                    "serde shim derive: unsupported serde attribute {other} — the shim \
+                     only knows `default` and `with = \"...\"`"
+                ),
+            }
+        }
+    }
+    (default, with)
+}
+
+fn skip_visibility(c: &mut Cursor) {
+    if c.is_ident("pub") {
+        c.next();
+        if matches!(c.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            c.next();
+        }
+    }
+}
+
+/// Skip tokens until a comma at `<`/`>` depth 0, consuming the comma.
+fn skip_to_field_end(c: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                c.next();
+                return;
+            }
+            _ => {}
+        }
+        c.next();
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (default, with) = parse_attrs(&mut c);
+        skip_visibility(&mut c);
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field {name}, got {other:?}"),
+        }
+        skip_to_field_end(&mut c);
+        fields.push(Field {
+            name,
+            default,
+            with,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut count = 0usize;
+    let mut seg_has_tokens = false;
+    let mut depth = 0i32;
+    while let Some(t) = c.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                seg_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                seg_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if seg_has_tokens {
+                    count += 1;
+                }
+                seg_has_tokens = false;
+            }
+            _ => seg_has_tokens = true,
+        }
+    }
+    if seg_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut c = Cursor::new(ts);
+    parse_attrs(&mut c);
+    skip_visibility(&mut c);
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if c.is_punct('<') {
+        panic!("serde shim derive: generic type {name} not supported");
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input::Struct(name, Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::Struct(name, Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::Struct(name, Fields::Unit),
+            other => panic!("serde shim derive: malformed struct {name}, got {other:?}"),
+        },
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde shim derive: malformed enum {name}, got {other:?}"),
+            };
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                parse_attrs(&mut vc);
+                let vname = vc.expect_ident("variant name");
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        vc.next();
+                        Fields::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = parse_named_fields(g.stream());
+                        vc.next();
+                        Fields::Named(f)
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an explicit discriminant, then the separator.
+                skip_to_field_end(&mut vc);
+                variants.push((vname, fields));
+            }
+            Input::Enum(name, variants)
+        }
+        other => panic!("serde shim derive: expected struct/enum, got `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn named_to_value(fields: &[Field], access_prefix: &str) -> String {
+    let mut s = String::from(
+        "{ let mut __m = ::std::collections::BTreeMap::new();\n",
+    );
+    for f in fields {
+        let access = format!("{}{}", access_prefix, f.name);
+        match &f.with {
+            Some(path) => s.push_str(&format!(
+                "__m.insert(::std::string::String::from(\"{n}\"), \
+                 {path}::serialize(&{access}, ::serde::value::ValueSerializer)\
+                 .expect(\"with-module serialization into Value cannot fail\"));\n",
+                n = f.name,
+            )),
+            None => s.push_str(&format!(
+                "__m.insert(::std::string::String::from(\"{n}\"), \
+                 ::serde::Serialize::to_value(&{access}));\n",
+                n = f.name,
+            )),
+        }
+    }
+    s.push_str("::serde::value::Value::Object(__m) }");
+    s
+}
+
+fn named_from_value(ty_label: &str, fields: &[Field]) -> String {
+    // Emits the `field: <expr>,` list; caller wraps in `Name { ... }`.
+    let mut s = String::new();
+    for f in fields {
+        let on_missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::Error::missing_field(\"{ty_label}\", \"{n}\"))",
+                n = f.name
+            )
+        };
+        let on_present = match &f.with {
+            Some(path) => format!(
+                "{path}::deserialize(::serde::value::ValueDeserializer::new(__v))?"
+            ),
+            None => "::serde::Deserialize::from_value(__v)?".to_string(),
+        };
+        s.push_str(&format!(
+            "{n}: match __m.remove(\"{n}\") {{ Some(__v) => {on_present}, None => {on_missing} }},\n",
+            n = f.name
+        ));
+    }
+    s
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct(name, Fields::Unit) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ ::serde::value::Value::Null }}\n}}"
+        ),
+        Input::Struct(name, Fields::Tuple(1)) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ ::serde::Serialize::to_value(&self.0) }}\n}}"
+        ),
+        Input::Struct(name, Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{ \
+                 ::serde::value::Value::Array(vec![{}]) }}\n}}",
+                elems.join(", ")
+            )
+        }
+        Input::Struct(name, Fields::Named(fields)) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {name_body} }}\n}}",
+            name_body = named_to_value(fields, "self."),
+        ),
+        Input::Enum(name, variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::value::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::value::Value::tag(\"{vname}\", \
+                         ::serde::Serialize::to_value(__f0)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::value::Value::tag(\"{vname}\", \
+                             ::serde::value::Value::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let body = named_to_value_borrowed(fs);
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::value::Value::tag(\"{vname}\", {body}),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+/// Like `named_to_value` but for match-bound field references
+/// (struct-variant bindings are already `&field`).
+fn named_to_value_borrowed(fields: &[Field]) -> String {
+    let mut s = String::from("{ let mut __m = ::std::collections::BTreeMap::new();\n");
+    for f in fields {
+        match &f.with {
+            Some(path) => s.push_str(&format!(
+                "__m.insert(::std::string::String::from(\"{n}\"), \
+                 {path}::serialize({n}, ::serde::value::ValueSerializer)\
+                 .expect(\"with-module serialization into Value cannot fail\"));\n",
+                n = f.name,
+            )),
+            None => s.push_str(&format!(
+                "__m.insert(::std::string::String::from(\"{n}\"), \
+                 ::serde::Serialize::to_value({n}));\n",
+                n = f.name,
+            )),
+        }
+    }
+    s.push_str("::serde::value::Value::Object(__m) }");
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct(name, Fields::Unit) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: ::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             match __v {{ ::serde::value::Value::Null => Ok({name}), \
+             __other => Err(::serde::Error::unexpected(\"null for unit struct {name}\", &__other)) }}\n}}\n}}"
+        ),
+        Input::Struct(name, Fields::Tuple(1)) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: ::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             Ok({name}(::serde::Deserialize::from_value(__v)?))\n}}\n}}"
+        ),
+        Input::Struct(name, Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|_| "::serde::Deserialize::from_value(__it.next().unwrap())?".to_string())
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: ::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let mut __it = match __v {{\n\
+                 ::serde::value::Value::Array(a) if a.len() == {n} => a.into_iter(),\n\
+                 __other => return Err(::serde::Error::unexpected(\"array of length {n} for {name}\", &__other)),\n\
+                 }};\n\
+                 Ok({name}({}))\n}}\n}}",
+                elems.join(", ")
+            )
+        }
+        Input::Struct(name, Fields::Named(fields)) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: ::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             let mut __m = match __v {{\n\
+             ::serde::value::Value::Object(m) => m,\n\
+             __other => return Err(::serde::Error::unexpected(\"object for {name}\", &__other)),\n\
+             }};\n\
+             Ok({name} {{\n{fields_src}}})\n}}\n}}",
+            fields_src = named_from_value(name, fields),
+        ),
+        Input::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "::serde::Deserialize::from_value(__it.next().unwrap())?".to_string()
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __it = match __inner {{\n\
+                             ::serde::value::Value::Array(a) if a.len() == {n} => a.into_iter(),\n\
+                             __other => return Err(::serde::Error::unexpected(\"array of length {n} for {name}::{vname}\", &__other)),\n\
+                             }};\n\
+                             Ok({name}::{vname}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let label = format!("{name}::{vname}");
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __m = match __inner {{\n\
+                             ::serde::value::Value::Object(m) => m,\n\
+                             __other => return Err(::serde::Error::unexpected(\"object for {label}\", &__other)),\n\
+                             }};\n\
+                             Ok({name}::{vname} {{\n{fields_src}}})\n}}\n",
+                            fields_src = named_from_value(&label, fs),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: ::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                 ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\"unknown unit variant `{{}}` for {name}\", __other))),\n\
+                 }},\n\
+                 ::serde::value::Value::Object(mut __map) if __map.len() == 1 => {{\n\
+                 let (__tag, __inner) = __map.pop_first().unwrap();\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => Err(::serde::Error::custom(format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }}\n}}\n\
+                 __other => Err(::serde::Error::unexpected(\"variant of {name}\", &__other)),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let src = gen_serialize(&parsed);
+    src.parse()
+        .unwrap_or_else(|e| panic!("serde shim derive: generated invalid Rust: {e:?}\n{src}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let src = gen_deserialize(&parsed);
+    src.parse()
+        .unwrap_or_else(|e| panic!("serde shim derive: generated invalid Rust: {e:?}\n{src}"))
+}

@@ -57,6 +57,33 @@ fn ambiguous_mode_replays_identically() {
     assert_eq!(a.digest, b.digest);
 }
 
+/// Two same-seed runs must emit **byte-identical** deterministic
+/// metrics snapshots (DESIGN.md "Observability"): every seeded counter
+/// — depot hits/misses, S3 requests by verb, injected faults, retries,
+/// mergeout totals — lands on exactly the same value regardless of
+/// thread interleaving, because the S3 fault dice are keyed hashes of
+/// (seed, verb, path, attempt) rather than draws from a shared RNG.
+#[test]
+fn same_seed_runs_emit_identical_metrics_snapshots() {
+    for (seed, ambiguous) in [(0u64, false), (7, true)] {
+        let a = seeded_crash_schedule(seed, ambiguous).unwrap();
+        let b = seeded_crash_schedule(seed, ambiguous).unwrap();
+        assert!(
+            !a.metrics.is_empty() && a.metrics.contains("s3_requests_total"),
+            "snapshot should carry S3 request counters: {}",
+            a.metrics
+        );
+        assert!(
+            a.metrics.contains("depot_hits_total"),
+            "snapshot should carry depot counters"
+        );
+        assert_eq!(
+            a.metrics, b.metrics,
+            "seed {seed} ambiguous={ambiguous}: metrics snapshots diverged"
+        );
+    }
+}
+
 /// A slice of the seed sweep in-tree so `cargo test` exercises the
 /// invariants without the release-mode binary.
 #[test]
