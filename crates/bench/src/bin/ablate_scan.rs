@@ -1,0 +1,351 @@
+//! Scan-pipeline ablation: toggle each optimisation in the pipelined
+//! parallel scan path and measure what it buys, so the win is measured
+//! rather than asserted.
+//!
+//! Five configurations over the same deterministic table and query:
+//!
+//! * `serial` — one scan worker, no single-flight, no coalescing, no
+//!   late materialization (the pre-pipeline shape),
+//! * `parallel` — adds the intra-node scan pool (workers = exec slots),
+//! * `singleflight` — serial plus single-flight depot fills,
+//! * `coalesce` — serial plus coalesced ranged reads,
+//! * `full` — everything on (the shipping default).
+//!
+//! Per configuration we time a depot-cold query, a warm query, and a
+//! cache-bypass query (every block read is a simulated-S3 ranged GET, so
+//! coalescing and the scan pool show up directly in GET counts and
+//! wall-clock). A final phase clears the depots and fires the same
+//! query from many threads at once: with single-flight on, concurrent
+//! misses on one key must produce exactly one backing GET and a nonzero
+//! `depot_singleflight_waits_total`.
+//!
+//! Knobs: `EON_BENCH_SCAN_ROWS` (default 60000), `EON_BENCH_S3_LAT_US`
+//! (default 2000), `EON_BENCH_JSON` (output path, default
+//! `BENCH_scan.json`).
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use eon_bench::{metrics_summary, print_json, print_table, time_best_of, update_bench_json};
+use eon_core::{EonConfig, EonDb, SessionOpts};
+use eon_exec::{AggSpec, Expr, Plan, ScanSpec, SortKey};
+use eon_columnar::pruning::CmpOp;
+use eon_columnar::{Predicate, Projection};
+use eon_obs::Registry;
+use eon_storage::{S3Config, S3SimFs};
+use eon_types::{schema, Value};
+
+const NODES: usize = 4;
+const SHARDS: usize = 4;
+const SLOTS: usize = 8;
+const CONCURRENT_THREADS: usize = 6;
+
+fn scan_rows() -> usize {
+    std::env::var("EON_BENCH_SCAN_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000)
+}
+
+fn s3_latency() -> Duration {
+    let us = std::env::var("EON_BENCH_S3_LAT_US")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    Duration::from_micros(us)
+}
+
+struct Ablation {
+    name: &'static str,
+    workers: usize, // 0 = auto (exec-slot budget)
+    single_flight: bool,
+    coalesce: Option<u64>,
+    late_materialization: bool,
+}
+
+const CONFIGS: &[Ablation] = &[
+    Ablation { name: "serial", workers: 1, single_flight: false, coalesce: None, late_materialization: false },
+    Ablation { name: "parallel", workers: 0, single_flight: false, coalesce: None, late_materialization: false },
+    Ablation { name: "singleflight", workers: 1, single_flight: true, coalesce: None, late_materialization: false },
+    Ablation { name: "coalesce", workers: 1, single_flight: false, coalesce: Some(64 * 1024), late_materialization: false },
+    Ablation { name: "full", workers: 0, single_flight: true, coalesce: Some(64 * 1024), late_materialization: true },
+];
+
+/// Build a fresh Eon cluster over simulated S3 with the given ablation
+/// toggles and load the benchmark table.
+fn build_db(ab: &Ablation, rows: usize, latency: Duration) -> (Arc<EonDb>, Registry) {
+    let registry = Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(
+        S3Config {
+            request_latency: latency,
+            ..S3Config::default()
+        },
+        &registry,
+    ));
+    let db = EonDb::create(
+        s3,
+        EonConfig::new(NODES, SHARDS)
+            .exec_slots(SLOTS)
+            .observability(registry.clone())
+            .scan_workers(if ab.workers == 0 { 0 } else { ab.workers })
+            .scan_coalesce_gap(ab.coalesce)
+            .scan_late_materialization(ab.late_materialization)
+            .depot_single_flight(ab.single_flight),
+    )
+    .unwrap();
+    let s = schema![("id", Int), ("grp", Int), ("val", Int)];
+    db.create_table(
+        "scan_t",
+        s.clone(),
+        vec![Projection::super_projection("sp", &s, &[0], &[0])],
+    )
+    .unwrap();
+    // Two COPY batches so each shard holds two multi-block containers:
+    // enough blocks per column for footer pruning and run coalescing to
+    // have something to chew on, enough containers for the scan pool to
+    // fan out.
+    let half = rows / 2;
+    for batch in 0..2 {
+        let data: Vec<Vec<Value>> = (batch * half..(batch + 1) * half)
+            .map(|i| {
+                let i = i as i64;
+                vec![Value::Int(i), Value::Int(i % 8), Value::Int(i * 37 % 1000)]
+            })
+            .collect();
+        db.copy_into("scan_t", data).unwrap();
+    }
+    (db, registry)
+}
+
+/// The benchmark query: a selective window on the sort column (so block
+/// stats prune) feeding a grouped aggregate over the other columns.
+fn bench_plan(rows: usize) -> Plan {
+    let lo = (rows / 4) as i64;
+    let hi = (3 * rows / 4) as i64;
+    Plan::scan(
+        ScanSpec::new("scan_t").predicate(Predicate::and(vec![
+            Predicate::cmp(0, CmpOp::Ge, lo),
+            Predicate::cmp(0, CmpOp::Lt, hi),
+        ])),
+    )
+    .aggregate(
+        vec![1],
+        vec![AggSpec::sum(Expr::col(2)), AggSpec::count_star()],
+    )
+    .sort(vec![SortKey::asc(0)])
+}
+
+fn clear_depots(db: &EonDb) {
+    for node in db.membership().all() {
+        node.cache.clear().unwrap();
+    }
+}
+
+fn s3_gets(registry: &Registry) -> u64 {
+    metrics_summary(&registry.snapshot())["s3_get"]
+        .as_u64()
+        .unwrap_or(0)
+}
+
+fn singleflight_waits(registry: &Registry) -> u64 {
+    metrics_summary(&registry.snapshot())["depot_singleflight_waits"]
+        .as_u64()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let rows = scan_rows();
+    let latency = s3_latency();
+    let plan = bench_plan(rows);
+    eprintln!(
+        "ablate_scan: {rows} rows, S3 latency {:?}, {NODES} nodes / {SHARDS} shards",
+        latency
+    );
+
+    let mut table_rows = Vec::new();
+    let mut config_json = Vec::new();
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    let mut by_name: Vec<(&'static str, serde_json::Value)> = Vec::new();
+    let mut dbs: Vec<(&'static str, Arc<EonDb>, Registry, u64)> = Vec::new();
+
+    for ab in CONFIGS {
+        eprintln!("config {} …", ab.name);
+        let (db, registry) = build_db(ab, rows, latency);
+
+        // Every ablation must produce identical query results.
+        let result = db.query(&plan).unwrap();
+        match &reference {
+            None => reference = Some(result),
+            Some(r) => assert_eq!(r, &result, "config {} changed query output", ab.name),
+        }
+
+        // Depot-cold wall clock (whole-file depot fills from S3). Two
+        // trials, best-of, clearing the depots before each.
+        let mut cold = Duration::MAX;
+        let mut cold_gets = 0;
+        for _ in 0..2 {
+            clear_depots(&db);
+            let g0 = s3_gets(&registry);
+            let t = eon_bench::time_once(|| {
+                db.query(&plan).unwrap();
+            });
+            cold_gets = s3_gets(&registry) - g0;
+            cold = cold.min(t);
+        }
+
+        // Warm: everything in depot, no S3 traffic on the read path.
+        let warm = time_best_of(2, || {
+            db.query(&plan).unwrap();
+        });
+
+        // Bypass: every surviving block is a ranged S3 GET, so the scan
+        // pool and read coalescing show up in both time and GET count.
+        let bypass_opts = SessionOpts {
+            bypass_cache: true,
+            ..Default::default()
+        };
+        let g0 = s3_gets(&registry);
+        let bypass = time_best_of(2, || {
+            db.query_with(&plan, &bypass_opts).unwrap();
+        });
+        let bypass_gets = (s3_gets(&registry) - g0) / 2; // two timed runs
+
+        let summary = metrics_summary(&registry.snapshot());
+        let record = serde_json::json!({
+            "config": ab.name,
+            "cold_ms": cold.as_secs_f64() * 1e3,
+            "warm_ms": warm.as_secs_f64() * 1e3,
+            "bypass_ms": bypass.as_secs_f64() * 1e3,
+            "cold_s3_gets": cold_gets,
+            "bypass_s3_gets": bypass_gets,
+            "metrics_summary": summary,
+        });
+        print_json("ablate_scan", record.clone());
+        table_rows.push(vec![
+            ab.name.to_string(),
+            format!("{:.1}", cold.as_secs_f64() * 1e3),
+            format!("{:.1}", warm.as_secs_f64() * 1e3),
+            format!("{:.1}", bypass.as_secs_f64() * 1e3),
+            format!("{bypass_gets}"),
+            record["metrics_summary"]["scan_requests_saved"].to_string(),
+        ]);
+        by_name.push((ab.name, record.clone()));
+        config_json.push(record);
+        dbs.push((ab.name, db, registry, cold_gets));
+    }
+
+    // Concurrent-miss phases. Single-flight dedups within one node's
+    // depot, so the sharp acceptance check targets one depot directly:
+    // many threads miss on the same key at once and shared storage must
+    // see exactly one GET, with the losers counted as waits. The
+    // query-level phase then shows the same effect end-to-end —
+    // participation may rotate shards across nodes between queries
+    // (separate depots each fill once, legitimately), so there the
+    // comparison is single-flight on vs off, not an exact GET count.
+    let mut singleflight_json = Vec::new();
+    for (name, db, registry, cold_gets) in dbs
+        .iter()
+        .filter(|(n, ..)| *n == "full" || *n == "parallel")
+    {
+        eprintln!("concurrent phase: {name}");
+        clear_depots(db);
+        let key = db
+            .snapshot()
+            .unwrap()
+            .containers
+            .values()
+            .next()
+            .unwrap()
+            .key
+            .clone();
+        let node = db.membership().all().into_iter().next().unwrap();
+        let g0 = s3_gets(registry);
+        let w0 = singleflight_waits(registry);
+        let barrier = Barrier::new(CONCURRENT_THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..CONCURRENT_THREADS {
+                scope.spawn(|| {
+                    barrier.wait();
+                    eon_storage::FileSystem::read(&*node.cache, &key).unwrap();
+                });
+            }
+        });
+        let depot_gets = s3_gets(registry) - g0;
+        let depot_waits = singleflight_waits(registry) - w0;
+
+        clear_depots(db);
+        let g0 = s3_gets(registry);
+        let w0 = singleflight_waits(registry);
+        let barrier = Barrier::new(CONCURRENT_THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..CONCURRENT_THREADS {
+                scope.spawn(|| {
+                    barrier.wait();
+                    db.query(&plan).unwrap();
+                });
+            }
+        });
+        let query_gets = s3_gets(registry) - g0;
+        let query_waits = singleflight_waits(registry) - w0;
+        let record = serde_json::json!({
+            "config": name,
+            "threads": CONCURRENT_THREADS,
+            "same_key_s3_gets": depot_gets,
+            "same_key_waits": depot_waits,
+            "cold_s3_gets": cold_gets,
+            "concurrent_query_s3_gets": query_gets,
+            "concurrent_query_waits": query_waits,
+        });
+        print_json("ablate_scan_singleflight", record.clone());
+        singleflight_json.push(record);
+    }
+
+    print_table(
+        &format!("Scan ablation — {rows} rows, S3 TTFB {:?}", latency),
+        &["config", "cold ms", "warm ms", "bypass ms", "bypass GETs", "reqs saved"],
+        &table_rows,
+    );
+
+    let find = |n: &str| {
+        by_name
+            .iter()
+            .find(|(name, _)| *name == n)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    let serial = find("serial");
+    let parallel = find("parallel");
+    let coalesce = find("coalesce");
+    let sf_find = |n: &str| {
+        singleflight_json
+            .iter()
+            .find(|r| r["config"].as_str() == Some(n))
+            .cloned()
+            .unwrap_or_default()
+    };
+    let sf_full = sf_find("full");
+    let sf_off = sf_find("parallel");
+    let acceptance = serde_json::json!({
+        "parallel_faster_bypass": parallel["bypass_ms"].as_f64() < serial["bypass_ms"].as_f64(),
+        "parallel_faster_cold": parallel["cold_ms"].as_f64() < serial["cold_ms"].as_f64(),
+        "coalesce_fewer_gets": coalesce["bypass_s3_gets"].as_u64() < serial["bypass_s3_gets"].as_u64(),
+        "singleflight_waits_positive": sf_full["same_key_waits"].as_u64().unwrap_or(0) > 0,
+        "singleflight_no_duplicate_fetches": sf_full["same_key_s3_gets"].as_u64() == Some(1),
+        "singleflight_reduces_concurrent_gets":
+            sf_full["concurrent_query_s3_gets"].as_u64() < sf_off["concurrent_query_s3_gets"].as_u64(),
+    });
+    print_json("ablate_scan_acceptance", acceptance.clone());
+
+    update_bench_json(
+        "ablate_scan",
+        serde_json::json!({
+            "rows": rows,
+            "s3_latency_us": latency.as_micros() as u64,
+            "nodes": NODES,
+            "shards": SHARDS,
+            "configs": config_json,
+            "singleflight": singleflight_json,
+            "acceptance": acceptance,
+        }),
+    );
+}

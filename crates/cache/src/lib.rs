@@ -19,13 +19,14 @@
 //! whole object in from shared storage first.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use eon_obs::{Counter, Gauge, Registry};
+use eon_obs::{Counter, Determinism, Gauge, Registry};
 use eon_storage::{with_retry_observed, FileSystem, FsStats, RetryPolicy, SharedFs};
 use eon_types::{EonError, Result};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 /// Cache behaviour for a single request (§5.2's "don't use the cache
 /// for this query" and write-through-off for archive loads).
@@ -45,6 +46,16 @@ pub struct CacheStats {
     pub misses: u64,
     pub evictions: u64,
     pub bypasses: u64,
+    /// Misses that joined another thread's in-flight backing fetch
+    /// instead of issuing their own GET (single-flight dedup).
+    pub singleflight_waits: u64,
+}
+
+/// One in-flight backing fetch that concurrent misses on the same key
+/// can join instead of issuing their own GET.
+struct FillSlot {
+    result: Mutex<Option<Result<Bytes>>>,
+    ready: Condvar,
 }
 
 #[derive(Debug)]
@@ -67,6 +78,7 @@ struct CacheMetrics {
     warmup_files: Arc<Counter>,
     warmup_bytes: Arc<Counter>,
     retries: Arc<Counter>,
+    singleflight_waits: Arc<Counter>,
     used_bytes: Arc<Gauge>,
 }
 
@@ -81,6 +93,13 @@ impl CacheMetrics {
             warmup_files: registry.counter("depot_warmup_files_total", labels),
             warmup_bytes: registry.counter("depot_warmup_bytes_total", labels),
             retries: registry.counter("depot_retries_total", labels),
+            // Which thread wins a concurrent fill race is scheduling,
+            // not workload: keep this out of deterministic snapshots.
+            singleflight_waits: registry.counter_with(
+                "depot_singleflight_waits_total",
+                labels,
+                Determinism::WallClock,
+            ),
             used_bytes: registry.gauge("depot_used_bytes", labels),
         }
     }
@@ -121,6 +140,10 @@ pub struct FileCache {
     /// the engine.
     retry: RetryPolicy,
     inner: Mutex<Inner>,
+    /// In-flight backing fetches keyed by object path (single-flight).
+    inflight: Mutex<HashMap<String, Arc<FillSlot>>>,
+    /// Whether concurrent misses dedup onto one backing GET.
+    single_flight: AtomicBool,
 }
 
 impl FileCache {
@@ -130,6 +153,8 @@ impl FileCache {
             backing,
             capacity: capacity_bytes,
             retry: RetryPolicy::default(),
+            inflight: Mutex::new(HashMap::new()),
+            single_flight: AtomicBool::new(true),
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 lru: BTreeSet::new(),
@@ -152,8 +177,14 @@ impl FileCache {
         m.misses.add(g.stats.misses);
         m.evictions.add(g.stats.evictions);
         m.bypasses.add(g.stats.bypasses);
+        m.singleflight_waits.add(g.stats.singleflight_waits);
         m.used_bytes.set(g.used as i64);
         g.metrics = m;
+    }
+
+    /// Enable or disable single-flight fill dedup (on by default).
+    pub fn set_single_flight(&self, enabled: bool) {
+        self.single_flight.store(enabled, Ordering::Relaxed);
     }
 
     /// Clone of the retry counter handle, for use outside the lock.
@@ -164,6 +195,101 @@ impl FileCache {
     fn backing_read(&self, key: &str) -> Result<Bytes> {
         let retries = self.retry_counter();
         with_retry_observed(&self.retry, |_| retries.inc(), || self.backing.read(key))
+    }
+
+    /// Fault `key` in from shared storage with single-flight dedup:
+    /// concurrent misses on the same key join one backing GET instead
+    /// of each fetching. The winner counts the miss and populates the
+    /// cache; a loser waits on the winner's result and — on the
+    /// whole-object read path (`count_loser_hit`) — counts a hit,
+    /// since it was served without touching shared storage, keeping
+    /// `hits + misses + bypasses == reads` exact. Never-cache keys
+    /// skip dedup so their every-read-fetches accounting stays
+    /// schedule-independent.
+    fn fault_in(&self, key: &str, count_loser_hit: bool) -> Result<Bytes> {
+        if !self.single_flight.load(Ordering::Relaxed) || self.never_cached(key) {
+            let data = self.backing_read(key)?;
+            {
+                let mut g = self.inner.lock();
+                g.stats.misses += 1;
+                g.metrics.misses.inc();
+            }
+            self.insert_local(key, data.clone())?;
+            return Ok(data);
+        }
+        enum Role {
+            Leader(Arc<FillSlot>),
+            Waiter(Arc<FillSlot>),
+            Cached,
+        }
+        let role = {
+            let mut m = self.inflight.lock();
+            // A fill may have completed between the caller's miss
+            // check and here; the entries map is authoritative, and
+            // checking it under the inflight lock closes the race
+            // where a leader finished and unregistered its slot.
+            if self.contains(key) {
+                Role::Cached
+            } else if let Some(slot) = m.get(key) {
+                Role::Waiter(slot.clone())
+            } else {
+                let slot = Arc::new(FillSlot {
+                    result: Mutex::new(None),
+                    ready: Condvar::new(),
+                });
+                m.insert(key.to_owned(), slot.clone());
+                Role::Leader(slot)
+            }
+        };
+        match role {
+            Role::Cached => {
+                let data = self.local.read(key)?;
+                let mut g = self.inner.lock();
+                g.stats.hits += 1;
+                g.metrics.hits.inc();
+                g.touch(key);
+                Ok(data)
+            }
+            Role::Leader(slot) => {
+                let res = self.backing_read(key);
+                let mut inserted = Ok(());
+                if let Ok(data) = &res {
+                    {
+                        let mut g = self.inner.lock();
+                        g.stats.misses += 1;
+                        g.metrics.misses.inc();
+                    }
+                    inserted = self.insert_local(key, data.clone());
+                }
+                // Publish before unregistering so anyone who joined
+                // this slot always finds a result.
+                *slot.result.lock() = Some(res.clone());
+                slot.ready.notify_all();
+                self.inflight.lock().remove(key);
+                inserted?;
+                res
+            }
+            Role::Waiter(slot) => {
+                {
+                    let mut g = self.inner.lock();
+                    g.stats.singleflight_waits += 1;
+                    g.metrics.singleflight_waits.inc();
+                }
+                let mut r = slot.result.lock();
+                while r.is_none() {
+                    slot.ready.wait(&mut r);
+                }
+                let res = r.clone().unwrap();
+                drop(r);
+                if count_loser_hit && res.is_ok() {
+                    let mut g = self.inner.lock();
+                    g.stats.hits += 1;
+                    g.metrics.hits.inc();
+                    g.touch(key);
+                }
+                res
+            }
+        }
     }
 
     pub fn capacity(&self) -> u64 {
@@ -306,14 +432,7 @@ impl FileCache {
             g.touch(key);
             return Ok(data);
         }
-        let data = self.backing_read(key)?;
-        {
-            let mut g = self.inner.lock();
-            g.stats.misses += 1;
-            g.metrics.misses.inc();
-        }
-        self.insert_local(key, data.clone())?;
-        Ok(data)
+        self.fault_in(key, true)
     }
 
     /// Write-through put: cache locally, upload to shared storage. The
@@ -385,14 +504,11 @@ impl FileSystem for FileCache {
 
     fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
         // Whole-file caching: fault the object in, then slice locally.
+        // A loser of a concurrent fill race counts nothing here — the
+        // `contains` re-check below books its hit, so hit/miss totals
+        // don't depend on thread timing.
         if !self.contains(path) && !self.never_cached(path) {
-            let data = self.backing_read(path)?;
-            {
-                let mut g = self.inner.lock();
-                g.stats.misses += 1;
-                g.metrics.misses.inc();
-            }
-            self.insert_local(path, data)?;
+            self.fault_in(path, false)?;
         }
         if self.contains(path) {
             let mut g = self.inner.lock();
@@ -659,5 +775,120 @@ mod tests {
         cache.insert_local("k", payload(10)).unwrap();
         cache.insert_local("k", payload(30)).unwrap();
         assert_eq!(cache.used_bytes(), 30);
+    }
+
+    /// MemFs with a read delay, so concurrent misses reliably overlap.
+    struct SlowFs(MemFs, std::time::Duration);
+
+    impl FileSystem for SlowFs {
+        fn write(&self, path: &str, data: Bytes) -> Result<()> {
+            self.0.write(path, data)
+        }
+        fn read(&self, path: &str) -> Result<Bytes> {
+            std::thread::sleep(self.1);
+            self.0.read(path)
+        }
+        fn size(&self, path: &str) -> Result<u64> {
+            self.0.size(path)
+        }
+        fn list(&self, prefix: &str) -> Result<Vec<String>> {
+            self.0.list(prefix)
+        }
+        fn delete(&self, path: &str) -> Result<()> {
+            self.0.delete(path)
+        }
+        fn stats(&self) -> FsStats {
+            self.0.stats()
+        }
+        fn kind(&self) -> &'static str {
+            "slow"
+        }
+    }
+
+    #[test]
+    fn singleflight_dedups_concurrent_misses() {
+        let backing = Arc::new(SlowFs(MemFs::new(), std::time::Duration::from_millis(40)));
+        backing.0.write("k", payload(10)).unwrap();
+        let cache = Arc::new(FileCache::new(
+            Arc::new(MemFs::new()),
+            backing.clone(),
+            1000,
+        ));
+        const N: usize = 6;
+        let barrier = Arc::new(std::sync::Barrier::new(N));
+        let mut handles = Vec::new();
+        for _ in 0..N {
+            let cache = cache.clone();
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                cache.read_with("k", CacheMode::Normal).unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap().len(), 10);
+        }
+        let s = cache.stats();
+        assert_eq!(backing.stats().gets, 1, "one backing GET for N misses");
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits as usize, N - 1);
+        assert_eq!(s.singleflight_waits as usize, N - 1);
+    }
+
+    #[test]
+    fn singleflight_disabled_fetches_per_miss() {
+        let backing = Arc::new(SlowFs(MemFs::new(), std::time::Duration::from_millis(20)));
+        backing.0.write("k", payload(10)).unwrap();
+        let cache = Arc::new(FileCache::new(
+            Arc::new(MemFs::new()),
+            backing.clone(),
+            1000,
+        ));
+        cache.set_single_flight(false);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = cache.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.read_with("k", CacheMode::Normal).unwrap()
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(backing.stats().gets, 2, "no dedup when disabled");
+        assert_eq!(cache.stats().singleflight_waits, 0);
+    }
+
+    #[test]
+    fn singleflight_waiters_share_ranged_fault_in() {
+        let backing = Arc::new(SlowFs(MemFs::new(), std::time::Duration::from_millis(40)));
+        backing.0.write("obj", Bytes::from_static(b"0123456789")).unwrap();
+        let cache = Arc::new(FileCache::new(
+            Arc::new(MemFs::new()),
+            backing.clone(),
+            1000,
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let threads: Vec<_> = (0..4u64)
+            .map(|i| {
+                let cache = cache.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.read_range("obj", i * 2, 2).unwrap()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap().len(), 2);
+        }
+        let s = cache.stats();
+        assert_eq!(backing.stats().gets, 1, "one fault-in for all ranges");
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 4, "every ranged read books one hit");
     }
 }

@@ -276,11 +276,30 @@ impl RosReader {
 
     /// Read a column with block pruning: `keep[i] == false` skips block
     /// `i` (returning `None` in its slot so positions stay alignable).
+    /// One ranged read per surviving block.
     pub fn read_column_blocks(
         &self,
         fs: &dyn eon_storage::FileSystem,
         col: usize,
         keep: &[bool],
+    ) -> Result<Vec<Option<Vec<Value>>>> {
+        let mut stats = ReadStats::default();
+        self.read_column_blocks_with(fs, col, keep, None, &mut stats)
+    }
+
+    /// Like [`read_column_blocks`](Self::read_column_blocks), but with
+    /// request coalescing: surviving blocks whose byte ranges are
+    /// adjacent — or separated by a skipped gap of at most
+    /// `coalesce_gap` bytes — are fetched with one ranged read and
+    /// sliced locally. `None` disables coalescing (one GET per block).
+    /// I/O accounting lands in `stats`.
+    pub fn read_column_blocks_with(
+        &self,
+        fs: &dyn eon_storage::FileSystem,
+        col: usize,
+        keep: &[bool],
+        coalesce_gap: Option<u64>,
+        stats: &mut ReadStats,
     ) -> Result<Vec<Option<Vec<Value>>>> {
         let meta = self
             .footer
@@ -290,26 +309,78 @@ impl RosReader {
         if keep.len() != meta.blocks.len() {
             return Err(EonError::Internal("keep mask length mismatch".into()));
         }
-        let mut out = Vec::with_capacity(meta.blocks.len());
-        for (b, &k) in meta.blocks.iter().zip(keep) {
+        let mut out: Vec<Option<Vec<Value>>> = Vec::with_capacity(meta.blocks.len());
+        out.resize_with(meta.blocks.len(), || None);
+
+        // Group surviving blocks into runs fetchable with one ranged
+        // read. Blocks of one column are laid out in index order, so a
+        // run is a span [start_byte, end_byte) covering every kept
+        // block in it, plus any skipped blocks tolerated as gap.
+        let mut runs: Vec<(Vec<usize>, u64, u64)> = Vec::new(); // (block idxs, start, end)
+        for (i, (b, &k)) in meta.blocks.iter().zip(keep).enumerate() {
             if !k {
-                out.push(None);
                 continue;
             }
-            let raw = fs.read_range(&self.key, b.offset, b.len)?;
-            let vals = decode_column(&mut Reader::new(&raw))?;
-            if vals.len() as u64 != b.rows {
+            let merged = match (coalesce_gap, runs.last_mut()) {
+                (Some(gap), Some((idxs, _, end))) if b.offset - *end <= gap => {
+                    idxs.push(i);
+                    *end = b.offset + b.len;
+                    true
+                }
+                _ => false,
+            };
+            if !merged {
+                runs.push((vec![i], b.offset, b.offset + b.len));
+            }
+        }
+
+        for (idxs, start, end) in runs {
+            let raw = fs.read_range(&self.key, start, end - start)?;
+            if (raw.len() as u64) < end - start {
                 return Err(EonError::Corrupt(format!(
-                    "{}: block decoded {} rows, footer says {}",
+                    "{}: short ranged read ({} < {})",
                     self.key,
-                    vals.len(),
-                    b.rows
+                    raw.len(),
+                    end - start
                 )));
             }
-            out.push(Some(vals));
+            stats.requests += 1;
+            stats.bytes_read += end - start;
+            stats.requests_saved += idxs.len() as u64 - 1;
+            let kept: u64 = idxs.iter().map(|&i| meta.blocks[i].len).sum();
+            stats.gap_bytes += (end - start) - kept;
+            for i in idxs {
+                let b = &meta.blocks[i];
+                let lo = (b.offset - start) as usize;
+                let hi = lo + b.len as usize;
+                let vals = decode_column(&mut Reader::new(&raw[lo..hi]))?;
+                if vals.len() as u64 != b.rows {
+                    return Err(EonError::Corrupt(format!(
+                        "{}: block decoded {} rows, footer says {}",
+                        self.key,
+                        vals.len(),
+                        b.rows
+                    )));
+                }
+                out[i] = Some(vals);
+            }
         }
         Ok(out)
     }
+}
+
+/// I/O accounting for coalesced column reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Ranged GETs issued.
+    pub requests: u64,
+    /// Requests avoided versus one-GET-per-surviving-block.
+    pub requests_saved: u64,
+    /// Total bytes fetched (including gap bytes).
+    pub bytes_read: u64,
+    /// Bytes fetched that belong to skipped blocks inside a coalesced
+    /// run (the price paid for fewer requests).
+    pub gap_bytes: u64,
 }
 
 #[cfg(test)]
@@ -448,6 +519,56 @@ mod tests {
         let (_, footer) = RosWriter::new().encode(&cols).unwrap();
         let b = &footer.columns[0].blocks[0];
         assert!(b.min.is_null() && b.max.is_null() && b.has_null);
+    }
+
+    #[test]
+    fn coalesced_read_matches_per_block_read() {
+        let fs = MemFs::new();
+        write_sample(&fs, "c1");
+        let r = RosReader::open(&fs, "c1").unwrap();
+        let keep = [true, true, true];
+        let plain = r.read_column_blocks(&fs, 0, &keep).unwrap();
+        let gets = fs.stats().gets;
+        let mut stats = ReadStats::default();
+        let coalesced = r
+            .read_column_blocks_with(&fs, 0, &keep, Some(0), &mut stats)
+            .unwrap();
+        assert_eq!(coalesced, plain);
+        // Three adjacent blocks → one ranged read.
+        assert_eq!(fs.stats().gets - gets, 1);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.requests_saved, 2);
+        assert_eq!(stats.gap_bytes, 0);
+    }
+
+    #[test]
+    fn coalescing_bridges_small_gaps_only() {
+        let fs = MemFs::new();
+        write_sample(&fs, "c1");
+        let r = RosReader::open(&fs, "c1").unwrap();
+        let keep = [true, false, true]; // a pruned block in the middle
+        let gap = r.footer().columns[0].blocks[1].len;
+
+        // Gap tolerance below the skipped block: two separate reads,
+        // and the skipped slot stays None.
+        let mut tight = ReadStats::default();
+        let split = r
+            .read_column_blocks_with(&fs, 0, &keep, Some(gap - 1), &mut tight)
+            .unwrap();
+        assert_eq!(tight.requests, 2);
+        assert_eq!(tight.gap_bytes, 0);
+        assert!(split[1].is_none());
+
+        // Gap tolerance covering it: one read, gap bytes accounted.
+        let mut wide = ReadStats::default();
+        let merged = r
+            .read_column_blocks_with(&fs, 0, &keep, Some(gap), &mut wide)
+            .unwrap();
+        assert_eq!(wide.requests, 1);
+        assert_eq!(wide.requests_saved, 1);
+        assert_eq!(wide.gap_bytes, gap);
+        assert_eq!(merged, split);
+        assert_eq!(merged, r.read_column_blocks(&fs, 0, &keep).unwrap());
     }
 
     #[test]

@@ -18,9 +18,9 @@ pub mod projection;
 pub mod pruning;
 pub mod segment;
 
-pub use container::{BlockMeta, ColumnMeta, RosFooter, RosReader, RosWriter};
+pub use container::{BlockMeta, ColumnMeta, ReadStats, RosFooter, RosReader, RosWriter};
 pub use delete::DeleteVector;
 pub use encoding::{decode_column, encode_column, Encoding};
 pub use projection::{LapFunc, LiveAggregate, Projection, SortOrder};
-pub use pruning::{ColumnStats, Predicate};
+pub use pruning::{BlockCol, ColumnStats, Predicate};
 pub use segment::split_rows_by_shard;

@@ -138,6 +138,82 @@ impl Predicate {
             Predicate::Or(ps) => ps.iter().any(|p| p.could_match(stats)),
         }
     }
+
+    /// Columnar evaluation over one decoded block: returns a selection
+    /// vector of `rows` booleans, one per row, equal to what
+    /// [`eval_row`](Self::eval_row) would produce on materialized rows.
+    /// `cols` is indexed by predicate column index; columns the
+    /// predicate doesn't touch may be `BlockCol::Const(&Value::Null)`
+    /// placeholders.
+    pub fn eval_block(&self, cols: &[BlockCol<'_>], rows: usize) -> Vec<bool> {
+        match self {
+            Predicate::True => vec![true; rows],
+            Predicate::Cmp { col, op, lit } => {
+                let test = |v: &Value| {
+                    if v.is_null() || lit.is_null() {
+                        return false;
+                    }
+                    let ord = v.cmp(lit);
+                    match op {
+                        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                    }
+                };
+                match &cols[*col] {
+                    BlockCol::Values(vs) => vs.iter().map(test).collect(),
+                    BlockCol::Const(v) => vec![test(v); rows],
+                }
+            }
+            Predicate::IsNull(col) => match &cols[*col] {
+                BlockCol::Values(vs) => vs.iter().map(|v| v.is_null()).collect(),
+                BlockCol::Const(v) => vec![v.is_null(); rows],
+            },
+            Predicate::IsNotNull(col) => match &cols[*col] {
+                BlockCol::Values(vs) => vs.iter().map(|v| !v.is_null()).collect(),
+                BlockCol::Const(v) => vec![!v.is_null(); rows],
+            },
+            Predicate::And(ps) => {
+                let mut sel = vec![true; rows];
+                for p in ps {
+                    let s = p.eval_block(cols, rows);
+                    for (a, b) in sel.iter_mut().zip(s) {
+                        *a &= b;
+                    }
+                    if sel.iter().all(|&k| !k) {
+                        break;
+                    }
+                }
+                sel
+            }
+            Predicate::Or(ps) => {
+                let mut sel = vec![false; rows];
+                for p in ps {
+                    let s = p.eval_block(cols, rows);
+                    for (a, b) in sel.iter_mut().zip(s) {
+                        *a |= b;
+                    }
+                    if sel.iter().all(|&k| k) {
+                        break;
+                    }
+                }
+                sel
+            }
+        }
+    }
+}
+
+/// One column of one block, as seen by [`Predicate::eval_block`].
+#[derive(Debug, Clone, Copy)]
+pub enum BlockCol<'a> {
+    /// Decoded per-row values.
+    Values(&'a [Value]),
+    /// Every row carries this value — e.g. a column added to the table
+    /// after the container was written, materialized from the default.
+    Const(&'a Value),
 }
 
 #[cfg(test)]
@@ -221,6 +297,39 @@ mod tests {
     }
 
     proptest! {
+        /// `eval_block` over columnar data must agree with `eval_row`
+        /// over materialized rows, including nulls, Const columns
+        /// (post-write table defaults), and nested combinators.
+        #[test]
+        fn prop_eval_block_matches_eval_row(
+            col0 in proptest::collection::vec(
+                (-7i64..5).prop_map(|v| if v < -5 { Value::Null } else { Value::Int(v) }),
+                1..40,
+            ),
+            dflt_raw in -7i64..5,
+            lit0 in -6i64..6,
+            lit1 in -6i64..6,
+            op_idx in 0usize..6,
+        ) {
+            let rows = col0.len();
+            let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][op_idx];
+            let dflt = if dflt_raw < -5 { Value::Null } else { Value::Int(dflt_raw) };
+            let p = Predicate::Or(vec![
+                Predicate::And(vec![
+                    Predicate::cmp(0, op, lit0),
+                    Predicate::IsNotNull(1),
+                ]),
+                Predicate::eq(1, lit1),
+                Predicate::IsNull(0),
+            ]);
+            let cols = [BlockCol::Values(&col0), BlockCol::Const(&dflt)];
+            let sel = p.eval_block(&cols, rows);
+            for (i, v) in col0.iter().enumerate() {
+                let row = vec![v.clone(), dflt.clone()];
+                prop_assert_eq!(sel[i], p.eval_row(&row), "row {}", i);
+            }
+        }
+
         /// Soundness: a block is never pruned if it contains a matching
         /// row. Generate a block of ints, derive true stats, check every
         /// predicate shape.

@@ -39,6 +39,19 @@ pub struct EonConfig {
     /// (`Arc` inside), so benches can hand in their own registry and
     /// snapshot it after a run.
     pub obs: eon_obs::Registry,
+    /// Scan-pool workers per node for query scans (DESIGN.md "Scan
+    /// pipeline"). `0` = auto: one worker per execution slot. `1`
+    /// forces the serial scan path. Always clamped to `exec_slots`.
+    pub scan_workers: usize,
+    /// Coalesce block ranged-reads whose gap is at most this many
+    /// bytes; `None` issues one read per surviving block.
+    pub scan_coalesce_gap: Option<u64>,
+    /// Selection-vector predicate evaluation with late
+    /// materialization of non-predicate columns.
+    pub scan_late_materialization: bool,
+    /// Single-flight depot fills: concurrent misses on one key share
+    /// one backing GET.
+    pub depot_single_flight: bool,
 }
 
 impl Default for EonConfig {
@@ -54,6 +67,10 @@ impl Default for EonConfig {
             fragment_ms: 0,
             faults: FaultPlan::inert(),
             obs: eon_obs::Registry::new(),
+            scan_workers: 0,
+            scan_coalesce_gap: Some(crate::provider::DEFAULT_COALESCE_GAP),
+            scan_late_materialization: true,
+            depot_single_flight: true,
         }
     }
 }
@@ -95,6 +112,30 @@ impl EonConfig {
     /// Use `registry` for all of this database's metrics.
     pub fn observability(mut self, registry: eon_obs::Registry) -> Self {
         self.obs = registry;
+        self
+    }
+
+    /// Scan-pool width per node (`0` = one worker per exec slot).
+    pub fn scan_workers(mut self, w: usize) -> Self {
+        self.scan_workers = w;
+        self
+    }
+
+    /// Ranged-read coalescing gap in bytes (`None` = off).
+    pub fn scan_coalesce_gap(mut self, gap: Option<u64>) -> Self {
+        self.scan_coalesce_gap = gap;
+        self
+    }
+
+    /// Toggle selection-vector filtering with late materialization.
+    pub fn scan_late_materialization(mut self, on: bool) -> Self {
+        self.scan_late_materialization = on;
+        self
+    }
+
+    /// Toggle single-flight depot fills.
+    pub fn depot_single_flight(mut self, on: bool) -> Self {
+        self.depot_single_flight = on;
         self
     }
 }

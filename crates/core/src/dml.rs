@@ -48,6 +48,7 @@ impl EonDb {
             replica_shard: self.replica_shard(),
             cache_mode: CacheMode::Normal,
             crunch: None,
+            scan: self.scan_options(&coord, None),
         };
         let hits = provider.matching_positions(table, predicate)?;
         let mut total = 0u64;
@@ -99,6 +100,7 @@ impl EonDb {
                 replica_shard: self.replica_shard(),
                 cache_mode: CacheMode::Normal,
                 crunch: None,
+                scan: self.scan_options(&coord, None),
             };
             let slice = CrunchSlice::all();
             let _ = slice;

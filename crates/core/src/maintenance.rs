@@ -186,6 +186,15 @@ impl EonDb {
             replica_shard: self.replica_shard(),
             cache_mode: CacheMode::Normal,
             crunch: None,
+            // Mergeout reads serially — its parallelism is across
+            // jobs, not within one container scan.
+            scan: crate::provider::ScanOptions {
+                workers: 1,
+                coalesce_gap: self.config.scan_coalesce_gap,
+                late_materialization: self.config.scan_late_materialization,
+                obs: self.config.obs.clone(),
+                profile: None,
+            },
         };
 
         // Gather each input's surviving rows (already sorted within a

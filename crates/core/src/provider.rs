@@ -3,18 +3,106 @@
 //! min/max statistics at container and block level (§2.1), apply
 //! delete vectors, and honor session shard assignments (§4) and crunch
 //! slices (§4.4).
+//!
+//! Scans run as a *pipeline* (see DESIGN.md "Scan pipeline"): the
+//! per-shard container list fans out across a bounded per-node worker
+//! pool so shared-storage latency on one container overlaps decode and
+//! filter compute on another; block ranges are coalesced into fewer
+//! ranged reads; and predicates evaluate columnar-wise into selection
+//! vectors so non-predicate columns are fetched only for blocks with
+//! surviving rows (late materialization). Results merge in container
+//! order, so output is identical to a serial scan.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use eon_cache::CacheMode;
 use eon_catalog::{CatalogState, ContainerMeta, Table};
 use eon_cluster::NodeRuntime;
 use eon_columnar::pruning::ColumnStats;
-use eon_columnar::{DeleteVector, Predicate, Projection, RosReader};
+use eon_columnar::{BlockCol, DeleteVector, Predicate, Projection, ReadStats, RosReader};
 use eon_exec::crunch::CrunchSlice;
 use eon_exec::{ScanSpec, TableProvider};
+use eon_obs::{Counter, Histogram, QueryProfile, Registry};
 use eon_types::{EonError, Oid, Result, ShardId, Value};
+use parking_lot::Mutex;
+
+/// Default coalescing gap: fetch up to this many dead bytes between
+/// two surviving blocks rather than pay a second request round-trip.
+pub const DEFAULT_COALESCE_GAP: u64 = 64 * 1024;
+
+/// Scan-pipeline tuning, carried per session (built from `EonConfig`
+/// by the coordinator; defaults are serial + full optimisation, which
+/// keeps DML/mergeout scans single-threaded).
+#[derive(Clone)]
+pub struct ScanOptions {
+    /// Container-scan worker threads per node; 1 = serial. The
+    /// coordinator clamps this to the node's execution-slot budget
+    /// (§4.2) so a scan can't out-parallelize its admission.
+    pub workers: usize,
+    /// Coalesce ranged reads whose gap is at most this many bytes;
+    /// `None` issues one read per surviving block.
+    pub coalesce_gap: Option<u64>,
+    /// Evaluate predicates into per-block selection vectors and skip
+    /// fetching non-predicate columns for blocks with no survivors.
+    /// `false` falls back to materialize-then-`eval_row`.
+    pub late_materialization: bool,
+    /// Registry scan metrics land in.
+    pub obs: Registry,
+    /// Per-query profile for scan spans, when one is being collected.
+    pub profile: Option<QueryProfile>,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            workers: 1,
+            coalesce_gap: Some(DEFAULT_COALESCE_GAP),
+            late_materialization: true,
+            obs: Registry::new(),
+            profile: None,
+        }
+    }
+}
+
+/// Registry handles for one node's scan pipeline. Counters are
+/// deterministic functions of the workload (which blocks were pruned,
+/// which bytes fetched); only the queue-wait histogram is wall-clock.
+struct ScanMetrics {
+    pool_tasks: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+    blocks_pruned: Arc<Counter>,
+    blocks_late_skipped: Arc<Counter>,
+    read_requests: Arc<Counter>,
+    requests_saved: Arc<Counter>,
+    coalesced_bytes: Arc<Counter>,
+    gap_bytes: Arc<Counter>,
+}
+
+impl ScanMetrics {
+    fn register(registry: &Registry, node: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("node", node), ("subsystem", "scan")];
+        ScanMetrics {
+            pool_tasks: registry.counter("scan_pool_tasks_total", labels),
+            queue_wait: registry.timing_histogram("scan_pool_queue_wait_us", labels),
+            blocks_pruned: registry.counter("scan_blocks_pruned_total", labels),
+            blocks_late_skipped: registry.counter("scan_blocks_late_skipped_total", labels),
+            read_requests: registry.counter("scan_read_requests_total", labels),
+            requests_saved: registry.counter("scan_coalesced_requests_saved_total", labels),
+            coalesced_bytes: registry.counter("scan_coalesced_bytes_total", labels),
+            gap_bytes: registry.counter("scan_coalesced_gap_bytes_total", labels),
+        }
+    }
+
+    fn record_io(&self, s: &ReadStats) {
+        self.read_requests.add(s.requests);
+        self.requests_saved.add(s.requests_saved);
+        self.coalesced_bytes.add(s.bytes_read);
+        self.gap_bytes.add(s.gap_bytes);
+    }
+}
 
 /// Per-session, per-node scan context.
 pub struct NodeProvider {
@@ -28,28 +116,30 @@ pub struct NodeProvider {
     pub cache_mode: CacheMode,
     /// Crunch-scaling slice when several nodes share each shard (§4.4).
     pub crunch: Option<CrunchSlice>,
+    /// Scan-pipeline tuning (worker pool, coalescing, filtering).
+    pub scan: ScanOptions,
 }
 
-/// Collect the column indices a predicate touches.
-fn predicate_cols(p: &Predicate, out: &mut Vec<usize>) {
-    match p {
-        Predicate::True => {}
-        Predicate::Cmp { col, .. } => {
-            if !out.contains(col) {
-                out.push(*col);
-            }
-        }
-        Predicate::IsNull(col) | Predicate::IsNotNull(col) => {
-            if !out.contains(col) {
-                out.push(*col);
-            }
-        }
-        Predicate::And(ps) | Predicate::Or(ps) => {
-            for q in ps {
-                predicate_cols(q, out);
+/// Collect the column indices a predicate touches, sorted and deduped.
+fn predicate_cols(p: &Predicate) -> Vec<usize> {
+    fn walk(p: &Predicate, out: &mut Vec<usize>) {
+        match p {
+            Predicate::True => {}
+            Predicate::Cmp { col, .. }
+            | Predicate::IsNull(col)
+            | Predicate::IsNotNull(col) => out.push(*col),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for q in ps {
+                    walk(q, out);
+                }
             }
         }
     }
+    let mut out = Vec::new();
+    walk(p, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 /// Rewrite a predicate from table column indices to projection-local
@@ -155,9 +245,67 @@ impl NodeProvider {
         Ok(Some(merged.keep_mask(c.rows)))
     }
 
+    /// Handles for this node's scan-pipeline metrics.
+    fn scan_metrics(&self) -> ScanMetrics {
+        ScanMetrics::register(&self.scan.obs, &format!("node{}", self.node.id.0))
+    }
+
+    /// Run `count` independent scan tasks on the session's scan pool
+    /// and return their results in task order, so callers see exactly
+    /// the serial iteration order. With one worker (or one task) this
+    /// degenerates to the serial loop, early-exit on error included;
+    /// in parallel the lowest-index error wins.
+    fn run_scan_tasks<T, F>(&self, count: usize, metrics: &ScanMetrics, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        metrics.pool_tasks.add(count as u64);
+        let workers = self.scan.workers.max(1).min(count);
+        if workers <= 1 {
+            return (0..count).map(f).collect();
+        }
+        let started = Instant::now();
+        let next = AtomicUsize::new(0);
+        let results = Mutex::new(Vec::with_capacity(count));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    metrics
+                        .queue_wait
+                        .observe(started.elapsed().as_micros() as u64);
+                    let r = f(i);
+                    results.lock().push((i, r));
+                });
+            }
+        });
+        let mut results = results.into_inner();
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Table default for a projection-local column (materialized for
+    /// columns added after a container was written, §6.3).
+    fn default_for(table: &Table, proj: &Projection, col: usize) -> Value {
+        let table_idx = proj.columns[col];
+        table.defaults.get(table_idx).cloned().unwrap_or(Value::Null)
+    }
+
     /// Scan one container, returning rows in projection column space
     /// (only `read_cols` populated; absent columns are the table
     /// default).
+    ///
+    /// Pipeline order: prune blocks on footer min/max stats, fetch
+    /// predicate columns (coalesced), evaluate the predicate into a
+    /// per-block selection vector intersected with the delete mask,
+    /// drop blocks with no survivors, then fetch the remaining columns
+    /// and materialize only selected rows. With
+    /// `ScanOptions::late_materialization` off, every kept block is
+    /// fully materialized and filtered row-at-a-time — same output.
     #[allow(clippy::too_many_arguments)]
     fn scan_container(
         &self,
@@ -169,6 +317,7 @@ impl NodeProvider {
         width: usize,
         with_positions: bool,
         apply_crunch: bool,
+        metrics: &ScanMetrics,
     ) -> Result<Vec<(u64, Vec<Value>)>> {
         let fs = self.fs();
         let reader = RosReader::open(fs, &c.key)?;
@@ -193,18 +342,15 @@ impl NodeProvider {
             };
             *slot = pred_local.could_match(&stats);
         }
+        metrics
+            .blocks_pruned
+            .add(keep.iter().filter(|&&k| !k).count() as u64);
         if !keep.iter().any(|&k| k) {
             return Ok(Vec::new());
         }
 
-        // Read the needed columns (those physically present).
-        let mut col_blocks: HashMap<usize, Vec<Option<Vec<Value>>>> = HashMap::new();
-        for &col in read_cols {
-            if col < present {
-                col_blocks.insert(col, reader.read_column_blocks(fs, col, &keep)?);
-            }
-        }
-
+        let gap = self.scan.coalesce_gap;
+        let mut rstats = ReadStats::default();
         let mask = self.delete_mask(c)?;
         // Block start positions (cumulative row counts).
         let mut block_start = Vec::with_capacity(nblocks);
@@ -216,15 +362,99 @@ impl NodeProvider {
             }
         }
 
+        let mut col_blocks: HashMap<usize, Vec<Option<Vec<Value>>>> = HashMap::new();
+        // Per kept block: which rows survive predicate + delete mask.
+        // `None` (only without late materialization) means "all rows,
+        // filter during materialization".
+        let mut selection: Vec<Option<Vec<bool>>> = vec![None; nblocks];
+        let late = self.scan.late_materialization && *pred_local != Predicate::True;
+
+        if late {
+            // Fetch predicate columns first. Only columns the caller
+            // asked to read participate — a predicate column outside
+            // `read_cols` evaluates as Null, exactly as the serial
+            // materialize-then-eval path would see it.
+            let pcols: Vec<usize> = predicate_cols(pred_local)
+                .into_iter()
+                .filter(|col| read_cols.contains(col))
+                .collect();
+            for &col in &pcols {
+                if col < present {
+                    col_blocks.insert(
+                        col,
+                        reader.read_column_blocks_with(fs, col, &keep, gap, &mut rstats)?,
+                    );
+                }
+            }
+            let defaults: HashMap<usize, Value> = pcols
+                .iter()
+                .filter(|&&col| col >= present)
+                .map(|&col| (col, Self::default_for(table, proj, col)))
+                .collect();
+            let null = Value::Null;
+            for b in 0..nblocks {
+                if !keep[b] {
+                    continue;
+                }
+                let rows_in_block = footer.columns[0].blocks[b].rows as usize;
+                let cols_view: Vec<BlockCol> = (0..width)
+                    .map(|col| match col_blocks.get(&col) {
+                        Some(blocks) => match &blocks[b] {
+                            Some(vals) => BlockCol::Values(vals),
+                            None => BlockCol::Const(&null),
+                        },
+                        None => match defaults.get(&col) {
+                            Some(d) => BlockCol::Const(d),
+                            None => BlockCol::Const(&null),
+                        },
+                    })
+                    .collect();
+                let mut sel = pred_local.eval_block(&cols_view, rows_in_block);
+                if let Some(m) = &mask {
+                    for (r, s) in sel.iter_mut().enumerate() {
+                        *s &= m[(block_start[b] + r as u64) as usize];
+                    }
+                }
+                if sel.iter().any(|&s| s) {
+                    selection[b] = Some(sel);
+                } else {
+                    // No survivors: don't fetch the other columns.
+                    keep[b] = false;
+                    metrics.blocks_late_skipped.inc();
+                }
+            }
+            if !keep.iter().any(|&k| k) {
+                metrics.record_io(&rstats);
+                return Ok(Vec::new());
+            }
+        }
+
+        // Fetch the remaining needed columns (those physically
+        // present) under the — possibly refined — keep mask.
+        for &col in read_cols {
+            if col < present && !col_blocks.contains_key(&col) {
+                col_blocks.insert(
+                    col,
+                    reader.read_column_blocks_with(fs, col, &keep, gap, &mut rstats)?,
+                );
+            }
+        }
+        metrics.record_io(&rstats);
+
         let mut out = Vec::new();
         for b in 0..nblocks {
             if !keep[b] {
                 continue;
             }
             let rows_in_block = footer.columns[0].blocks[b].rows as usize;
+            let sel = selection[b].as_ref();
             for r in 0..rows_in_block {
                 let pos = block_start[b] + r as u64;
-                if let Some(m) = &mask {
+                if late {
+                    if !sel.map(|s| s[r]).unwrap_or(false) {
+                        continue;
+                    }
+                } else if let Some(m) = &mask {
                     if !m[pos as usize] {
                         continue;
                     }
@@ -238,17 +468,10 @@ impl NodeProvider {
                             .unwrap_or(Value::Null),
                         // Column added after this container was written
                         // (§6.3): materialize the default.
-                        None => {
-                            let table_idx = proj.columns[col];
-                            table
-                                .defaults
-                                .get(table_idx)
-                                .cloned()
-                                .unwrap_or(Value::Null)
-                        }
+                        None => Self::default_for(table, proj, col),
                     };
                 }
-                if !pred_local.eval_row(&row) {
+                if !late && !pred_local.eval_row(&row) {
                     continue;
                 }
                 if apply_crunch {
@@ -295,8 +518,11 @@ impl NodeProvider {
         pred_local: &Predicate,
         width: usize,
     ) -> Result<Vec<Vec<Value>>> {
+        let metrics = self.scan_metrics();
         Ok(self
-            .scan_container(table, proj, c, read_cols, pred_local, width, false, false)?
+            .scan_container(
+                table, proj, c, read_cols, pred_local, width, false, false, &metrics,
+            )?
             .into_iter()
             .map(|(_, row)| row)
             .collect())
@@ -313,8 +539,7 @@ impl NodeProvider {
             .snapshot
             .table_by_name(table)
             .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
-        let mut pred_cols = Vec::new();
-        predicate_cols(predicate, &mut pred_cols);
+        let pred_cols = predicate_cols(predicate);
         let (proj_oid, proj) = self.pick_projection(t, &pred_cols, true, None)?;
         let table_to_proj: HashMap<usize, usize> = proj
             .columns
@@ -326,14 +551,23 @@ impl NodeProvider {
         let read_cols: Vec<usize> = pred_cols.iter().map(|c| table_to_proj[c]).collect();
         let width = proj.columns.len();
 
-        let mut out = Vec::new();
+        let metrics = self.scan_metrics();
+        let mut work: Vec<(ShardId, &ContainerMeta)> = Vec::new();
         for shard in self.shards_for(proj, true) {
             for c in self.snapshot.containers_for(proj_oid, shard) {
-                let hits =
-                    self.scan_container(t, proj, c, &read_cols, &pred_local, width, true, false)?;
-                if !hits.is_empty() {
-                    out.push((c.oid, shard, hits.into_iter().map(|(p, _)| p).collect()));
-                }
+                work.push((shard, c));
+            }
+        }
+        let per_container = self.run_scan_tasks(work.len(), &metrics, |i| {
+            let (_, c) = work[i];
+            self.scan_container(
+                t, proj, c, &read_cols, &pred_local, width, true, false, &metrics,
+            )
+        })?;
+        let mut out = Vec::new();
+        for ((shard, c), hits) in work.into_iter().zip(per_container) {
+            if !hits.is_empty() {
+                out.push((c.oid, shard, hits.into_iter().map(|(p, _)| p).collect()));
             }
         }
         Ok(out)
@@ -351,9 +585,15 @@ impl TableProvider for NodeProvider {
             .clone()
             .unwrap_or_else(|| (0..t.schema.len()).collect());
         let mut needed = out_cols.clone();
-        predicate_cols(&spec.predicate, &mut needed);
+        needed.extend(predicate_cols(&spec.predicate));
         needed.sort_unstable();
         needed.dedup();
+        let metrics = self.scan_metrics();
+        let _span = self
+            .scan
+            .profile
+            .as_ref()
+            .map(|p| p.span("scan_pipeline", &format!("node{}:{}", self.node.id.0, spec.table)));
 
         let global = spec.distribute == eon_exec::Distribution::Global;
         let (proj_oid, proj) =
@@ -369,24 +609,28 @@ impl TableProvider for NodeProvider {
             }
             let width = proj.columns.len();
             let read_cols: Vec<usize> = (0..width).collect();
-            let mut rows = Vec::new();
+            let mut work: Vec<&ContainerMeta> = Vec::new();
             for shard in self.shards_for(proj, global) {
-                for c in self.snapshot.containers_for(proj_oid, shard) {
-                    for (_, row) in self.scan_container(
-                        t,
-                        proj,
-                        c,
-                        &read_cols,
-                        &Predicate::True,
-                        width,
-                        false,
-                        false,
-                    )? {
-                        rows.push(row);
-                    }
-                }
+                work.extend(self.snapshot.containers_for(proj_oid, shard));
             }
-            return Ok(rows);
+            let per_container = self.run_scan_tasks(work.len(), &metrics, |i| {
+                self.scan_container(
+                    t,
+                    proj,
+                    work[i],
+                    &read_cols,
+                    &Predicate::True,
+                    width,
+                    false,
+                    false,
+                    &metrics,
+                )
+            })?;
+            return Ok(per_container
+                .into_iter()
+                .flatten()
+                .map(|(_, row)| row)
+                .collect());
         }
         let table_to_proj: HashMap<usize, usize> = proj
             .columns
@@ -399,10 +643,16 @@ impl TableProvider for NodeProvider {
         let out_local: Vec<usize> = out_cols.iter().map(|c| table_to_proj[c]).collect();
         let width = proj.columns.len();
 
-        let mut rows = Vec::new();
+        // Crunch hash-filter splits only the shard-local fact scan;
+        // broadcast/replicated sides must stay complete on every
+        // worker or joins lose rows (§4.4).
+        let apply_crunch = !global && !proj.is_replicated();
+        // Container-level pruning from catalog statistics happens
+        // while building the work list, so the pool only sees
+        // containers that actually need I/O.
+        let mut work: Vec<&ContainerMeta> = Vec::new();
         for shard in self.shards_for(proj, global) {
             for c in self.snapshot.containers_for(proj_oid, shard) {
-                // Container-level pruning from catalog statistics.
                 let stats = |col: usize| -> Option<ColumnStats> {
                     let table_idx = proj.columns.get(col).copied()?;
                     match c.col_minmax.get(col) {
@@ -417,19 +667,27 @@ impl TableProvider for NodeProvider {
                         }
                     }
                 };
-                if !pred_local.could_match(&stats) {
-                    continue;
-                }
-                // Crunch hash-filter splits only the shard-local fact
-                // scan; broadcast/replicated sides must stay complete
-                // on every worker or joins lose rows (§4.4).
-                let apply_crunch = !global && !proj.is_replicated();
-                for (_, row) in self.scan_container(
-                    t, proj, c, &read_cols, &pred_local, width, false, apply_crunch,
-                )? {
-                    rows.push(out_local.iter().map(|&c| row[c].clone()).collect());
+                if pred_local.could_match(&stats) {
+                    work.push(c);
                 }
             }
+        }
+        let per_container = self.run_scan_tasks(work.len(), &metrics, |i| {
+            self.scan_container(
+                t,
+                proj,
+                work[i],
+                &read_cols,
+                &pred_local,
+                width,
+                false,
+                apply_crunch,
+                &metrics,
+            )
+        })?;
+        let mut rows = Vec::new();
+        for (_, row) in per_container.into_iter().flatten() {
+            rows.push(out_local.iter().map(|&c| row[c].clone()).collect());
         }
         Ok(rows)
     }

@@ -270,6 +270,7 @@ impl EonDb {
                         replica_shard: replica,
                         cache_mode,
                         crunch: if slice.is_split() { Some(*slice) } else { None },
+                        scan: self.scan_options(node, profile),
                     };
                     let local_span =
                         profile.map(|p| p.span("local_phase", &node.id.to_string()));

@@ -51,7 +51,55 @@ fn join_key(row: &[Value], cols: &[usize]) -> Option<Vec<Value>> {
     Some(key)
 }
 
+/// Emit output rows for one probe row given its build-side matches.
+fn emit_join_rows(
+    lrow: &[Value],
+    matches: Option<&Vec<&Vec<Value>>>,
+    kind: JoinKind,
+    right_width: usize,
+    out: &mut Rows,
+) {
+    match kind {
+        JoinKind::Inner => {
+            if let Some(ms) = matches {
+                for r in ms {
+                    let mut row = lrow.to_vec();
+                    row.extend(r.iter().cloned());
+                    out.push(row);
+                }
+            }
+        }
+        JoinKind::Left => match matches {
+            Some(ms) => {
+                for r in ms {
+                    let mut row = lrow.to_vec();
+                    row.extend(r.iter().cloned());
+                    out.push(row);
+                }
+            }
+            None => {
+                let mut row = lrow.to_vec();
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(row);
+            }
+        },
+        JoinKind::Semi => {
+            if matches.is_some() {
+                out.push(lrow.to_vec());
+            }
+        }
+        JoinKind::Anti => {
+            if matches.is_none() {
+                out.push(lrow.to_vec());
+            }
+        }
+    }
+}
+
 /// Hash join. Builds on the right side, probes with the left.
+/// Single-column keys — the overwhelmingly common case — hash the
+/// value by reference; only multi-column keys materialize a composite
+/// `Vec<Value>` key per row.
 pub fn hash_join(
     left: Rows,
     right: Rows,
@@ -60,50 +108,31 @@ pub fn hash_join(
     kind: JoinKind,
     right_width: usize,
 ) -> Result<Rows> {
+    let mut out = Vec::new();
+    if let ([lk], [rk]) = (left_keys, right_keys) {
+        let mut table: HashMap<&Value, Vec<&Vec<Value>>> = HashMap::new();
+        for row in &right {
+            let v = &row[*rk];
+            if !v.is_null() {
+                table.entry(v).or_default().push(row);
+            }
+        }
+        for lrow in &left {
+            let v = &lrow[*lk];
+            let matches = if v.is_null() { None } else { table.get(v) };
+            emit_join_rows(lrow, matches, kind, right_width, &mut out);
+        }
+        return Ok(out);
+    }
     let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
     for row in &right {
         if let Some(k) = join_key(row, right_keys) {
             table.entry(k).or_default().push(row);
         }
     }
-    let mut out = Vec::new();
     for lrow in &left {
         let matches = join_key(lrow, left_keys).and_then(|k| table.get(&k));
-        match kind {
-            JoinKind::Inner => {
-                if let Some(ms) = matches {
-                    for r in ms {
-                        let mut row = lrow.clone();
-                        row.extend(r.iter().cloned());
-                        out.push(row);
-                    }
-                }
-            }
-            JoinKind::Left => match matches {
-                Some(ms) => {
-                    for r in ms {
-                        let mut row = lrow.clone();
-                        row.extend(r.iter().cloned());
-                        out.push(row);
-                    }
-                }
-                None => {
-                    let mut row = lrow.clone();
-                    row.extend(std::iter::repeat_n(Value::Null, right_width));
-                    out.push(row);
-                }
-            },
-            JoinKind::Semi => {
-                if matches.is_some() {
-                    out.push(lrow.clone());
-                }
-            }
-            JoinKind::Anti => {
-                if matches.is_none() {
-                    out.push(lrow.clone());
-                }
-            }
-        }
+        emit_join_rows(lrow, matches, kind, right_width, &mut out);
     }
     Ok(out)
 }

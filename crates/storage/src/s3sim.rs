@@ -230,6 +230,9 @@ impl S3SimFs {
     /// `transfer` bytes, then roll the failure dice. Returns this
     /// request's attempt number for the ambiguous-outcome roll.
     fn request(&self, verb: &'static str, path: &str, transfer: usize, price: u64) -> Result<u64> {
+        if std::env::var_os("EON_S3_TRACE").is_some() {
+            eprintln!("s3 {verb} {path} ({transfer}B)");
+        }
         let mut delay = self.config.request_latency;
         if let Some(per_byte) = (transfer as u64).checked_div(self.config.bytes_per_micro) {
             delay += Duration::from_micros(per_byte);

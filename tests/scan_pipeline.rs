@@ -1,0 +1,303 @@
+//! Equivalence and concurrency tests for the pipelined parallel scan
+//! (DESIGN.md "Scan pipeline").
+//!
+//! The scan pool, coalesced ranged reads, selection-vector late
+//! materialization, and single-flight depot fills are all performance
+//! machinery: none of them may change a query answer, the order of a
+//! scan's output, or the exactness of the depot's hit/miss accounting.
+//! These tests pin that:
+//!
+//! * a property test runs the same seeded workload through a serial
+//!   pipeline and a fully-enabled one (Normal, Bypass, and crunch
+//!   sessions) and requires identical answers;
+//! * a single-node test compares *unsorted* scan output, which pins the
+//!   deterministic container-order merge of the parallel pool;
+//! * an armed `QUERY_WORKER_LOCAL` crash mid-scan must be absorbed by
+//!   failover without changing answers;
+//! * concurrent misses on one depot key over simulated S3 must issue
+//!   exactly one backing GET, with `CacheStats` and the registry in
+//!   agreement.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use eon_cache::{mem_cache, CacheMode};
+use eon_columnar::pruning::CmpOp;
+use eon_columnar::{Predicate, Projection};
+use eon_core::{EonConfig, EonDb, SessionOpts};
+use eon_db as _;
+use eon_exec::{AggSpec, Expr, Plan, ScanSpec, SortKey};
+use eon_obs::Registry;
+use eon_storage::fault::{site, FaultPlan};
+use eon_storage::{FileSystem, MemFs, S3Config, S3SimFs, SharedFs};
+use eon_types::{schema, Value};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Deterministic three-column rows: a monotone sort key, a small group
+/// key, and a value column with sprinkled NULLs (so selection vectors
+/// see the same null semantics `eval_row` applies).
+fn gen_rows(seed: u64, n: usize) -> Vec<Vec<Value>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let val = if rng.gen_range(0..8u32) == 0 {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..1000i64))
+            };
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..7i64)),
+                val,
+            ]
+        })
+        .collect()
+}
+
+fn load(db: &EonDb, rows: &[Vec<Value>], batches: usize) {
+    let s = schema![("id", Int), ("grp", Int), ("val", Int)];
+    db.create_table(
+        "t",
+        s.clone(),
+        vec![Projection::super_projection("p", &s, &[0], &[0])],
+    )
+    .unwrap();
+    let per = rows.len().div_ceil(batches.max(1));
+    for chunk in rows.chunks(per.max(1)) {
+        db.copy_into("t", chunk.to_vec()).unwrap();
+    }
+}
+
+/// The scan pipeline with everything forced off: one worker, no
+/// coalescing, early materialization, per-miss depot fetches.
+fn serial_cfg(nodes: usize, shards: usize) -> EonConfig {
+    EonConfig::new(nodes, shards)
+        .exec_slots(4)
+        .scan_workers(1)
+        .scan_coalesce_gap(None)
+        .scan_late_materialization(false)
+        .depot_single_flight(false)
+}
+
+/// Everything on, with an aggressive worker count.
+fn pipelined_cfg(nodes: usize, shards: usize, gap: Option<u64>) -> EonConfig {
+    EonConfig::new(nodes, shards)
+        .exec_slots(8)
+        .scan_workers(5)
+        .scan_coalesce_gap(gap)
+        .scan_late_materialization(true)
+        .depot_single_flight(true)
+}
+
+fn window_pred(n: usize) -> Predicate {
+    let lo = (n / 5) as i64;
+    let hi = (4 * n / 5) as i64;
+    Predicate::and(vec![
+        Predicate::cmp(0, CmpOp::Ge, lo),
+        Predicate::cmp(0, CmpOp::Lt, hi),
+        Predicate::Or(vec![Predicate::cmp(1, CmpOp::Le, 4i64), Predicate::IsNull(2)]),
+    ])
+}
+
+fn plans(n: usize) -> Vec<Plan> {
+    vec![
+        // Full scan, fully sorted so multi-node answers compare as sets.
+        Plan::scan(ScanSpec::new("t")).sort(vec![
+            SortKey::asc(0),
+            SortKey::asc(1),
+            SortKey::asc(2),
+        ]),
+        // Predicate scan exercising stats pruning, selection vectors,
+        // and null semantics.
+        Plan::scan(ScanSpec::new("t").predicate(window_pred(n))).sort(vec![SortKey::asc(0)]),
+        // Grouped aggregate over the predicate scan (partials merge at
+        // the coordinator, so per-node scan output feeds a reduction).
+        Plan::scan(ScanSpec::new("t").predicate(window_pred(n)))
+            .aggregate(
+                vec![1],
+                vec![AggSpec::sum(Expr::col(2)), AggSpec::count_star()],
+            )
+            .sort(vec![SortKey::asc(0)]),
+    ]
+}
+
+proptest! {
+    /// Serial and fully-pipelined scans must agree on every answer, in
+    /// Normal, Bypass, and crunch sessions, across seeds, row counts,
+    /// and coalescing gaps (off / adjacent-only / everything-bridges).
+    #[test]
+    fn pipelined_scan_matches_serial(seed in 0u64..1_000_000, n in 100usize..400) {
+        let gap = match seed % 3 {
+            0 => None,
+            1 => Some(0),
+            _ => Some(1 << 20),
+        };
+        let rows = gen_rows(seed, n);
+        // 5 nodes over 2 shards so crunch sessions genuinely split
+        // shards across extra participants.
+        let serial = EonDb::create(Arc::new(MemFs::new()), serial_cfg(5, 2)).unwrap();
+        let pipelined = EonDb::create(Arc::new(MemFs::new()), pipelined_cfg(5, 2, gap)).unwrap();
+        load(&serial, &rows, 2);
+        load(&pipelined, &rows, 2);
+
+        let sessions = [
+            SessionOpts::default(),
+            SessionOpts { bypass_cache: true, ..Default::default() },
+            SessionOpts { crunch: true, ..Default::default() },
+        ];
+        for plan in &plans(n) {
+            for opts in &sessions {
+                let a = serial.query_with(plan, opts).unwrap();
+                let b = pipelined.query_with(plan, opts).unwrap();
+                prop_assert_eq!(&a, &b, "seed {} gap {:?} opts {:?}", seed, gap, opts);
+            }
+        }
+    }
+}
+
+/// On one node the scan fans containers across pool workers but must
+/// emit them back in container order: the *unsorted* output of a
+/// parallel scan is byte-for-byte the serial output.
+#[test]
+fn parallel_merge_preserves_container_order() {
+    let rows = gen_rows(0xbeef, 3_000);
+    let serial = EonDb::create(Arc::new(MemFs::new()), serial_cfg(1, 1)).unwrap();
+    let parallel = EonDb::create(Arc::new(MemFs::new()), pipelined_cfg(1, 1, Some(64 << 10))).unwrap();
+    // Several batches so one shard holds several containers — the
+    // pool's fan-out/merge has real interleaving to get wrong.
+    load(&serial, &rows, 4);
+    load(&parallel, &rows, 4);
+
+    let unsorted = [
+        Plan::scan(ScanSpec::new("t")),
+        Plan::scan(ScanSpec::new("t").predicate(window_pred(3_000))),
+    ];
+    let sessions = [
+        SessionOpts::default(),
+        SessionOpts { bypass_cache: true, ..Default::default() },
+    ];
+    for plan in &unsorted {
+        for opts in &sessions {
+            let a = serial.query_with(plan, opts).unwrap();
+            let b = parallel.query_with(plan, opts).unwrap();
+            assert_eq!(a, b, "unsorted scan output diverged (opts {opts:?})");
+        }
+    }
+}
+
+/// A participant dying mid-query under the parallel pipeline is
+/// absorbed by coordinator failover, and answers still match a healthy
+/// serial cluster — before and after the crash fires.
+#[test]
+fn armed_worker_crash_does_not_change_answers() {
+    let rows = gen_rows(0xfa11, 2_000);
+    let healthy = EonDb::create(Arc::new(MemFs::new()), serial_cfg(3, 3)).unwrap();
+    let wounded = EonDb::create(
+        Arc::new(MemFs::new()),
+        pipelined_cfg(3, 3, Some(64 << 10)).faults(FaultPlan::at(site::QUERY_WORKER_LOCAL, 0)),
+    )
+    .unwrap();
+    load(&healthy, &rows, 2);
+    load(&wounded, &rows, 2);
+
+    for plan in &plans(2_000) {
+        // First query may fire the crash (killing one participant);
+        // the second runs on the survivors. Both must match.
+        for _ in 0..2 {
+            let a = healthy.query(plan).unwrap();
+            let b = wounded.query(plan).unwrap();
+            assert_eq!(a, b, "answers diverged around a mid-query crash");
+        }
+    }
+}
+
+/// N threads missing the same depot key at once must cost exactly one
+/// S3 GET: one leader fills, every other thread is served from that
+/// fill, and the registry's counters agree with `CacheStats` exactly.
+#[test]
+fn concurrent_same_key_misses_issue_one_s3_get() {
+    const THREADS: usize = 8;
+    let registry = Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(
+        S3Config {
+            // A wide fill window so every thread is in flight together.
+            request_latency: Duration::from_millis(20),
+            bytes_per_micro: 0,
+            ..S3Config::instant()
+        },
+        &registry,
+    ));
+    let shared: SharedFs = s3.clone();
+    shared
+        .write("data/obj", bytes::Bytes::from(vec![7u8; 64 << 10]))
+        .unwrap();
+    let cache = mem_cache(shared.clone(), 1 << 20);
+    cache.attach_metrics(&registry, "n0");
+
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                barrier.wait();
+                let data = cache.read_with("data/obj", CacheMode::Normal).unwrap();
+                assert_eq!(data.len(), 64 << 10);
+            });
+        }
+    });
+
+    assert_eq!(s3.stats().gets, 1, "single-flight must dedup to one GET");
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, (THREADS - 1) as u64);
+    assert_eq!(stats.bypasses, 0);
+    assert_eq!(
+        stats.hits + stats.misses + stats.bypasses,
+        THREADS as u64,
+        "exact accounting: every read is a hit, miss, or bypass"
+    );
+    assert!(
+        stats.singleflight_waits >= 1,
+        "with a 20ms fill, at least one thread must have joined the in-flight fill"
+    );
+    assert!(stats.singleflight_waits <= (THREADS - 1) as u64);
+
+    // Registry parity: the depot's counters are the same numbers.
+    let snap = registry.snapshot();
+    let metric = |name: &str| {
+        snap.get(&format!("{name}{{node=\"n0\",subsystem=\"depot\"}}"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(u64::MAX)
+    };
+    assert_eq!(metric("depot_hits_total"), stats.hits);
+    assert_eq!(metric("depot_misses_total"), stats.misses);
+    assert_eq!(metric("depot_singleflight_waits_total"), stats.singleflight_waits);
+
+    // Contrast: with single-flight disabled the same stampede fetches
+    // once per thread.
+    let s3b = Arc::new(S3SimFs::new(S3Config {
+        request_latency: Duration::from_millis(20),
+        bytes_per_micro: 0,
+        ..S3Config::instant()
+    }));
+    let sharedb: SharedFs = s3b.clone();
+    sharedb
+        .write("data/obj", bytes::Bytes::from(vec![7u8; 64 << 10]))
+        .unwrap();
+    let cacheb = mem_cache(sharedb, 1 << 20);
+    cacheb.set_single_flight(false);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                barrier.wait();
+                cacheb.read_with("data/obj", CacheMode::Normal).unwrap();
+            });
+        }
+    });
+    assert!(
+        s3b.stats().gets > 1,
+        "without single-flight, a barrier-started stampede over a 20ms fill must duplicate GETs"
+    );
+    assert_eq!(cacheb.stats().singleflight_waits, 0);
+}
