@@ -1,0 +1,250 @@
+//! Write-pipeline ablation: serial vs parallel COPY (and DELETE) over
+//! simulated S3, so the parallel write pipeline's win is measured
+//! rather than asserted (DESIGN.md "Write pipeline").
+//!
+//! Configurations over the same deterministic batches and multi-shard
+//! layout:
+//!
+//! * `serial` — one write-pool worker (the pre-pipeline shape),
+//! * `parallel2` — two workers,
+//! * `parallel` — workers = exec slots (the shipping default).
+//!
+//! Each COPY fans one upload job per (projection, shard) bucket; with
+//! per-request S3 latency the serial path pays the PUTs back-to-back
+//! while the pool overlaps sort+encode+upload across writers, so the
+//! difference lands directly in COPY wall-clock. A DELETE phase then
+//! exercises the same pool on delete-vector uploads.
+//!
+//! Every configuration must commit byte-identical catalog state —
+//! container OIDs, keys, rows, sizes — which this bin asserts before
+//! reporting any timing (the determinism rule that makes the pool safe
+//! to ship on by default).
+//!
+//! Knobs: `EON_BENCH_LOAD_ROWS` (rows per COPY batch, default 30000),
+//! `EON_BENCH_S3_LAT_US` (default 2000), `EON_BENCH_JSON` (output
+//! path, default `BENCH_copy.json`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eon_bench::{
+    metrics_summary, print_json, print_table, time_once, update_bench_json_default,
+};
+use eon_columnar::pruning::CmpOp;
+use eon_columnar::{Predicate, Projection};
+use eon_core::{EonConfig, EonDb};
+use eon_exec::{AggSpec, Expr, Plan, ScanSpec, SortKey};
+use eon_obs::Registry;
+use eon_storage::{S3Config, S3SimFs};
+use eon_types::{schema, Value};
+
+const NODES: usize = 4;
+const SHARDS: usize = 8;
+const SLOTS: usize = 8;
+const BATCHES: usize = 3;
+
+fn load_rows() -> usize {
+    std::env::var("EON_BENCH_LOAD_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000)
+}
+
+fn s3_latency() -> Duration {
+    let us = std::env::var("EON_BENCH_S3_LAT_US")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    Duration::from_micros(us)
+}
+
+struct Ablation {
+    name: &'static str,
+    /// `0` = auto (one worker per exec slot).
+    load_workers: usize,
+}
+
+const CONFIGS: &[Ablation] = &[
+    Ablation { name: "serial", load_workers: 1 },
+    Ablation { name: "parallel2", load_workers: 2 },
+    Ablation { name: "parallel", load_workers: 0 },
+];
+
+fn build_db(ab: &Ablation, latency: Duration) -> (Arc<EonDb>, Registry) {
+    let registry = Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(
+        S3Config {
+            request_latency: latency,
+            ..S3Config::default()
+        },
+        &registry,
+    ));
+    let db = EonDb::create(
+        s3,
+        EonConfig::new(NODES, SHARDS)
+            .exec_slots(SLOTS)
+            .observability(registry.clone())
+            .load_workers(ab.load_workers),
+    )
+    .unwrap();
+    let s = schema![("id", Int), ("grp", Int), ("val", Int)];
+    db.create_table(
+        "load_t",
+        s.clone(),
+        vec![Projection::super_projection("lp", &s, &[0], &[0])],
+    )
+    .unwrap();
+    (db, registry)
+}
+
+fn batch(rows: usize, b: usize) -> Vec<Vec<Value>> {
+    (b * rows..(b + 1) * rows)
+        .map(|i| {
+            let i = i as i64;
+            vec![Value::Int(i), Value::Int(i % 8), Value::Int(i * 37 % 1000)]
+        })
+        .collect()
+}
+
+/// The committed write-path state, keys included: (oid, key, shard,
+/// rows, size) per container plus every delete vector. The pool must
+/// reproduce the serial path byte for byte.
+fn catalog_fingerprint(db: &EonDb) -> Vec<String> {
+    let snap = db.snapshot().unwrap();
+    let mut out: Vec<String> = snap
+        .containers
+        .values()
+        .map(|c| {
+            format!(
+                "c:{}:{}:{}:{}:{}",
+                c.oid.0, c.key, c.shard, c.rows, c.size_bytes
+            )
+        })
+        .chain(snap.delete_vectors.values().map(|d| {
+            format!("d:{}:{}:{}:{}", d.oid.0, d.key, d.container.0, d.deleted_rows)
+        }))
+        .collect();
+    out.sort();
+    out
+}
+
+fn main() {
+    let rows = load_rows();
+    let latency = s3_latency();
+    eprintln!(
+        "ablate_load: {BATCHES}×{rows} rows, S3 latency {latency:?}, {NODES} nodes / {SHARDS} shards"
+    );
+
+    let mut table_rows = Vec::new();
+    let mut config_json = Vec::new();
+    let mut by_name: Vec<(&'static str, serde_json::Value)> = Vec::new();
+    let mut reference: Option<(Vec<String>, Vec<Vec<Value>>)> = None;
+
+    let check_plan = Plan::scan(ScanSpec::new("load_t").predicate(Predicate::cmp(
+        0,
+        CmpOp::Lt,
+        (BATCHES * rows / 2) as i64,
+    )))
+    .aggregate(vec![1], vec![AggSpec::sum(Expr::col(2)), AggSpec::count_star()])
+    .sort(vec![SortKey::asc(0)]);
+
+    for ab in CONFIGS {
+        eprintln!("config {} …", ab.name);
+        let (db, registry) = build_db(ab, latency);
+
+        // Timed COPY batches (cold writer caches each run would need a
+        // rebuild; COPY cost is upload-bound, not cache-bound, so the
+        // batches time consistently).
+        let mut copy_ms = Vec::new();
+        for b in 0..BATCHES {
+            let data = batch(rows, b);
+            let t = time_once(|| {
+                db.copy_into("load_t", data).unwrap();
+            });
+            copy_ms.push(t.as_secs_f64() * 1e3);
+        }
+        let copy_best = copy_ms.iter().cloned().fold(f64::MAX, f64::min);
+
+        // DELETE phase: one delete vector per hit container, uploaded
+        // on the same pool.
+        let delete = time_once(|| {
+            db.delete_where("load_t", &Predicate::cmp(0, CmpOp::Lt, (rows / 2) as i64))
+                .unwrap();
+        });
+
+        // Equivalence gate: committed state and query answers must be
+        // identical across pool widths before timings mean anything.
+        let fp = catalog_fingerprint(&db);
+        let answer = db.query(&check_plan).unwrap();
+        match &reference {
+            None => reference = Some((fp, answer)),
+            Some((rfp, ranswer)) => {
+                assert_eq!(rfp, &fp, "config {} changed committed catalog state", ab.name);
+                assert_eq!(ranswer, &answer, "config {} changed query answers", ab.name);
+            }
+        }
+
+        let summary = metrics_summary(&registry.snapshot());
+        let record = serde_json::json!({
+            "config": ab.name,
+            "copy_ms": copy_ms,
+            "copy_best_ms": copy_best,
+            "delete_ms": delete.as_secs_f64() * 1e3,
+            "metrics_summary": summary,
+        });
+        print_json("ablate_load", record.clone());
+        table_rows.push(vec![
+            ab.name.to_string(),
+            format!("{copy_best:.1}"),
+            format!("{:.1}", delete.as_secs_f64() * 1e3),
+            record["metrics_summary"]["load_pool_tasks"].to_string(),
+            record["metrics_summary"]["load_peer_ships"].to_string(),
+            record["metrics_summary"]["s3_put"].to_string(),
+        ]);
+        by_name.push((ab.name, record.clone()));
+        config_json.push(record);
+    }
+
+    print_table(
+        &format!("Load ablation — {BATCHES}×{rows} rows, S3 TTFB {latency:?}"),
+        &["config", "copy ms", "delete ms", "pool tasks", "peer ships", "s3 PUTs"],
+        &table_rows,
+    );
+
+    let find = |n: &str| {
+        by_name
+            .iter()
+            .find(|(name, _)| *name == n)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    let serial = find("serial");
+    let parallel = find("parallel");
+    let acceptance = serde_json::json!({
+        "parallel_faster": parallel["copy_best_ms"].as_f64() < serial["copy_best_ms"].as_f64(),
+        "parallel_copy_speedup":
+            serial["copy_best_ms"].as_f64().unwrap() / parallel["copy_best_ms"].as_f64().unwrap(),
+        "same_s3_puts":
+            parallel["metrics_summary"]["s3_put"] == serial["metrics_summary"]["s3_put"],
+        "state_identical": true, // asserted above, fatal on mismatch
+    });
+    print_json("ablate_load_acceptance", acceptance.clone());
+    assert!(
+        acceptance["parallel_faster"].as_bool() == Some(true),
+        "parallel COPY did not beat serial"
+    );
+
+    update_bench_json_default(
+        "BENCH_copy.json",
+        "ablate_load",
+        serde_json::json!({
+            "rows_per_batch": rows,
+            "batches": BATCHES,
+            "s3_latency_us": latency.as_micros() as u64,
+            "nodes": NODES,
+            "shards": SHARDS,
+            "configs": config_json,
+            "acceptance": acceptance,
+        }),
+    );
+}

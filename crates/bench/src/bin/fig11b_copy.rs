@@ -11,14 +11,22 @@
 //! Expected shape: load throughput grows with node count — writers
 //! spread over more machines — with sub-linear gains as the shared
 //! commit point starts to matter, matching the paper's 3→6→9 curves.
+//!
+//! A second, real-execution phase runs actual COPY batches through the
+//! parallel write pipeline (serial vs full-width write pool) over
+//! simulated S3 with per-request latency, and records the measured
+//! throughput into `BENCH_copy.json` alongside the virtual-time curves
+//! (`EON_BENCH_JSON` overrides the path).
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use eon_bench::vsim::{sim_per_minute, simulate, Fragment, OpSpec};
-use eon_bench::{print_json, print_table};
+use eon_bench::{print_json, print_table, time_once, update_bench_json_default};
 use eon_core::{EonConfig, EonDb};
-use eon_storage::MemFs;
+use eon_obs::Registry;
+use eon_storage::{MemFs, S3Config, S3SimFs};
 use eon_workload::copyload;
 
 const SHARDS: usize = 3;
@@ -73,6 +81,73 @@ fn copies_per_min(db: &EonDb, clients: usize) -> f64 {
     sim_per_minute(out.completed, HORIZON_MS)
 }
 
+/// Real-execution COPY throughput: actual `copy_into` batches through
+/// the write pipeline over latency-bearing simulated S3, serial write
+/// pool vs full width. This is the measured counterpart of the
+/// virtual-time curves above and the source of `BENCH_copy.json`'s
+/// `fig11b_real` section.
+fn real_copy_phase() -> serde_json::Value {
+    const NODES: usize = 6;
+    const REAL_SHARDS: usize = 6;
+    const BATCHES: usize = 4;
+    let rows: usize = std::env::var("EON_BENCH_LOAD_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let latency = Duration::from_micros(
+        std::env::var("EON_BENCH_S3_LAT_US")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2_000),
+    );
+
+    let mut out = std::collections::BTreeMap::new();
+    for (name, workers) in [("serial", 1usize), ("parallel", 0)] {
+        let registry = Registry::new();
+        let s3 = Arc::new(S3SimFs::with_metrics(
+            S3Config { request_latency: latency, ..S3Config::default() },
+            &registry,
+        ));
+        let db = EonDb::create(
+            s3,
+            EonConfig::new(NODES, REAL_SHARDS)
+                .exec_slots(SLOTS)
+                .observability(registry)
+                .load_workers(workers),
+        )
+        .unwrap();
+        copyload::create_telemetry_table(&db).unwrap();
+        let total = time_once(|| {
+            for b in 0..BATCHES {
+                db.copy_into("telemetry", copyload::batch(rows, 7, b as u64))
+                    .unwrap();
+            }
+        });
+        let per_min = BATCHES as f64 * 60.0 / total.as_secs_f64();
+        print_json(
+            "fig11b_real",
+            serde_json::json!({
+                "config": name, "batches": BATCHES, "rows_per_batch": rows,
+                "total_ms": total.as_secs_f64() * 1e3, "copies_per_min": per_min,
+            }),
+        );
+        out.insert(
+            name.to_string(),
+            serde_json::json!({
+                "total_ms": total.as_secs_f64() * 1e3,
+                "copies_per_min": per_min,
+            }),
+        );
+    }
+    let speedup = out["serial"]["total_ms"].as_f64().unwrap()
+        / out["parallel"]["total_ms"].as_f64().unwrap();
+    out.insert("parallel_speedup".into(), serde_json::json!(speedup));
+    out.insert("rows_per_batch".into(), serde_json::json!(rows));
+    out.insert("s3_latency_us".into(), serde_json::json!(latency.as_micros() as u64));
+    println!("\nreal COPY phase: parallel/serial speedup = {speedup:.2}x");
+    serde_json::Value::Object(out)
+}
+
 fn main() {
     eprintln!("building clusters…");
     let clusters = [(3usize, cluster(3)), (6, cluster(6)), (9, cluster(9))];
@@ -99,5 +174,16 @@ fn main() {
     println!(
         "\nshape check: eon9/eon3 at 50 threads = {:.2}x (paper: grows with nodes, sub-linear)",
         rows[2][3].parse::<f64>().unwrap() / rows[2][1].parse::<f64>().unwrap()
+    );
+
+    eprintln!("real COPY phase…");
+    let real = real_copy_phase();
+    update_bench_json_default(
+        "BENCH_copy.json",
+        "fig11b_real",
+        serde_json::json!({
+            "vsim_table": rows,
+            "real": real,
+        }),
     );
 }

@@ -49,6 +49,9 @@ pub struct CacheStats {
     /// Misses that joined another thread's in-flight backing fetch
     /// instead of issuing their own GET (single-flight dedup).
     pub singleflight_waits: u64,
+    /// Write-through puts (Fig 8 loads and DV uploads): cached locally
+    /// *and* uploaded to shared storage.
+    pub writes: u64,
 }
 
 /// One in-flight backing fetch that concurrent misses on the same key
@@ -79,6 +82,7 @@ struct CacheMetrics {
     warmup_bytes: Arc<Counter>,
     retries: Arc<Counter>,
     singleflight_waits: Arc<Counter>,
+    writes: Arc<Counter>,
     used_bytes: Arc<Gauge>,
 }
 
@@ -100,6 +104,7 @@ impl CacheMetrics {
                 labels,
                 Determinism::WallClock,
             ),
+            writes: registry.counter("depot_writes_total", labels),
             used_bytes: registry.gauge("depot_used_bytes", labels),
         }
     }
@@ -178,6 +183,7 @@ impl FileCache {
         m.evictions.add(g.stats.evictions);
         m.bypasses.add(g.stats.bypasses);
         m.singleflight_waits.add(g.stats.singleflight_waits);
+        m.writes.add(g.stats.writes);
         m.used_bytes.set(g.used as i64);
         g.metrics = m;
     }
@@ -438,6 +444,11 @@ impl FileCache {
     /// Write-through put: cache locally, upload to shared storage. The
     /// data-load path (Fig 8 steps 2–3) calls this.
     pub fn put_through(&self, key: &str, data: Bytes) -> Result<()> {
+        {
+            let mut g = self.inner.lock();
+            g.stats.writes += 1;
+            g.metrics.writes.inc();
+        }
         self.insert_local(key, data.clone())?;
         let retries = self.retry_counter();
         with_retry_observed(&self.retry, |_| retries.inc(), || {

@@ -52,6 +52,13 @@ pub struct EonConfig {
     /// Single-flight depot fills: concurrent misses on one key share
     /// one backing GET.
     pub depot_single_flight: bool,
+    /// Write-pool workers for loads (DESIGN.md "Write pipeline"): how
+    /// many independent (projection, shard) container uploads a COPY /
+    /// DML statement runs concurrently. `0` = auto: one worker per
+    /// execution slot. `1` forces the serial write path. Always
+    /// clamped to `exec_slots`; forced to 1 while a fault plan is
+    /// armed so seeded crash schedules replay identically.
+    pub load_workers: usize,
 }
 
 impl Default for EonConfig {
@@ -71,6 +78,7 @@ impl Default for EonConfig {
             scan_coalesce_gap: Some(crate::provider::DEFAULT_COALESCE_GAP),
             scan_late_materialization: true,
             depot_single_flight: true,
+            load_workers: 0,
         }
     }
 }
@@ -136,6 +144,12 @@ impl EonConfig {
     /// Toggle single-flight depot fills.
     pub fn depot_single_flight(mut self, on: bool) -> Self {
         self.depot_single_flight = on;
+        self
+    }
+
+    /// Write-pool width for loads (`0` = one worker per exec slot).
+    pub fn load_workers(mut self, w: usize) -> Self {
+        self.load_workers = w;
         self
     }
 }

@@ -182,6 +182,24 @@ impl EonDb {
         }
     }
 
+    /// Write-pool width for one load statement coordinated by `node`,
+    /// clamped to the execution-slot budget (§4.2) like the scan pool.
+    /// Armed fault plans force the serial path: which upload a one-shot
+    /// crash site interrupts (and therefore which files a seeded chaos
+    /// run orphans) must not depend on thread scheduling (DESIGN.md
+    /// "Write pipeline").
+    pub(crate) fn load_pool_width(&self, node: &NodeRuntime) -> usize {
+        if self.config.faults.is_armed() {
+            return 1;
+        }
+        let slots = node.slots.capacity().max(1);
+        if self.config.load_workers == 0 {
+            slots
+        } else {
+            self.config.load_workers.min(slots)
+        }
+    }
+
     /// Any up node, rotated by the session counter — clients connect to
     /// different nodes, and the connection target is the coordinator.
     pub(crate) fn pick_coordinator(&self) -> Result<Arc<NodeRuntime>> {

@@ -6,61 +6,100 @@
 //! storage before commit like any data file, cached write-through, and
 //! associated with the shard of the container they tombstone.
 
+use std::sync::Arc;
+
 use eon_cache::CacheMode;
-use eon_catalog::CatalogOp;
+use eon_catalog::{CatalogOp, Txn};
+use eon_cluster::NodeRuntime;
 use eon_storage::fault::site as fault_site;
 use eon_columnar::{DeleteVector, Predicate};
-use eon_exec::crunch::CrunchSlice;
 use eon_exec::{Plan, ScanSpec};
 use eon_types::{EonError, Result, Value};
 
 use crate::db::EonDb;
+use crate::load::LoadMetrics;
 use crate::provider::NodeProvider;
 
 impl EonDb {
-    /// DELETE FROM `table` WHERE `predicate`. Returns rows deleted.
-    pub fn delete_where(&self, table: &str, predicate: &Predicate) -> Result<u64> {
-        self.ensure_viable()?;
-        let coord = self.pick_coordinator()?;
-        let mut txn = coord.catalog.begin();
-        let snapshot = txn.snapshot().clone();
-        let t = snapshot
-            .table_by_name(table)
-            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
-        // §2.1: Live Aggregate Projections "trade-off … against
-        // restrictions on how the base table can be updated" — a delete
-        // vector cannot be applied to pre-aggregated rows.
-        if t.projections.iter().any(|(_, p)| p.is_live_aggregate()) {
-            return Err(EonError::Query(format!(
-                "{table} has a live aggregate projection; DELETE/UPDATE are restricted"
-            )));
-        }
-        txn.observe(t.oid);
-
-        // Find matching positions per container (coordinator-side scan;
-        // §4.5 would distribute this, which changes performance, not
-        // outcomes).
-        let provider = NodeProvider {
+    /// A provider view of `coord` over the whole keyspace, for
+    /// coordinator-side DML scans (§4.5 would distribute these, which
+    /// changes performance, not outcomes).
+    fn dml_provider(
+        &self,
+        coord: &Arc<NodeRuntime>,
+        snapshot: Arc<eon_catalog::CatalogState>,
+    ) -> NodeProvider {
+        NodeProvider {
             node: coord.clone(),
-            snapshot: std::sync::Arc::new(snapshot),
+            snapshot,
             my_shards: self.segment_shards(),
             all_shards: self.segment_shards(),
             replica_shard: self.replica_shard(),
             cache_mode: CacheMode::Normal,
             crunch: None,
-            scan: self.scan_options(&coord, None),
-        };
+            scan: self.scan_options(coord, None),
+        }
+    }
+
+    /// Find the rows matching `predicate`, encode one delete vector per
+    /// hit container, upload the DVs on the write pool, and push
+    /// `AddDeleteVector` ops — OIDs minted after the join, in hit
+    /// order, like the load path. Uploaded keys land in `uploaded`
+    /// (successes of a partially-failed fan-out included). Returns the
+    /// number of rows tombstoned.
+    pub(crate) fn stage_delete_vectors(
+        &self,
+        txn: &mut Txn,
+        coord: &Arc<NodeRuntime>,
+        table: &str,
+        predicate: &Predicate,
+        uploaded: &mut Vec<String>,
+    ) -> Result<u64> {
+        let provider = self.dml_provider(coord, Arc::new(txn.snapshot().clone()));
         let hits = provider.matching_positions(table, predicate)?;
-        let mut total = 0u64;
-        for (container_oid, shard, positions) in hits {
-            total += positions.len() as u64;
-            let dv = DeleteVector::new(positions);
-            let key = coord.next_sid().object_key_with("dv");
+        // Keys pre-minted in hit order: the committed state must not
+        // depend on upload scheduling (DESIGN.md "Write pipeline").
+        let jobs: Vec<(eon_types::Oid, eon_types::ShardId, String, DeleteVector)> = hits
+            .into_iter()
+            .map(|(container_oid, shard, positions)| {
+                let key = coord.next_sid().object_key_with("dv");
+                (container_oid, shard, key, DeleteVector::new(positions))
+            })
+            .collect();
+        let total: u64 = jobs.iter().map(|(_, _, _, dv)| dv.len() as u64).sum();
+
+        let metrics = LoadMetrics::register(&self.config.obs, &format!("node{}", coord.id.0));
+        let width = self.load_pool_width(coord);
+        let results = self.run_write_pool(width, jobs.len(), &metrics, |i| {
+            let (_, _, key, dv) = &jobs[i];
             // Crash site: dies between delete-vector uploads, orphaning
             // any DV files already on shared storage.
             self.config.faults.hit(fault_site::DML_UPLOAD)?;
             // Delete marks are files too: cache + upload before commit.
-            coord.cache.put_through(&key, dv.encode())?;
+            coord.cache.put_through(key, dv.encode())?;
+            Ok(())
+        });
+        let mut first_err = None;
+        for (r, (_, _, key, _)) in results.into_iter().zip(&jobs) {
+            match r {
+                Some(Ok(())) => uploaded.push(key.clone()),
+                Some(Err(e)) => {
+                    // Attempted PUTs whose response was lost may have
+                    // applied; register the pre-minted key anyway —
+                    // reaping a missing object is a no-op (§5.3).
+                    uploaded.push(key.clone());
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                None => {}
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        for (container_oid, shard, key, dv) in jobs {
             txn.push(CatalogOp::AddDeleteVector(eon_catalog::DeleteVectorMeta {
                 oid: coord.catalog.next_oid(),
                 key,
@@ -69,18 +108,64 @@ impl EonDb {
                 deleted_rows: dv.len() as u64,
             }));
         }
-        if total == 0 {
-            return Ok(0);
-        }
-        // Crash site: delete vectors uploaded, commit never runs — the
-        // deletes must stay invisible and the DV files get reclaimed.
-        self.config.faults.hit(fault_site::DML_PRE_COMMIT)?;
-        self.commit_cluster(txn, &coord)?;
         Ok(total)
     }
 
-    /// UPDATE `table` SET `col = value, …` WHERE `predicate`: delete
-    /// then insert (§2.3).
+    /// §2.1: Live Aggregate Projections "trade-off … against
+    /// restrictions on how the base table can be updated" — a delete
+    /// vector cannot be applied to pre-aggregated rows.
+    fn check_dml_allowed(t: &eon_catalog::Table, table: &str) -> Result<()> {
+        if t.projections.iter().any(|(_, p)| p.is_live_aggregate()) {
+            return Err(EonError::Query(format!(
+                "{table} has a live aggregate projection; DELETE/UPDATE are restricted"
+            )));
+        }
+        Ok(())
+    }
+
+    /// DELETE FROM `table` WHERE `predicate`. Returns rows deleted.
+    pub fn delete_where(&self, table: &str, predicate: &Predicate) -> Result<u64> {
+        self.ensure_viable()?;
+        let coord = self.pick_coordinator()?;
+        let mut txn = coord.catalog.begin();
+        let t = txn
+            .snapshot()
+            .table_by_name(table)
+            .cloned()
+            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
+        Self::check_dml_allowed(&t, table)?;
+        txn.observe(t.oid);
+
+        let mut uploaded = Vec::new();
+        let staged = self.stage_delete_vectors(&mut txn, &coord, table, predicate, &mut uploaded);
+        let result = staged.and_then(|total| {
+            if total == 0 {
+                return Ok(0);
+            }
+            // Crash site: delete vectors uploaded, commit never runs —
+            // the deletes must stay invisible and the DV files get
+            // reclaimed.
+            self.config.faults.hit(fault_site::DML_PRE_COMMIT)?;
+            self.commit_cluster(txn, &coord)?;
+            Ok(total)
+        });
+        match result {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                // Never-committed DV uploads go straight to the reaper
+                // (crash-modeling faults excepted; the leak scan owns
+                // those).
+                self.abort_uncommitted(uploaded, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// UPDATE `table` SET `col = value, …` WHERE `predicate`: a delete
+    /// and an insert (§2.3) staged in ONE transaction with a single
+    /// cluster commit — no schedule ever exposes the
+    /// deleted-but-not-reinserted intermediate state, and a crash
+    /// between the two phases rolls both back.
     pub fn update_where(
         &self,
         table: &str,
@@ -88,24 +173,21 @@ impl EonDb {
         set: &[(usize, Value)],
     ) -> Result<u64> {
         self.ensure_viable()?;
-        // Read the matching rows first (full rows, all columns).
+        let coord = self.pick_coordinator()?;
+        let mut txn = coord.catalog.begin();
+        let t = txn
+            .snapshot()
+            .table_by_name(table)
+            .cloned()
+            .ok_or_else(|| EonError::UnknownTable(table.to_owned()))?;
+        Self::check_dml_allowed(&t, table)?;
+        txn.observe(t.oid);
+
+        // Read the matching rows (full rows, all columns) from the
+        // transaction's own snapshot, apply SET, and re-validate.
         let plan = Plan::scan(ScanSpec::new(table).predicate(predicate.clone()).global());
-        let mut rows = {
-            let coord = self.pick_coordinator()?;
-            let provider = NodeProvider {
-                node: coord.clone(),
-                snapshot: coord.catalog.snapshot(),
-                my_shards: self.segment_shards(),
-                all_shards: self.segment_shards(),
-                replica_shard: self.replica_shard(),
-                cache_mode: CacheMode::Normal,
-                crunch: None,
-                scan: self.scan_options(&coord, None),
-            };
-            let slice = CrunchSlice::all();
-            let _ = slice;
-            eon_exec::execute(&plan, &provider)?
-        };
+        let provider = self.dml_provider(&coord, Arc::new(txn.snapshot().clone()));
+        let mut rows = eon_exec::execute(&plan, &provider)?;
         if rows.is_empty() {
             return Ok(0);
         }
@@ -113,10 +195,29 @@ impl EonDb {
             for (col, v) in set {
                 row[*col] = v.clone();
             }
+            t.schema.check_row(row)?;
         }
-        let n = self.delete_where(table, predicate)?;
-        self.copy_into(table, rows)?;
-        Ok(n)
+        let n = rows.len() as u64;
+
+        let mut uploaded = Vec::new();
+        let result = (|| {
+            let total =
+                self.stage_delete_vectors(&mut txn, &coord, table, predicate, &mut uploaded)?;
+            debug_assert_eq!(total, n, "scan and tombstone row counts agree");
+            let writers = self.stage_load(&mut txn, &coord, &t, &rows, None, &mut uploaded)?;
+            // Crash site: every DV and container is uploaded; dying
+            // here must leave the table byte-identical to before the
+            // UPDATE.
+            self.config.faults.hit(fault_site::DML_PRE_COMMIT)?;
+            self.commit_staged_write(txn, &coord, &writers)
+        })();
+        match result {
+            Ok(_) => Ok(n),
+            Err(e) => {
+                self.abort_uncommitted(uploaded, &e);
+                Err(e)
+            }
+        }
     }
 }
 

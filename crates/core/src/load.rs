@@ -1,29 +1,109 @@
-//! Data load: the Fig 8 workflow.
+//! Data load: the Fig 8 workflow, run through a parallel write
+//! pipeline (DESIGN.md "Write pipeline").
 //!
 //! 1. ingest rows;
 //! 2. split per projection by segmentation hash so each container holds
-//!    exactly one shard's rows (§4.5);
-//! 3. write each container through the writer's cache (write-through,
-//!    §5.2) — uploading to shared storage — and ship the bytes to the
-//!    shard's other subscribers' caches so a node-down failover finds a
-//!    warm cache;
-//! 4. commit, re-validating under the commit lock that every writer
-//!    still subscribes to the shard it wrote (§4.5's rollback rule).
+//!    exactly one shard's rows (§4.5) — each non-empty (projection,
+//!    shard) bucket becomes one independent upload job;
+//! 3. fan the jobs across a bounded write pool
+//!    ([`crate::EonConfig::load_workers`], clamped to the §4.2
+//!    execution-slot budget): each job sorts + encodes its rows, writes
+//!    the container through the writer's cache (write-through, §5.2) —
+//!    uploading to shared storage — and ships the bytes to the shard's
+//!    other subscribers' caches concurrently so a node-down failover
+//!    finds a warm cache;
+//! 4. after the pool joins, mint catalog OIDs and push `AddContainer`
+//!    ops in the fixed (projection, shard) job order — storage keys are
+//!    pre-minted in that same order before the fan-out — so the
+//!    committed catalog state is byte-identical to the serial path;
+//! 5. commit, re-validating under the commit lock that every writer
+//!    (segment *and* replica shard) still subscribes to the shard it
+//!    wrote (§4.5's rollback rule).
 //!
 //! All data reaches shared storage *before* commit, so committed
-//! transactions never lose files (§3.5).
+//! transactions never lose files (§3.5). When a load fails *after*
+//! uploading (a graceful rollback, not an injected crash), the
+//! never-committed keys are handed to the §6.5 reaper as immediately
+//! deletable instead of waiting for a manual leak scan.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use eon_catalog::{CatalogOp, ContainerMeta, SubState};
+use parking_lot::Mutex;
+
+use eon_catalog::{CatalogOp, ContainerMeta, SubState, Table, Txn};
 use eon_cluster::NodeRuntime;
+use eon_obs::{Counter, Histogram, QueryProfile, Registry};
 use eon_storage::fault::site as fault_site;
 use eon_columnar::{split_rows_by_shard, Projection, RosWriter};
 use eon_shard::{select_participants, AssignmentProblem};
-use eon_types::{EonError, NodeId, Result, ShardId, Value};
+use eon_types::{EonError, NodeId, Oid, Result, ShardId, Value};
 
 use crate::db::EonDb;
+
+/// Registry handles for one node's write pipeline. All counters are
+/// deterministic functions of the workload (how many containers, rows,
+/// bytes a statement wrote); only the queue-wait histogram is
+/// wall-clock.
+pub(crate) struct LoadMetrics {
+    pool_tasks: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+    containers: Arc<Counter>,
+    rows: Arc<Counter>,
+    bytes: Arc<Counter>,
+    peer_ships: Arc<Counter>,
+    rollbacks: Arc<Counter>,
+    rollback_orphans: Arc<Counter>,
+}
+
+impl LoadMetrics {
+    pub(crate) fn register(registry: &Registry, node: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("node", node), ("subsystem", "load")];
+        LoadMetrics {
+            pool_tasks: registry.counter("load_pool_tasks_total", labels),
+            queue_wait: registry.timing_histogram("load_pool_queue_wait_us", labels),
+            containers: registry.counter("load_containers_written_total", labels),
+            rows: registry.counter("load_rows_written_total", labels),
+            bytes: registry.counter("load_bytes_uploaded_total", labels),
+            peer_ships: registry.counter("load_peer_ships_total", labels),
+            rollbacks: registry.counter("load_rollbacks_total", labels),
+            rollback_orphans: registry.counter("load_rollback_orphans_total", labels),
+        }
+    }
+}
+
+/// One independent (projection, shard) upload of a load statement. The
+/// storage key is pre-minted in job-build order so the committed state
+/// (keys included) does not depend on pool scheduling.
+pub(crate) struct LoadJob {
+    proj: Projection,
+    proj_oid: Oid,
+    shard: ShardId,
+    writer: Arc<NodeRuntime>,
+    key: String,
+    /// Taken exactly once by the worker that claims the job.
+    rows: Mutex<Option<Vec<Vec<Value>>>>,
+}
+
+/// What an upload job leaves on shared storage: everything
+/// [`ContainerMeta`] needs except the catalog OID, which is minted
+/// after the pool joins (in job order) to keep OIDs identical to the
+/// serial path.
+pub(crate) struct StagedContainer {
+    key: String,
+    rows: u64,
+    size_bytes: u64,
+    col_minmax: Vec<Option<(Value, Value)>>,
+}
+
+/// The writers a staged load used, for §4.5 re-validation under the
+/// commit lock.
+pub(crate) struct LoadWriters {
+    assignment: HashMap<ShardId, NodeId>,
+    replica_writer: Option<NodeId>,
+}
 
 /// Fold base-table rows into a Live Aggregate Projection's layout:
 /// one row per group — group values followed by aggregate values.
@@ -89,6 +169,29 @@ impl EonDb {
     /// loaded. Rows are validated against the schema; every projection
     /// of the table receives the data.
     pub fn copy_into(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64> {
+        self.copy_into_inner(table, rows, None)
+    }
+
+    /// COPY with an `EXPLAIN ANALYZE`-style [`QueryProfile`]: one
+    /// `load_pipeline` span on the coordinator plus upload-fanout and
+    /// commit sub-spans.
+    pub fn copy_into_profiled(
+        &self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<(u64, QueryProfile)> {
+        let profile = QueryProfile::new();
+        let n = self.copy_into_inner(table, rows, Some(&profile))?;
+        profile.annotate("rows_loaded", n as i64);
+        Ok((n, profile))
+    }
+
+    fn copy_into_inner(
+        &self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+        profile: Option<&QueryProfile>,
+    ) -> Result<u64> {
         self.ensure_viable()?;
         if rows.is_empty() {
             return Ok(0);
@@ -104,20 +207,65 @@ impl EonDb {
         for row in &rows {
             t.schema.check_row(row)?;
         }
-
-        // Writers: one serving subscriber per segment shard (§4.5).
-        let snapshot = txn.snapshot().clone();
-        let assignment = self.writer_assignment(&snapshot)?;
         let n_rows = rows.len() as u64;
         // Crash site: validated but nothing uploaded yet — a crash here
         // must leave no trace at all.
         self.config.faults.hit(fault_site::LOAD_PRE_UPLOAD)?;
 
+        let span = profile.map(|p| p.span("load_pipeline", &coord.id.to_string()));
+        let mut uploaded = Vec::new();
+        let staged = self.stage_load(&mut txn, &coord, &t, &rows, profile, &mut uploaded);
+        let result = staged.and_then(|writers| {
+            // Crash site: every container is on shared storage but the
+            // commit never runs — the §3.5 orphaned-upload scenario the
+            // §6.5 leak scan exists for.
+            self.config.faults.hit(fault_site::LOAD_PRE_COMMIT)?;
+            let commit_span = profile.map(|p| p.span("load_commit", &coord.id.to_string()));
+            let rec = self.commit_staged_write(txn, &coord, &writers);
+            drop(commit_span);
+            rec
+        });
+        drop(span);
+        match result {
+            Ok(_) => Ok(n_rows),
+            Err(e) => {
+                self.abort_uncommitted(uploaded, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Build one upload job per non-empty (projection, shard) bucket —
+    /// in that fixed order, with storage keys pre-minted in the same
+    /// order — run them on the write pool, and (only if *every* job
+    /// succeeded) mint OIDs and push `AddContainer` ops in job order.
+    ///
+    /// Every key that may have reached shared storage is appended to
+    /// `uploaded` — successes of a partially-failed fan-out *and*
+    /// attempted jobs whose PUT reported failure (an ambiguous outcome
+    /// may have applied it) — so the caller can register them with the
+    /// reaper if the statement never commits. On failure the
+    /// lowest-index job error is returned.
+    pub(crate) fn stage_load(
+        &self,
+        txn: &mut Txn,
+        coord: &Arc<NodeRuntime>,
+        t: &Table,
+        rows: &[Vec<Value>],
+        profile: Option<&QueryProfile>,
+        uploaded: &mut Vec<String>,
+    ) -> Result<LoadWriters> {
+        // Writers: one serving subscriber per segment shard (§4.5).
+        let snapshot = txn.snapshot().clone();
+        let assignment = self.writer_assignment(&snapshot)?;
+        let mut replica_writer = None;
+
+        let mut jobs: Vec<LoadJob> = Vec::new();
         for (proj_oid, proj) in &t.projections {
             let proj_rows: Vec<Vec<Value>> = match &proj.live_aggregate {
                 // Live Aggregate Projection (§2.1): fold the batch into
                 // pre-computed partial aggregate rows before writing.
-                Some(lap) => fold_live_aggregate(&rows, lap),
+                Some(lap) => fold_live_aggregate(rows, lap),
                 None => rows.iter().map(|r| proj.project_row(r)).collect(),
             };
             if proj.is_replicated() {
@@ -129,16 +277,16 @@ impl EonDb {
                     .into_iter()
                     .next()
                     .ok_or_else(|| EonError::ClusterDown("no nodes up".into()))?;
-                let meta = self.write_container(
-                    &writer,
-                    proj,
-                    *proj_oid,
-                    t.oid,
-                    self.replica_shard(),
-                    proj_rows,
-                    &coord,
-                )?;
-                txn.push(CatalogOp::AddContainer(meta));
+                replica_writer = Some(writer.id);
+                let key = writer.next_sid().object_key();
+                jobs.push(LoadJob {
+                    proj: proj.clone(),
+                    proj_oid: *proj_oid,
+                    shard: self.replica_shard(),
+                    writer,
+                    key,
+                    rows: Mutex::new(Some(proj_rows)),
+                });
             } else {
                 let buckets =
                     split_rows_by_shard(proj_rows, proj.seg_cols(), self.config.num_shards);
@@ -152,33 +300,188 @@ impl EonDb {
                         .membership
                         .get(writer_id)
                         .ok_or_else(|| EonError::NodeDown(writer_id.to_string()))?;
-                    let meta = self.write_container(
-                        &writer, proj, *proj_oid, t.oid, shard, bucket, &coord,
-                    )?;
-                    txn.push(CatalogOp::AddContainer(meta));
+                    let key = writer.next_sid().object_key();
+                    jobs.push(LoadJob {
+                        proj: proj.clone(),
+                        proj_oid: *proj_oid,
+                        shard,
+                        writer,
+                        key,
+                        rows: Mutex::new(Some(bucket)),
+                    });
                 }
             }
         }
 
-        // Crash site: every container is on shared storage but the
-        // commit never runs — the §3.5 orphaned-upload scenario the
-        // §6.5 leak scan exists for.
-        self.config.faults.hit(fault_site::LOAD_PRE_COMMIT)?;
+        if let Some(p) = profile {
+            p.annotate("load_jobs", jobs.len() as i64);
+        }
+        let metrics = LoadMetrics::register(&self.config.obs, &format!("node{}", coord.id.0));
+        let fanout_span = profile.map(|p| p.span("load_upload_fanout", &coord.id.to_string()));
+        let width = self.load_pool_width(coord);
+        let results = self.run_write_pool(width, jobs.len(), &metrics, |i| {
+            self.upload_container(&jobs[i])
+        });
+        drop(fanout_span);
 
-        // Commit point: all uploads finished. Under the commit lock,
-        // re-check that the writers still hold their subscriptions —
-        // a concurrent rebalance forces a rollback (§4.5).
+        let mut staged: Vec<Option<StagedContainer>> = Vec::with_capacity(jobs.len());
+        let mut first_err = None;
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Some(Ok(s)) => {
+                    uploaded.push(s.key.clone());
+                    staged.push(Some(s));
+                }
+                Some(Err(e)) => {
+                    // An attempted PUT that *reported* failure may still
+                    // have applied (ambiguous S3 outcome, §5.3). Its key
+                    // is pre-minted, so register it too: deleting a
+                    // missing object is a no-op, and a half-applied one
+                    // stops being a leak.
+                    uploaded.push(jobs[i].key.clone());
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    staged.push(None);
+                }
+                None => staged.push(None),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        // Seal after the join, in job order: catalog OIDs must come out
+        // exactly as the serial loop minted them (DESIGN.md "Write
+        // pipeline" determinism rule).
+        for (job, s) in jobs.iter().zip(staged) {
+            let s = s.expect("no pool error implies every job staged");
+            txn.push(CatalogOp::AddContainer(ContainerMeta {
+                oid: coord.catalog.next_oid(),
+                key: s.key,
+                table: t.oid,
+                projection: job.proj_oid,
+                shard: job.shard,
+                rows: s.rows,
+                size_bytes: s.size_bytes,
+                col_minmax: s.col_minmax,
+            }));
+        }
+        Ok(LoadWriters {
+            assignment,
+            replica_writer,
+        })
+    }
+
+    /// Run `count` independent upload jobs on a bounded write pool of
+    /// `width` workers. Returns one slot per job: `Some(result)` if
+    /// the job ran, `None` if the pool stopped claiming after an
+    /// earlier failure. With one worker (or one job) this degenerates
+    /// to the serial loop, early-exit on error included; in parallel,
+    /// in-flight jobs finish (their uploads still reach shared storage
+    /// and must be tracked) but no new jobs start after a failure.
+    pub(crate) fn run_write_pool<T, F>(
+        &self,
+        width: usize,
+        count: usize,
+        metrics: &LoadMetrics,
+        f: F,
+    ) -> Vec<Option<Result<T>>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        metrics.pool_tasks.add(count as u64);
+        let workers = width.max(1).min(count.max(1));
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(count);
+            let mut failed = false;
+            for i in 0..count {
+                if failed {
+                    out.push(None);
+                    continue;
+                }
+                let r = f(i);
+                failed = r.is_err();
+                out.push(Some(r));
+            }
+            return out;
+        }
+        let started = Instant::now();
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let results: Mutex<Vec<(usize, Result<T>)>> = Mutex::new(Vec::with_capacity(count));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    metrics
+                        .queue_wait
+                        .observe(started.elapsed().as_micros() as u64);
+                    let r = f(i);
+                    if r.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    results.lock().push((i, r));
+                });
+            }
+        });
+        let mut got: HashMap<usize, Result<T>> = results.into_inner().into_iter().collect();
+        (0..count).map(|i| got.remove(&i)).collect()
+    }
+
+    /// Commit a staged write. Under the commit lock, re-check that
+    /// every writer still holds its subscription — the segment-shard
+    /// assignment *and* the replica-shard writer; a concurrent
+    /// rebalance forces a rollback (§4.5).
+    pub(crate) fn commit_staged_write(
+        &self,
+        txn: Txn,
+        coord: &Arc<NodeRuntime>,
+        writers: &LoadWriters,
+    ) -> Result<eon_catalog::TxnRecord> {
         let _g = self.commit_lock.lock();
         let now = coord.catalog.snapshot();
-        for (shard, writer) in &assignment {
+        for (shard, writer) in &writers.assignment {
             if !now.serving_subscribers(*shard).contains(writer) {
                 return Err(EonError::CommitInvariant(format!(
                     "{writer} lost its subscription to {shard} during load"
                 )));
             }
         }
-        self.commit_cluster_locked(txn, &coord)?;
-        Ok(n_rows)
+        if let Some(writer) = writers.replica_writer {
+            let shard = self.replica_shard();
+            if !now.serving_subscribers(shard).contains(&writer) {
+                return Err(EonError::CommitInvariant(format!(
+                    "{writer} lost its subscription to {shard} during load"
+                )));
+            }
+        }
+        self.commit_cluster_locked(txn, coord)
+    }
+
+    /// Graceful-rollback bookkeeping: a statement that uploaded files
+    /// but will never commit hands its keys to the §6.5 reaper as
+    /// deletable immediately — no query and no truncation version can
+    /// reference a never-committed file. An injected [`EonError::
+    /// FaultInjected`] crash is the exception: it models process death,
+    /// and a dead process runs no cleanup — those orphans are left for
+    /// the leak scan, exactly like a real crash (DESIGN.md "Fault
+    /// model").
+    pub(crate) fn abort_uncommitted(&self, uploaded: Vec<String>, err: &EonError) {
+        if uploaded.is_empty() || matches!(err, EonError::FaultInjected(_)) {
+            return;
+        }
+        let metrics = LoadMetrics::register(&self.config.obs, "db");
+        metrics.rollbacks.inc();
+        metrics.rollback_orphans.add(uploaded.len() as u64);
+        self.reaper.note_uncommitted(uploaded);
     }
 
     /// Pick one up, serving subscriber per segment shard to act as the
@@ -203,24 +506,20 @@ impl EonDb {
         )
     }
 
-    /// Encode rows (sorted by the projection order) into a ROS
-    /// container, write it through the writer's cache (upload + local
-    /// cache), ship bytes to peer subscribers' caches (Fig 8 step 3),
-    /// and return the catalog metadata. `coord` mints the catalog OID.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn write_container(
-        &self,
-        writer: &Arc<NodeRuntime>,
-        proj: &Projection,
-        proj_oid: eon_types::Oid,
-        table_oid: eon_types::Oid,
-        shard: ShardId,
-        mut rows: Vec<Vec<Value>>,
-        coord: &Arc<NodeRuntime>,
-    ) -> Result<ContainerMeta> {
+    /// Run one upload job: sort + encode the rows into a ROS container
+    /// (holding one of the writer's execution slots, §4.2), write it
+    /// through the writer's cache (upload + local cache), and ship the
+    /// bytes to peer subscribers' caches — concurrently per peer —
+    /// (Fig 8 step 3).
+    fn upload_container(&self, job: &LoadJob) -> Result<StagedContainer> {
         // Crash site: dies between uploads, leaving earlier containers
         // of the same (uncommitted) load orphaned on shared storage.
         self.config.faults.hit(fault_site::LOAD_UPLOAD)?;
+        let writer = &job.writer;
+        // Sort + encode + upload occupies the writer like any fragment.
+        let _slot = writer.slots.acquire(1);
+        let mut rows = job.rows.lock().take().expect("upload job claimed twice");
+        let proj = &job.proj;
         proj.sort_rows(&mut rows);
         let width = proj.columns.len();
         let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); width];
@@ -230,25 +529,50 @@ impl EonDb {
             }
         }
         let (bytes, footer) = RosWriter::new().encode(&columns)?;
-        let key = writer.next_sid().object_key();
+        let key = job.key.clone();
         let size = bytes.len() as u64;
 
         // Write-through: local cache + shared storage upload (§5.2).
         writer.cache.put_through(&key, bytes.clone())?;
         // Ship to peers subscribed to this shard so their caches are
         // warm if they take over (§5.2: "much better node down
-        // performance").
-        let snapshot = coord.catalog.snapshot();
-        for peer_id in snapshot.subscribers_in(shard, SubState::Active) {
-            if peer_id == writer.id {
-                continue;
+        // performance"). Peers are independent caches, so the copies
+        // go out in parallel.
+        let snapshot = writer.catalog.snapshot();
+        let peers: Vec<Arc<NodeRuntime>> = snapshot
+            .subscribers_in(job.shard, SubState::Active)
+            .into_iter()
+            .filter(|p| *p != writer.id)
+            .filter_map(|p| self.membership.get(p))
+            .filter(|p| p.is_up())
+            .collect();
+        if peers.len() <= 1 {
+            for peer in &peers {
+                peer.cache.insert_local(&key, bytes.clone())?;
             }
-            if let Some(peer) = self.membership.get(peer_id) {
-                if peer.is_up() {
-                    peer.cache.insert_local(&key, bytes.clone())?;
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = peers
+                    .iter()
+                    .map(|peer| {
+                        let bytes = bytes.clone();
+                        let key = &key;
+                        s.spawn(move || peer.cache.insert_local(key, bytes))
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("peer ship panicked")?;
                 }
-            }
+                Ok::<(), EonError>(())
+            })?;
         }
+
+        let metrics =
+            LoadMetrics::register(&self.config.obs, &format!("node{}", writer.id.0));
+        metrics.containers.inc();
+        metrics.rows.add(footer.total_rows);
+        metrics.bytes.add(size);
+        metrics.peer_ships.add(peers.len() as u64);
 
         let col_minmax = footer
             .columns
@@ -258,15 +582,46 @@ impl EonDb {
                 _ => None,
             })
             .collect();
-        Ok(ContainerMeta {
-            oid: coord.catalog.next_oid(),
+        Ok(StagedContainer {
             key,
-            table: table_oid,
-            projection: proj_oid,
-            shard,
             rows: footer.total_rows,
             size_bytes: size,
             col_minmax,
+        })
+    }
+
+    /// Upload one container and seal its catalog metadata immediately
+    /// (`coord` mints the OID). Single-container callers — mergeout's
+    /// rewrite — share the pipeline's upload path this way.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn write_container(
+        &self,
+        writer: &Arc<NodeRuntime>,
+        proj: &Projection,
+        proj_oid: eon_types::Oid,
+        table_oid: eon_types::Oid,
+        shard: ShardId,
+        rows: Vec<Vec<Value>>,
+        coord: &Arc<NodeRuntime>,
+    ) -> Result<ContainerMeta> {
+        let job = LoadJob {
+            proj: proj.clone(),
+            proj_oid,
+            shard,
+            writer: writer.clone(),
+            key: writer.next_sid().object_key(),
+            rows: Mutex::new(Some(rows)),
+        };
+        let s = self.upload_container(&job)?;
+        Ok(ContainerMeta {
+            oid: coord.catalog.next_oid(),
+            key: s.key,
+            table: table_oid,
+            projection: proj_oid,
+            shard,
+            rows: s.rows,
+            size_bytes: s.size_bytes,
+            col_minmax: s.col_minmax,
         })
     }
 }

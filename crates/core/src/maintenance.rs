@@ -53,6 +53,14 @@ impl Reaper {
         self.pending.lock().iter().map(|p| p.key.clone()).collect()
     }
 
+    /// Register keys a statement uploaded but never committed
+    /// (DESIGN.md "Write pipeline" rollback rule). `TxnVersion::ZERO`
+    /// makes them deletable immediately: no query snapshot and no
+    /// truncation version can reference a file the catalog never saw.
+    pub fn note_uncommitted(&self, keys: Vec<String>) {
+        self.note_dropped(keys, TxnVersion::ZERO);
+    }
+
     /// Take the deletes that are safe given the cluster's minimum
     /// in-flight query version and the durable truncation version
     /// (§6.5's two retention reasons).
@@ -63,6 +71,13 @@ impl Reaper {
             .partition(|p| min_query_version > p.drop_version.0 && truncation >= p.drop_version);
         *g = keep;
         safe
+    }
+
+    /// Put entries taken by [`Reaper::take_safe`] back on the pending
+    /// list — a reap pass that failed part-way re-registers what it
+    /// could not delete instead of leaking it.
+    pub fn reinstate(&self, entries: Vec<PendingDelete>) {
+        self.pending.lock().extend(entries);
     }
 }
 
@@ -289,6 +304,20 @@ impl EonDb {
 
     /// Delete zero-reference files whose retention conditions have
     /// passed (§6.5). Returns keys deleted.
+    ///
+    /// A failed DELETE must not lose the entry: every key the pass
+    /// could not remove — the failed one and any it never reached — is
+    /// reinstated on the pending list for the next pass. Ambiguous S3
+    /// outcomes (the delete applied but the response was lost) are
+    /// safe to re-register too: deleting a missing object is not an
+    /// error, so the retry is a no-op.
+    /// Invariant-checker introspection: shared-storage keys currently
+    /// awaiting safe deletion. Rollback tests use this to prove a
+    /// failed statement's uploads are accounted for, not leaked.
+    pub fn reaper_pending_keys(&self) -> Vec<String> {
+        self.reaper.pending_keys()
+    }
+
     pub fn reap_files(&self) -> Result<Vec<String>> {
         let min_q = self.membership.min_query_version();
         let truncation = ClusterInfo::read(self.shared.as_ref())?
@@ -296,14 +325,38 @@ impl EonDb {
             .unwrap_or(TxnVersion::ZERO);
         let safe = self.reaper.take_safe(min_q, truncation);
         let mut deleted = Vec::with_capacity(safe.len());
+        let mut kept = Vec::new();
+        let mut first_err = None;
         for p in safe {
-            self.shared.delete(&p.key)?;
-            for node in self.membership.up_nodes() {
-                node.cache.evict(&p.key)?;
+            match self.shared.delete(&p.key) {
+                Ok(()) => {
+                    for node in self.membership.up_nodes() {
+                        // A failed local evict never justifies leaking
+                        // the shared file; the cache copy dies with the
+                        // node's instance storage anyway.
+                        let _ = node.cache.evict(&p.key);
+                    }
+                    deleted.push(p.key);
+                }
+                Err(e) => {
+                    kept.push(p);
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
             }
-            deleted.push(p.key);
         }
-        Ok(deleted)
+        if !kept.is_empty() {
+            self.config
+                .obs
+                .counter("reaper_reinstated_total", &[("subsystem", "reaper")])
+                .add(kept.len() as u64);
+            self.reaper.reinstate(kept);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(deleted),
+        }
     }
 
     /// The §6.5 fallback: enumerate shared storage, delete any data
