@@ -19,7 +19,7 @@
 //! whole object in from shared storage first.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -135,10 +135,21 @@ impl Inner {
 /// The disk file cache. `local` is the node's cache directory (instance
 /// storage in the paper's deployments — loss is harmless, §8);
 /// `backing` is the shared storage.
+/// Raw totals for the registry-only counters (no [`CacheStats`]
+/// field). Source of truth the registry mirrors, so counts made before
+/// [`FileCache::attach_metrics`] survive the re-homing.
+#[derive(Default)]
+struct AuxRawStats {
+    warmup_files: AtomicU64,
+    warmup_bytes: AtomicU64,
+    retries: AtomicU64,
+}
+
 pub struct FileCache {
     local: SharedFs,
     backing: SharedFs,
     capacity: u64,
+    aux: AuxRawStats,
     /// Backoff policy for shared-storage access — §5.3's "properly
     /// balanced retry loop". Every backing read/write below goes
     /// through it, so transient S3 failures and throttles never reach
@@ -157,6 +168,7 @@ impl FileCache {
             local,
             backing,
             capacity: capacity_bytes,
+            aux: AuxRawStats::default(),
             retry: RetryPolicy::default(),
             inflight: Mutex::new(HashMap::new()),
             single_flight: AtomicBool::new(true),
@@ -185,6 +197,11 @@ impl FileCache {
         m.singleflight_waits.add(g.stats.singleflight_waits);
         m.writes.add(g.stats.writes);
         m.used_bytes.set(g.used as i64);
+        // Registry-only counters carry over from their raw totals, so
+        // warm-ups and retries from before attachment aren't dropped.
+        m.warmup_files.add(self.aux.warmup_files.load(Ordering::Relaxed));
+        m.warmup_bytes.add(self.aux.warmup_bytes.load(Ordering::Relaxed));
+        m.retries.add(self.aux.retries.load(Ordering::Relaxed));
         g.metrics = m;
     }
 
@@ -198,9 +215,18 @@ impl FileCache {
         self.inner.lock().metrics.retries.clone()
     }
 
+    /// Count one shared-storage retry in both the raw total and the
+    /// currently-attached registry handle.
+    fn count_retry(&self, handle: &Counter) {
+        self.aux.retries.fetch_add(1, Ordering::Relaxed);
+        handle.inc();
+    }
+
     fn backing_read(&self, key: &str) -> Result<Bytes> {
         let retries = self.retry_counter();
-        with_retry_observed(&self.retry, |_| retries.inc(), || self.backing.read(key))
+        with_retry_observed(&self.retry, |_| self.count_retry(&retries), || {
+            self.backing.read(key)
+        })
     }
 
     /// Fault `key` in from shared storage with single-flight dedup:
@@ -451,7 +477,7 @@ impl FileCache {
         }
         self.insert_local(key, data.clone())?;
         let retries = self.retry_counter();
-        with_retry_observed(&self.retry, |_| retries.inc(), || {
+        with_retry_observed(&self.retry, |_| self.count_retry(&retries), || {
             self.backing.write(key, data.clone())
         })
     }
@@ -490,6 +516,8 @@ impl FileCache {
                 Ok(data) => {
                     {
                         let g = self.inner.lock();
+                        self.aux.warmup_files.fetch_add(1, Ordering::Relaxed);
+                        self.aux.warmup_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
                         g.metrics.warmup_files.inc();
                         g.metrics.warmup_bytes.add(data.len() as u64);
                     }
@@ -530,7 +558,7 @@ impl FileSystem for FileCache {
             self.local.read_range(path, offset, len)
         } else {
             let retries = self.retry_counter();
-            with_retry_observed(&self.retry, |_| retries.inc(), || {
+            with_retry_observed(&self.retry, |_| self.count_retry(&retries), || {
                 self.backing.read_range(path, offset, len)
             })
         }
@@ -541,19 +569,25 @@ impl FileSystem for FileCache {
             self.local.size(path)
         } else {
             let retries = self.retry_counter();
-            with_retry_observed(&self.retry, |_| retries.inc(), || self.backing.size(path))
+            with_retry_observed(&self.retry, |_| self.count_retry(&retries), || {
+                self.backing.size(path)
+            })
         }
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
         let retries = self.retry_counter();
-        with_retry_observed(&self.retry, |_| retries.inc(), || self.backing.list(prefix))
+        with_retry_observed(&self.retry, |_| self.count_retry(&retries), || {
+            self.backing.list(prefix)
+        })
     }
 
     fn delete(&self, path: &str) -> Result<()> {
         self.evict(path)?;
         let retries = self.retry_counter();
-        with_retry_observed(&self.retry, |_| retries.inc(), || self.backing.delete(path))
+        with_retry_observed(&self.retry, |_| self.count_retry(&retries), || {
+            self.backing.delete(path)
+        })
     }
 
     fn stats(&self) -> FsStats {

@@ -15,4 +15,4 @@ pub mod slots;
 
 pub use membership::Membership;
 pub use node::NodeRuntime;
-pub use slots::ExecSlots;
+pub use slots::{ExecSlots, SlotGuard, SlotWait};

@@ -92,12 +92,16 @@ impl Membership {
     }
 
     /// Cluster-wide minimum query version for §6.5 deletion decisions.
-    pub fn min_query_version(&self) -> u64 {
+    /// `None` when **zero nodes are up**: during a full outage nobody
+    /// can vouch that no query holds an old version (a restarting node
+    /// may resume one), so the reaper must skip the pass rather than
+    /// treat the cluster as quiescent. With up-but-idle nodes the value
+    /// is `Some(u64::MAX)` — a genuine "nothing held" attestation.
+    pub fn min_query_version(&self) -> Option<u64> {
         self.up_nodes()
             .iter()
             .map(|n| n.min_query_version())
             .min()
-            .unwrap_or(u64::MAX)
     }
 }
 
@@ -177,9 +181,14 @@ mod tests {
     #[test]
     fn min_query_version_across_cluster() {
         let m = mk_membership(2);
-        assert_eq!(m.min_query_version(), u64::MAX);
+        // Up-but-idle nodes attest "nothing held".
+        assert_eq!(m.min_query_version(), Some(u64::MAX));
         m.get(NodeId(1)).unwrap().begin_query(TxnVersion(4));
-        assert_eq!(m.min_query_version(), 4);
+        assert_eq!(m.min_query_version(), Some(4));
+        // Full outage: no attestation at all — the reaper must skip.
+        m.get(NodeId(0)).unwrap().kill();
+        m.get(NodeId(1)).unwrap().kill();
+        assert_eq!(m.min_query_version(), None);
     }
 
     #[test]

@@ -113,6 +113,10 @@ impl NodeRuntime {
     /// restart.
     pub fn kill(&self) {
         self.up.store(false, Ordering::SeqCst);
+        // Wake every session parked on this node's execution slots:
+        // they get NodeDown immediately and the coordinator fails over,
+        // instead of waiting for slots a dead process will never free.
+        self.slots.close();
     }
 
     pub fn instance(&self) -> InstanceId {

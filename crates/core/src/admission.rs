@@ -1,0 +1,336 @@
+//! Admission control: per-subcluster resource pools (DESIGN.md
+//! "Admission control & workload management").
+//!
+//! The §4.2 slot semaphore bounds *fragment* concurrency on one node;
+//! it says nothing about how many sessions may pile up waiting. Under
+//! heavy traffic a bare semaphore parks every extra session forever —
+//! the availability bug production Vertica prevents with its resource
+//! manager's admission queues. This module adds that missing layer:
+//!
+//! * each subcluster (§4.3) gets a **resource pool** bounding how many
+//!   queries *run* concurrently ([`crate::EonConfig::admission_max_concurrent`])
+//!   and how many may *wait* ([`crate::EonConfig::admission_max_queue`]);
+//! * a full queue rejects new arrivals immediately with the typed
+//!   [`EonError::Saturated`] backpressure error — clients shed load
+//!   instead of hanging;
+//! * a queued session waits on a **planned-wait budget**
+//!   ([`crate::EonConfig::admission_timeout_ms`]): the budget is consumed by the
+//!   planned condvar tick, never measured wall clock, so how many ticks
+//!   a session waits before `DeadlineExceeded` is deterministic;
+//! * a fired [`eon_types::CancelToken`] wakes the session out of the
+//!   queue with `Cancelled`.
+//!
+//! With `admission_max_concurrent == 0` (the default) the layer is a
+//! no-op pass-through and queries go straight to the slot semaphore.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eon_obs::{Counter, Gauge, Histogram, Registry};
+use eon_types::{CancelToken, EonError, Result};
+use parking_lot::{Condvar, Mutex};
+
+/// Pool limits, copied out of `EonConfig` at database creation.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionLimits {
+    pub max_concurrent: usize,
+    pub max_queue: usize,
+    pub timeout: Option<Duration>,
+}
+
+impl AdmissionLimits {
+    pub fn from_config(cfg: &crate::EonConfig) -> Self {
+        AdmissionLimits {
+            max_concurrent: cfg.admission_max_concurrent,
+            max_queue: cfg.admission_max_queue,
+            timeout: match cfg.admission_timeout_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.max_concurrent > 0
+    }
+}
+
+struct PoolMetrics {
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    running: Arc<Gauge>,
+    queued: Arc<Gauge>,
+    wait_us: Arc<Histogram>,
+}
+
+impl PoolMetrics {
+    fn register(registry: &Registry, subcluster: u64) -> Self {
+        let sc = format!("sc{subcluster}");
+        let labels: &[(&str, &str)] = &[("pool", &sc), ("subsystem", "admission")];
+        PoolMetrics {
+            admitted: registry.counter("admission_admitted_total", labels),
+            rejected: registry.counter("admission_rejected_total", labels),
+            timeouts: registry.counter("admission_timeouts_total", labels),
+            cancelled: registry.counter("admission_cancelled_total", labels),
+            running: registry.gauge("admission_running", labels),
+            queued: registry.gauge("admission_queued", labels),
+            wait_us: registry.timing_histogram("admission_wait_us", labels),
+        }
+    }
+}
+
+struct PoolState {
+    running: usize,
+    queued: usize,
+}
+
+/// One subcluster's resource pool.
+struct Pool {
+    limits: AdmissionLimits,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    metrics: PoolMetrics,
+}
+
+/// RAII admission: the session counts against its pool's `running`
+/// bound until dropped.
+pub struct AdmissionGuard {
+    pool: Arc<Pool>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        let mut st = self.pool.state.lock();
+        st.running -= 1;
+        self.pool.metrics.running.set(st.running as i64);
+        self.pool.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for AdmissionGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionGuard").finish()
+    }
+}
+
+/// The database-wide admission layer: one pool per subcluster, created
+/// lazily on first use.
+pub struct AdmissionControl {
+    limits: AdmissionLimits,
+    registry: Registry,
+    pools: Mutex<HashMap<u64, Arc<Pool>>>,
+}
+
+impl AdmissionControl {
+    pub fn new(limits: AdmissionLimits, registry: Registry) -> Self {
+        AdmissionControl {
+            limits,
+            registry,
+            pools: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.limits.enabled()
+    }
+
+    fn pool(&self, subcluster: u64) -> Arc<Pool> {
+        self.pools
+            .lock()
+            .entry(subcluster)
+            .or_insert_with(|| {
+                Arc::new(Pool {
+                    limits: self.limits,
+                    state: Mutex::new(PoolState {
+                        running: 0,
+                        queued: 0,
+                    }),
+                    cv: Condvar::new(),
+                    metrics: PoolMetrics::register(&self.registry, subcluster),
+                })
+            })
+            .clone()
+    }
+
+    /// Admit one session into `subcluster`'s pool. Returns `Ok(None)`
+    /// when admission control is disabled. Never blocks indefinitely:
+    /// the outcome is a guard, `Saturated` (queue full), `Cancelled`,
+    /// or `DeadlineExceeded` — within the configured queue timeout.
+    pub fn admit(
+        &self,
+        subcluster: u64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<AdmissionGuard>> {
+        if !self.limits.enabled() {
+            return Ok(None);
+        }
+        let pool = self.pool(subcluster);
+        let queued_at = Instant::now();
+        let tick = Duration::from_millis(1);
+        let mut planned = Duration::ZERO;
+        let mut st = pool.state.lock();
+        if st.running < pool.limits.max_concurrent {
+            st.running += 1;
+            pool.metrics.running.set(st.running as i64);
+            drop(st);
+            pool.metrics.admitted.inc();
+            pool.metrics.wait_us.observe(0);
+            return Ok(Some(AdmissionGuard { pool }));
+        }
+        // Pool is at its concurrency bound — queue, or reject if the
+        // queue itself is full. `Saturated` is the typed backpressure
+        // signal: the caller sheds load instead of parking.
+        if pool.limits.max_queue > 0 && st.queued >= pool.limits.max_queue {
+            let err = EonError::Saturated {
+                queued: st.queued,
+                depth: pool.limits.max_queue,
+            };
+            drop(st);
+            pool.metrics.rejected.inc();
+            return Err(err);
+        }
+        st.queued += 1;
+        pool.metrics.queued.set(st.queued as i64);
+        let outcome = loop {
+            if let Some(c) = cancel {
+                if c.is_cancelled() {
+                    break Err(EonError::Cancelled("admission queue".into()));
+                }
+            }
+            if st.running < pool.limits.max_concurrent {
+                st.running += 1;
+                pool.metrics.running.set(st.running as i64);
+                break Ok(());
+            }
+            if let Some(deadline) = pool.limits.timeout {
+                if planned >= deadline {
+                    break Err(EonError::DeadlineExceeded(format!(
+                        "admission queue budget {deadline:?} spent in pool sc{subcluster}"
+                    )));
+                }
+            }
+            pool.cv.wait_for(&mut st, tick);
+            planned += tick;
+        };
+        st.queued -= 1;
+        pool.metrics.queued.set(st.queued as i64);
+        drop(st);
+        match outcome {
+            Ok(()) => {
+                pool.metrics.admitted.inc();
+                pool.metrics
+                    .wait_us
+                    .observe(queued_at.elapsed().as_micros() as u64);
+                Ok(Some(AdmissionGuard { pool }))
+            }
+            Err(e) => {
+                match &e {
+                    EonError::Cancelled(_) => pool.metrics.cancelled.inc(),
+                    _ => pool.metrics.timeouts.inc(),
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// (running, queued) for one pool — test/bench introspection.
+    pub fn pool_depths(&self, subcluster: u64) -> (usize, usize) {
+        let pool = self.pool(subcluster);
+        let st = pool.state.lock();
+        (st.running, st.queued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(max_concurrent: usize, max_queue: usize, timeout_ms: u64) -> AdmissionControl {
+        AdmissionControl::new(
+            AdmissionLimits {
+                max_concurrent,
+                max_queue,
+                timeout: match timeout_ms {
+                    0 => None,
+                    ms => Some(Duration::from_millis(ms)),
+                },
+            },
+            Registry::new(),
+        )
+    }
+
+    #[test]
+    fn disabled_is_pass_through() {
+        let c = ctl(0, 0, 0);
+        assert!(c.admit(0, None).unwrap().is_none());
+    }
+
+    #[test]
+    fn full_queue_rejects_with_saturated() {
+        let c = Arc::new(ctl(1, 1, 0));
+        let _running = c.admit(0, None).unwrap().unwrap();
+        // One waiter fills the queue...
+        let c2 = c.clone();
+        let waiter = std::thread::spawn(move || c2.admit(0, None));
+        while c.pool_depths(0).1 < 1 {
+            std::thread::yield_now();
+        }
+        // ...so the next arrival is shed immediately.
+        let err = c.admit(0, None).unwrap_err();
+        assert!(
+            matches!(err, EonError::Saturated { queued: 1, depth: 1 }),
+            "{err}"
+        );
+        drop(_running);
+        assert!(waiter.join().unwrap().unwrap().is_some());
+    }
+
+    #[test]
+    fn queue_timeout_is_deadline_exceeded() {
+        let c = ctl(1, 0, 10);
+        let _running = c.admit(0, None).unwrap().unwrap();
+        let err = c.admit(0, None).unwrap_err();
+        assert!(matches!(err, EonError::DeadlineExceeded(_)), "{err}");
+        // The expired waiter left the queue.
+        assert_eq!(c.pool_depths(0), (1, 0));
+    }
+
+    #[test]
+    fn cancel_wakes_queued_session() {
+        let c = Arc::new(ctl(1, 0, 0));
+        let _running = c.admit(0, None).unwrap().unwrap();
+        let token = CancelToken::new();
+        let (c2, t2) = (c.clone(), token.clone());
+        let waiter = std::thread::spawn(move || c2.admit(0, Some(&t2)));
+        while c.pool_depths(0).1 < 1 {
+            std::thread::yield_now();
+        }
+        token.cancel();
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(matches!(err, EonError::Cancelled(_)), "{err}");
+    }
+
+    #[test]
+    fn subclusters_are_isolated_pools() {
+        let c = ctl(1, 1, 0);
+        let _a = c.admit(0, None).unwrap().unwrap();
+        // Subcluster 7 has its own pool: admitted immediately.
+        let _b = c.admit(7, None).unwrap().unwrap();
+        assert_eq!(c.pool_depths(0), (1, 0));
+        assert_eq!(c.pool_depths(7), (1, 0));
+    }
+
+    #[test]
+    fn guard_drop_admits_next() {
+        let c = ctl(2, 0, 0);
+        let a = c.admit(0, None).unwrap().unwrap();
+        let b = c.admit(0, None).unwrap().unwrap();
+        assert_eq!(c.pool_depths(0).0, 2);
+        drop(a);
+        drop(b);
+        assert_eq!(c.pool_depths(0), (0, 0));
+    }
+}

@@ -59,6 +59,24 @@ pub struct EonConfig {
     /// clamped to `exec_slots`; forced to 1 while a fault plan is
     /// armed so seeded crash schedules replay identically.
     pub load_workers: usize,
+    /// Admission control (DESIGN.md "Admission control & workload
+    /// management"): max concurrently *running* queries per subcluster
+    /// resource pool. `0` disables admission control entirely — every
+    /// session goes straight to the exec-slot semaphore.
+    pub admission_max_concurrent: usize,
+    /// Max sessions *waiting* in a pool's admission queue before new
+    /// arrivals are rejected with `EonError::Saturated`. `0` =
+    /// unbounded queue (sessions still time out).
+    pub admission_max_queue: usize,
+    /// Planned-wait budget for a queued session, milliseconds; expiry
+    /// returns `EonError::DeadlineExceeded`. `0` = wait until admitted
+    /// (or cancelled).
+    pub admission_timeout_ms: u64,
+    /// Planned-wait budget for a query worker's execution-slot
+    /// acquisition, milliseconds. `0` = wait until slots free up or the
+    /// node dies. Bounded by default: a saturated node sheds the
+    /// session instead of parking it forever.
+    pub slot_wait_ms: u64,
 }
 
 impl Default for EonConfig {
@@ -79,6 +97,10 @@ impl Default for EonConfig {
             scan_late_materialization: true,
             depot_single_flight: true,
             load_workers: 0,
+            admission_max_concurrent: 0,
+            admission_max_queue: 0,
+            admission_timeout_ms: 10_000,
+            slot_wait_ms: 10_000,
         }
     }
 }
@@ -150,6 +172,31 @@ impl EonConfig {
     /// Write-pool width for loads (`0` = one worker per exec slot).
     pub fn load_workers(mut self, w: usize) -> Self {
         self.load_workers = w;
+        self
+    }
+
+    /// Admission pool size: max concurrently running queries per
+    /// subcluster (`0` = admission control off).
+    pub fn admission_max_concurrent(mut self, n: usize) -> Self {
+        self.admission_max_concurrent = n;
+        self
+    }
+
+    /// Admission queue depth per subcluster pool (`0` = unbounded).
+    pub fn admission_max_queue(mut self, n: usize) -> Self {
+        self.admission_max_queue = n;
+        self
+    }
+
+    /// Admission queue timeout, milliseconds (`0` = no deadline).
+    pub fn admission_timeout_ms(mut self, ms: u64) -> Self {
+        self.admission_timeout_ms = ms;
+        self
+    }
+
+    /// Execution-slot wait deadline, milliseconds (`0` = no deadline).
+    pub fn slot_wait_ms(mut self, ms: u64) -> Self {
+        self.slot_wait_ms = ms;
         self
     }
 }

@@ -26,9 +26,16 @@ pub struct EonDb {
     pub(crate) commit_lock: Mutex<()>,
     /// Session counter: varies participant selection per query (§4.1).
     pub(crate) session_counter: AtomicU64,
+    /// Coordinator rotation. Deliberately separate from
+    /// `session_counter`: if seeds and rotation shared one counter,
+    /// every seed draw would skip a node in the rotation and fairness
+    /// would depend on how many seeds each operation happens to draw.
+    pub(crate) coordinator_counter: AtomicU64,
     pub(crate) next_node_id: AtomicU64,
     pub(crate) instance_seed: AtomicU64,
     pub(crate) reaper: Reaper,
+    /// Per-subcluster admission pools (DESIGN.md "Admission control").
+    pub(crate) admission: crate::admission::AdmissionControl,
 }
 
 impl EonDb {
@@ -47,9 +54,14 @@ impl EonDb {
             incarnation: Mutex::new(incarnation.clone()),
             commit_lock: Mutex::new(()),
             session_counter: AtomicU64::new(1),
+            coordinator_counter: AtomicU64::new(0),
             next_node_id: AtomicU64::new(config.num_nodes as u64),
             instance_seed: AtomicU64::new(1),
             reaper: Reaper::default(),
+            admission: crate::admission::AdmissionControl::new(
+                crate::admission::AdmissionLimits::from_config(&config),
+                config.obs.clone(),
+            ),
             config,
         });
         for i in 0..db.config.num_nodes {
@@ -99,6 +111,13 @@ impl EonDb {
     /// The database metrics registry (DESIGN.md "Observability").
     pub fn metrics(&self) -> &eon_obs::Registry {
         &self.config.obs
+    }
+
+    /// Admission-control introspection (DESIGN.md "Admission control"):
+    /// tests and the bench harness read pool depths to prove sessions
+    /// neither leak running counts nor park past their deadline.
+    pub fn admission(&self) -> &crate::admission::AdmissionControl {
+        &self.admission
     }
 
     pub fn shared(&self) -> &SharedFs {
@@ -166,6 +185,7 @@ impl EonDb {
         &self,
         node: &NodeRuntime,
         profile: Option<&eon_obs::QueryProfile>,
+        cancel: Option<eon_types::CancelToken>,
     ) -> crate::provider::ScanOptions {
         let slots = node.slots.capacity().max(1);
         let workers = if self.config.scan_workers == 0 {
@@ -179,6 +199,7 @@ impl EonDb {
             late_materialization: self.config.scan_late_materialization,
             obs: self.config.obs.clone(),
             profile: profile.cloned(),
+            cancel,
         }
     }
 
@@ -207,7 +228,7 @@ impl EonDb {
         if up.is_empty() {
             return Err(EonError::ClusterDown("no nodes up".into()));
         }
-        let i = self.session_counter.fetch_add(1, Ordering::Relaxed) as usize % up.len();
+        let i = self.coordinator_counter.fetch_add(1, Ordering::Relaxed) as usize % up.len();
         Ok(up[i].clone())
     }
 
@@ -382,5 +403,31 @@ mod tests {
         let db = db();
         db.membership.get(NodeId(0)).unwrap().kill();
         db.ensure_viable().unwrap();
+    }
+
+    /// Coordinator rotation is fair: N sessions on N up nodes land one
+    /// coordinator each. Regression for the shared-counter bug where
+    /// `next_session_seed` advanced the same counter as
+    /// `pick_coordinator`, skipping nodes in the rotation.
+    #[test]
+    fn coordinator_rotation_visits_every_node() {
+        let db = db();
+        let n = db.membership.len() as u64;
+        let mut hits = std::collections::HashMap::new();
+        for _ in 0..n {
+            // Interleave seed draws the way a real session does — with
+            // the split counters they must not perturb the rotation.
+            let _ = db.next_session_seed();
+            let coord = db.pick_coordinator().unwrap();
+            let _ = db.next_session_seed();
+            *hits.entry(coord.id).or_insert(0u64) += 1;
+        }
+        for id in 0..n {
+            assert_eq!(
+                hits.get(&NodeId(id)).copied().unwrap_or(0),
+                1,
+                "node {id} should coordinate exactly once in one rotation ({hits:?})"
+            );
+        }
     }
 }

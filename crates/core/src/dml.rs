@@ -37,7 +37,7 @@ impl EonDb {
             replica_shard: self.replica_shard(),
             cache_mode: CacheMode::Normal,
             crunch: None,
-            scan: self.scan_options(coord, None),
+            scan: self.scan_options(coord, None, None),
         }
     }
 
@@ -70,7 +70,7 @@ impl EonDb {
 
         let metrics = LoadMetrics::register(&self.config.obs, &format!("node{}", coord.id.0));
         let width = self.load_pool_width(coord);
-        let results = self.run_write_pool(width, jobs.len(), &metrics, |i| {
+        let results = self.run_write_pool(width, jobs.len(), &metrics, None, |i| {
             let (_, _, key, dv) = &jobs[i];
             // Crash site: dies between delete-vector uploads, orphaning
             // any DV files already on shared storage.

@@ -20,6 +20,7 @@
 //!   (re-subscription, §3.3/§6.1), `add_node`/`remove_node` (§6.4),
 //!   and `revive` (§3.5).
 
+pub mod admission;
 pub mod config;
 pub mod db;
 pub mod ddl;
@@ -33,6 +34,7 @@ pub mod provider;
 pub mod query;
 pub mod sql_api;
 
+pub use admission::{AdmissionControl, AdmissionGuard, AdmissionLimits};
 pub use config::EonConfig;
 pub use db::EonDb;
 pub use invariants::{check_crash_invariants, InvariantReport, TableModel};

@@ -342,9 +342,14 @@ impl EonDb {
             incarnation: parking_lot::Mutex::new(new_incarnation.clone()),
             commit_lock: parking_lot::Mutex::new(()),
             session_counter: std::sync::atomic::AtomicU64::new(1),
+            coordinator_counter: std::sync::atomic::AtomicU64::new(0),
             next_node_id: std::sync::atomic::AtomicU64::new(config.num_nodes as u64),
             instance_seed: std::sync::atomic::AtomicU64::new(now_ms | 1),
             reaper: crate::maintenance::Reaper::default(),
+            admission: crate::admission::AdmissionControl::new(
+                crate::admission::AdmissionLimits::from_config(&config),
+                config.obs.clone(),
+            ),
             config,
         });
         for i in 0..db.config.num_nodes {

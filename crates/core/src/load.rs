@@ -169,7 +169,20 @@ impl EonDb {
     /// loaded. Rows are validated against the schema; every projection
     /// of the table receives the data.
     pub fn copy_into(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64> {
-        self.copy_into_inner(table, rows, None)
+        self.copy_into_inner(table, rows, None, None)
+    }
+
+    /// [`EonDb::copy_into`] with a cancellation token, checked at every
+    /// write-pool job claim: a cancelled COPY stops uploading, rolls
+    /// back, and hands any files that did reach shared storage to the
+    /// §6.5 reaper.
+    pub fn copy_into_cancellable(
+        &self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+        cancel: eon_types::CancelToken,
+    ) -> Result<u64> {
+        self.copy_into_inner(table, rows, None, Some(cancel))
     }
 
     /// COPY with an `EXPLAIN ANALYZE`-style [`QueryProfile`]: one
@@ -181,7 +194,7 @@ impl EonDb {
         rows: Vec<Vec<Value>>,
     ) -> Result<(u64, QueryProfile)> {
         let profile = QueryProfile::new();
-        let n = self.copy_into_inner(table, rows, Some(&profile))?;
+        let n = self.copy_into_inner(table, rows, Some(&profile), None)?;
         profile.annotate("rows_loaded", n as i64);
         Ok((n, profile))
     }
@@ -191,6 +204,7 @@ impl EonDb {
         table: &str,
         rows: Vec<Vec<Value>>,
         profile: Option<&QueryProfile>,
+        cancel: Option<eon_types::CancelToken>,
     ) -> Result<u64> {
         self.ensure_viable()?;
         if rows.is_empty() {
@@ -214,7 +228,15 @@ impl EonDb {
 
         let span = profile.map(|p| p.span("load_pipeline", &coord.id.to_string()));
         let mut uploaded = Vec::new();
-        let staged = self.stage_load(&mut txn, &coord, &t, &rows, profile, &mut uploaded);
+        let staged = self.stage_load_cancellable(
+            &mut txn,
+            &coord,
+            &t,
+            &rows,
+            profile,
+            &mut uploaded,
+            cancel.as_ref(),
+        );
         let result = staged.and_then(|writers| {
             // Crash site: every container is on shared storage but the
             // commit never runs — the §3.5 orphaned-upload scenario the
@@ -254,6 +276,20 @@ impl EonDb {
         rows: &[Vec<Value>],
         profile: Option<&QueryProfile>,
         uploaded: &mut Vec<String>,
+    ) -> Result<LoadWriters> {
+        self.stage_load_cancellable(txn, coord, t, rows, profile, uploaded, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn stage_load_cancellable(
+        &self,
+        txn: &mut Txn,
+        coord: &Arc<NodeRuntime>,
+        t: &Table,
+        rows: &[Vec<Value>],
+        profile: Option<&QueryProfile>,
+        uploaded: &mut Vec<String>,
+        cancel: Option<&eon_types::CancelToken>,
     ) -> Result<LoadWriters> {
         // Writers: one serving subscriber per segment shard (§4.5).
         let snapshot = txn.snapshot().clone();
@@ -319,7 +355,7 @@ impl EonDb {
         let metrics = LoadMetrics::register(&self.config.obs, &format!("node{}", coord.id.0));
         let fanout_span = profile.map(|p| p.span("load_upload_fanout", &coord.id.to_string()));
         let width = self.load_pool_width(coord);
-        let results = self.run_write_pool(width, jobs.len(), &metrics, |i| {
+        let results = self.run_write_pool(width, jobs.len(), &metrics, cancel, |i| {
             self.upload_container(&jobs[i])
         });
         drop(fanout_span);
@@ -385,6 +421,7 @@ impl EonDb {
         width: usize,
         count: usize,
         metrics: &LoadMetrics,
+        cancel: Option<&eon_types::CancelToken>,
         f: F,
     ) -> Vec<Option<Result<T>>>
     where
@@ -401,7 +438,12 @@ impl EonDb {
                     out.push(None);
                     continue;
                 }
-                let r = f(i);
+                // A fired token is a failure at the claim boundary:
+                // recorded against the claimed job, not a silent skip.
+                let r = match cancel.map(|c| c.check("write pool job claim")) {
+                    Some(Err(e)) => Err(e),
+                    _ => f(i),
+                };
                 failed = r.is_err();
                 out.push(Some(r));
             }
@@ -419,6 +461,11 @@ impl EonDb {
                     }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= count {
+                        break;
+                    }
+                    if let Some(Err(e)) = cancel.map(|c| c.check("write pool job claim")) {
+                        failed.store(true, Ordering::Relaxed);
+                        results.lock().push((i, Err(e)));
                         break;
                     }
                     metrics
@@ -517,7 +564,9 @@ impl EonDb {
         self.config.faults.hit(fault_site::LOAD_UPLOAD)?;
         let writer = &job.writer;
         // Sort + encode + upload occupies the writer like any fragment.
-        let _slot = writer.slots.acquire(1);
+        // A writer killed mid-wait fails the job with `NodeDown` (its
+        // slot semaphore is closed) instead of parking the load.
+        let _slot = writer.slots.acquire(1)?;
         let mut rows = job.rows.lock().take().expect("upload job claimed twice");
         let proj = &job.proj;
         proj.sort_rows(&mut rows);

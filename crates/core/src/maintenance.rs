@@ -209,6 +209,7 @@ impl EonDb {
                 late_materialization: self.config.scan_late_materialization,
                 obs: self.config.obs.clone(),
                 profile: None,
+                cancel: None,
             },
         };
 
@@ -319,7 +320,12 @@ impl EonDb {
     }
 
     pub fn reap_files(&self) -> Result<Vec<String>> {
-        let min_q = self.membership.min_query_version();
+        // No up nodes = no attestation that old versions are unread (a
+        // restarting node may resume a query): skip the pass entirely
+        // rather than treat a full outage as "fully quiescent".
+        let Some(min_q) = self.membership.min_query_version() else {
+            return Ok(Vec::new());
+        };
         let truncation = ClusterInfo::read(self.shared.as_ref())?
             .map(|i| i.truncation_version)
             .unwrap_or(TxnVersion::ZERO);

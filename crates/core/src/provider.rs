@@ -53,6 +53,9 @@ pub struct ScanOptions {
     pub obs: Registry,
     /// Per-query profile for scan spans, when one is being collected.
     pub profile: Option<QueryProfile>,
+    /// Session cancellation, checked at every scan-task claim so a
+    /// cancelled session stops fetching instead of finishing the scan.
+    pub cancel: Option<eon_types::CancelToken>,
 }
 
 impl Default for ScanOptions {
@@ -63,6 +66,7 @@ impl Default for ScanOptions {
             late_materialization: true,
             obs: Registry::new(),
             profile: None,
+            cancel: None,
         }
     }
 }
@@ -263,7 +267,14 @@ impl NodeProvider {
         metrics.pool_tasks.add(count as u64);
         let workers = self.scan.workers.max(1).min(count);
         if workers <= 1 {
-            return (0..count).map(f).collect();
+            return (0..count)
+                .map(|i| {
+                    if let Some(c) = &self.scan.cancel {
+                        c.check("scan task claim")?;
+                    }
+                    f(i)
+                })
+                .collect();
         }
         let started = Instant::now();
         let next = AtomicUsize::new(0);
@@ -274,6 +285,16 @@ impl NodeProvider {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= count {
                         break;
+                    }
+                    // A fired cancel token stops the pool at the claim
+                    // boundary. The claimed index records the error —
+                    // not a silent break — so the merged result is an
+                    // `Err`, never a truncated `Ok`.
+                    if let Some(c) = &self.scan.cancel {
+                        if let Err(e) = c.check("scan task claim") {
+                            results.lock().push((i, Err(e)));
+                            break;
+                        }
                     }
                     metrics
                         .queue_wait

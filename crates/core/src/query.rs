@@ -36,6 +36,11 @@ pub struct SessionOpts {
     /// participants with hash-filter slices. Improves single-query
     /// latency when nodes outnumber shards.
     pub crunch: bool,
+    /// Session cancellation (DESIGN.md "Admission control"): checked in
+    /// the admission queue, at execution-slot waits, and at scan-pool
+    /// task claims, so a cancelled session releases everything it holds
+    /// at the next boundary.
+    pub cancel: Option<eon_types::CancelToken>,
 }
 
 impl SessionOpts {
@@ -161,6 +166,21 @@ impl EonDb {
         profile: Option<&QueryProfile>,
     ) -> Result<Vec<Vec<Value>>> {
         const MAX_FAILOVERS: usize = 3;
+        // Admission (DESIGN.md "Admission control"): the session enters
+        // its subcluster's resource pool before any participant work —
+        // one admission covers all failover attempts. The guard is held
+        // for the whole query; a `Saturated`/deadline outcome sheds the
+        // session here, before it can pile onto the slot semaphores.
+        let pool = opts.subcluster.unwrap_or(0);
+        let admit_started = std::time::Instant::now();
+        let _admission = self.admission.admit(pool, opts.cancel.as_ref())?;
+        if let Some(p) = profile {
+            p.record_span(
+                "admission_wait",
+                &format!("sc{pool}"),
+                admit_started.elapsed().as_micros() as u64,
+            );
+        }
         let labels: &[(&str, &str)] = &[("subsystem", "coordinator")];
         let attempts = self.config.obs.counter("coordinator_query_attempts_total", labels);
         let failed_over = self.config.obs.counter("coordinator_failovers_total", labels);
@@ -175,6 +195,16 @@ impl EonDb {
                     failovers += 1;
                     failed_over.inc();
                     let _ = who;
+                }
+                // A worker thread panicked (bug or injected): the
+                // process survives — the panic became a typed error at
+                // the join — and the query retries like any
+                // mid-query participant loss.
+                Err(EonError::Internal(msg))
+                    if msg.starts_with("query worker panicked") && failovers < MAX_FAILOVERS =>
+                {
+                    failovers += 1;
+                    failed_over.inc();
                 }
                 other => {
                     if let Some(p) = profile {
@@ -226,9 +256,21 @@ impl EonDb {
         };
 
         // Run local phases in parallel; each worker holds one execution
-        // slot per shard it serves (§4.2's S-of-N·E accounting).
+        // slot per shard it serves (§4.2's S-of-N·E accounting). Slot
+        // waits are deadline-bounded and cancellable: a saturated node
+        // returns `DeadlineExceeded` within `slot_wait_ms` instead of
+        // parking the session, and a node killed mid-wait wakes its
+        // waiters with `NodeDown` so the failover loop re-plans.
         let all_shards = self.segment_shards();
         let replica = self.replica_shard();
+        let slot_wait = eon_cluster::SlotWait {
+            timeout: match self.config.slot_wait_ms {
+                0 => None,
+                ms => Some(std::time::Duration::from_millis(ms)),
+            },
+            cancel: opts.cancel.clone(),
+            ..Default::default()
+        };
         let results: Vec<LocalResult> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers.len());
             for (node, shards, slice) in &workers {
@@ -237,9 +279,10 @@ impl EonDb {
                 let all_shards = all_shards.clone();
                 let fragment_ms = self.config.fragment_ms;
                 let faults = self.config.faults.clone();
+                let slot_wait = &slot_wait;
                 handles.push(scope.spawn(move || {
                     let queued = std::time::Instant::now();
-                    let _slots = node.slots.acquire(shards.len().max(1));
+                    let _slots = node.slots.acquire_wait(shards.len().max(1), slot_wait)?;
                     if let Some(p) = profile {
                         p.record_span(
                             "slot_wait",
@@ -261,6 +304,16 @@ impl EonDb {
                         node.kill();
                         return Err(EonError::NodeDown(format!("{} died mid-query", node.id)));
                     }
+                    // Crash site: the worker *panics* instead of dying
+                    // cleanly — exercises the join-side containment
+                    // (a panic must become a typed error, not abort
+                    // the whole process).
+                    if faults
+                        .hit_node(eon_storage::fault::site::QUERY_WORKER_PANIC, node.id.0)
+                        .is_err()
+                    {
+                        panic!("injected local-phase panic on {}", node.id);
+                    }
                     let token = node.begin_query(version);
                     let provider = NodeProvider {
                         node: node.clone(),
@@ -270,7 +323,7 @@ impl EonDb {
                         replica_shard: replica,
                         cache_mode,
                         crunch: if slice.is_split() { Some(*slice) } else { None },
-                        scan: self.scan_options(node, profile),
+                        scan: self.scan_options(node, profile, opts.cancel.clone()),
                     };
                     let local_span =
                         profile.map(|p| p.span("local_phase", &node.id.to_string()));
@@ -285,10 +338,26 @@ impl EonDb {
                     out
                 }));
             }
-            handles
+            // Join *every* handle before sequencing errors: a panic in
+            // one worker must not abort the process (it becomes a typed
+            // `Internal` error the failover loop retries), and
+            // short-circuiting here would leave panicked threads for
+            // the scope exit to re-panic on.
+            let joined: Vec<Result<LocalResult>> = handles
                 .into_iter()
-                .map(|h| h.join().expect("query worker panicked"))
-                .collect::<Result<Vec<_>>>()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(EonError::Internal(format!("query worker panicked: {msg}")))
+                    }
+                })
+                .collect();
+            joined.into_iter().collect::<Result<Vec<_>>>()
         })?;
 
         let merge_span = profile.map(|p| p.span("coordinator_merge", ""));

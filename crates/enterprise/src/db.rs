@@ -81,10 +81,15 @@ impl EnterpriseNode {
     pub fn kill(&self) {
         self.wos.crash();
         self.up.store(false, Ordering::SeqCst);
+        // Waiters parked on a dead node's slots get NodeDown now.
+        self.slots.close();
     }
 
     pub fn revive_process(&self) {
         self.up.store(true, Ordering::SeqCst);
+        // Enterprise revives the same process object, so its slot
+        // semaphore must come back into service too.
+        self.slots.reopen();
     }
 
     /// Total bytes on this node's disk (recovery-cost metric, §6.1).
@@ -303,7 +308,7 @@ impl EnterpriseDb {
                 let servers = servers.clone();
                 let fragment_ms = self.config.fragment_ms;
                 handles.push(scope.spawn(move || {
-                    let _slots = node.slots.acquire(segments.len().max(1));
+                    let _slots = node.slots.acquire(segments.len().max(1))?;
                     if fragment_ms > 0 {
                         std::thread::sleep(std::time::Duration::from_millis(fragment_ms));
                     }

@@ -70,6 +70,11 @@ pub mod site {
     /// Query: a participant dies during its local phase (§4.1). Node-
     /// scoped: seeded plans pick the victim node id.
     pub const QUERY_WORKER_LOCAL: &str = "query.worker.local";
+    /// Query: a participant's worker thread *panics* during its local
+    /// phase (a bug, not a process death). The join must contain it as
+    /// a typed error so the coordinator fails over instead of the
+    /// whole process aborting.
+    pub const QUERY_WORKER_PANIC: &str = "query.worker.panic";
 }
 
 /// Every named crash site, for seeded plans and coverage sweeps.
@@ -88,6 +93,7 @@ pub const SITES: &[&str] = &[
     site::REVIVE_POST_LEASE,
     site::REVIVE_PRE_INFO_WRITE,
     site::QUERY_WORKER_LOCAL,
+    site::QUERY_WORKER_PANIC,
 ];
 
 /// Shared handle to a fault plan. Cloned into every layer that hosts a

@@ -1,0 +1,63 @@
+//! Cooperative query cancellation.
+//!
+//! A [`CancelToken`] is handed to a session (see `SessionOpts` in
+//! `eon-core`) and checked at every point where the session could
+//! otherwise hold resources indefinitely: execution-slot waits, the
+//! admission queue, scan-pool task claims, and write-pool job claims.
+//! Cancellation is cooperative — firing the token makes the next
+//! boundary check return [`EonError::Cancelled`], at which point RAII
+//! guards release everything the session held.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::error::{EonError, Result};
+
+/// Shared cancellation flag for one session. Cloning is cheap and all
+/// clones observe the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fire the token. Idempotent; all clones observe it.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Boundary check: `Err(EonError::Cancelled)` once fired. `what`
+    /// names the boundary for the error message.
+    pub fn check(&self, what: &str) -> Result<()> {
+        if self.is_cancelled() {
+            Err(EonError::Cancelled(what.to_owned()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_for_all_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        t.check("slot wait").unwrap();
+        c.cancel();
+        assert!(t.is_cancelled());
+        let err = t.check("slot wait").unwrap_err();
+        assert!(matches!(err, EonError::Cancelled(ref w) if w == "slot wait"));
+    }
+}

@@ -42,9 +42,22 @@ pub enum EonError {
     Revive(String),
     /// Query planning or execution error.
     Query(String),
-    /// Admission control: no execution slots available and the caller
-    /// asked not to queue.
-    Saturated,
+    /// Admission control backpressure (DESIGN.md "Admission control"):
+    /// the resource pool is at its concurrency limit *and* its wait
+    /// queue is full. `queued` is how many sessions were already
+    /// waiting; `depth` is the configured queue bound. Typed so clients
+    /// can shed load instead of parking forever.
+    Saturated {
+        queued: usize,
+        depth: usize,
+    },
+    /// A planned-wait budget expired: an admission queue timeout or an
+    /// execution-slot wait deadline. Deterministic — the budget is
+    /// consumed by planned sleeps, not wall clock.
+    DeadlineExceeded(String),
+    /// The session's cancellation token fired while it was waiting or
+    /// running; everything it held has been released.
+    Cancelled(String),
     /// Corrupt on-disk data (bad magic, short read, checksum).
     Corrupt(String),
     /// A deterministic crash-point fired (fault-injection harness).
@@ -72,7 +85,12 @@ impl fmt::Display for EonError {
             NodeDown(s) => write!(f, "node down: {s}"),
             Revive(s) => write!(f, "revive failed: {s}"),
             Query(s) => write!(f, "query error: {s}"),
-            Saturated => write!(f, "no execution slots available"),
+            Saturated { queued, depth } => write!(
+                f,
+                "admission queue full: {queued} session(s) already queued of depth {depth}"
+            ),
+            DeadlineExceeded(s) => write!(f, "deadline exceeded: {s}"),
+            Cancelled(s) => write!(f, "cancelled: {s}"),
             Corrupt(s) => write!(f, "corrupt data: {s}"),
             FaultInjected(s) => write!(f, "injected fault: crash at {s}"),
             Internal(s) => write!(f, "internal error: {s}"),
@@ -123,5 +141,16 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(EonError::UnknownTable("t1".into()).to_string().contains("t1"));
+        let sat = EonError::Saturated { queued: 3, depth: 4 };
+        assert!(sat.to_string().contains('3') && sat.to_string().contains('4'));
+    }
+
+    #[test]
+    fn backpressure_errors_are_not_transient() {
+        // Retrying a saturated pool or an expired deadline inside the
+        // S3 retry loop would defeat the point of shedding load.
+        assert!(!EonError::Saturated { queued: 1, depth: 1 }.is_transient());
+        assert!(!EonError::DeadlineExceeded("q".into()).is_transient());
+        assert!(!EonError::Cancelled("q".into()).is_transient());
     }
 }

@@ -7,6 +7,7 @@
 //! segmentation columns into a 32-bit hash space. This crate provides
 //! exactly that substrate and nothing engine-specific.
 
+pub mod cancel;
 pub mod error;
 pub mod hashspace;
 pub mod ids;
@@ -14,6 +15,7 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use error::{EonError, Result};
 pub use hashspace::{hash_row_32, hash_value, HashRange, HASH_SPACE_BITS};
 pub use ids::{NodeId, Oid, ShardId, TxnVersion};
