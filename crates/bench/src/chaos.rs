@@ -131,6 +131,204 @@ fn scan_sorted(db: &Arc<EonDb>) -> Result<Vec<Vec<Value>>, String> {
     Ok(rows)
 }
 
+/// Outcome of one flap-and-brownout schedule (DESIGN.md "Failure
+/// detection & degraded modes") that upheld every invariant.
+#[derive(Debug, Clone)]
+pub struct HealthRunReport {
+    /// The failure detector's declaration trace
+    /// (`t<tick> <node> SUSPECT|DOWN|RECOVERED` per line) — the primary
+    /// determinism artifact: same seed ⇒ byte-identical trace.
+    pub trace: String,
+    /// Supervisor auto-restarts (must be ≥ 1: the dead node came back
+    /// with zero operator intervention).
+    pub restarts: usize,
+    /// Subscription-takeover catalog ops the supervisor committed.
+    pub takeover_ops: usize,
+    /// Queries served *during* the S3 brownout (depot-only reads).
+    pub brownout_reads: usize,
+    /// Writes the open breaker rejected fast with `StoreUnavailable`.
+    pub write_fast_fails: usize,
+    /// Writes that burned a full retry budget during the brownout
+    /// (before the breaker opened; bounds the retry storm).
+    pub write_slow_fails: usize,
+    /// Rows the table holds at the end of the schedule.
+    pub rows: usize,
+    /// Fingerprint of (trace, final rows, surviving `data/` keys).
+    pub digest: u64,
+    /// Deterministic metrics snapshot (JSON text) for the whole run.
+    pub metrics: String,
+}
+
+/// Seeded self-healing schedule: a node flap (kill, brief return, kill
+/// again — hysteresis must declare DOWN exactly once), automatic
+/// subscription takeover and auto-restart, then an S3 brownout window
+/// during which depot-only reads keep serving while writes fast-fail,
+/// with automatic breaker recovery after the brownout clears. The
+/// driver never repairs anything itself — every recovery action comes
+/// from `supervise_tick` or the breaker. Deterministic per seed.
+pub fn flap_brownout_schedule(seed: u64) -> Result<HealthRunReport, String> {
+    let registry = Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(
+        S3Config {
+            seed,
+            ..S3Config::instant()
+        },
+        &registry,
+    ));
+    // Serial writes: parallel uploads would race the breaker's failure
+    // accounting and break byte-identical same-seed metrics.
+    let config = EonConfig::new(NODES, NODES)
+        .observability(registry.clone())
+        .health_ticks(1, 2, 2)
+        .supervisor_restart_ticks(3)
+        .breaker(2, 3, 1)
+        .load_workers(1);
+    let db = EonDb::create(s3.clone(), config).map_err(|e| format!("create: {e}"))?;
+    let s = schema![("id", Int), ("v", Int)];
+    db.create_table(
+        "t",
+        s.clone(),
+        vec![Projection::super_projection("p", &s, &[0], &[0])],
+    )
+    .map_err(|e| format!("create_table: {e}"))?;
+
+    let mut model = TableModel::new("t");
+    let batch = int_rows(0..600);
+    db.copy_into("t", batch.clone())
+        .map_err(|e| format!("copy: {e}"))?;
+    model.rows.extend(batch);
+    // Warm every depot so brownout reads are pure cache hits.
+    scan_sorted(&db)?;
+
+    let mut report = HealthRunReport {
+        trace: String::new(),
+        restarts: 0,
+        takeover_ops: 0,
+        brownout_reads: 0,
+        write_fast_fails: 0,
+        write_slow_fails: 0,
+        rows: 0,
+        digest: 0,
+        metrics: String::new(),
+    };
+
+    // ---- Phase 1: node flap -------------------------------------
+    // The victim is seed-derived; the schedule of kills/returns is
+    // fixed in ticks. kill → miss (SUSPECT) → brief return (one hit:
+    // below the recover_after=2 hysteresis, misses keep accumulating)
+    // → kill → miss (DOWN, exactly once). Takeover and auto-restart
+    // then run with zero operator involvement.
+    let victim = NodeId(seed % NODES as u64);
+    let mut want = model.rows.clone();
+    want.sort();
+    db.kill_node(victim).map_err(|e| format!("kill: {e}"))?;
+    for tick in 1..=14u64 {
+        if tick == 2 {
+            // Flap up: the node blips back for one tick...
+            db.restart_node(victim).map_err(|e| format!("flap up: {e}"))?;
+        }
+        if tick == 3 {
+            // ...and dies again before hysteresis clears its misses.
+            db.kill_node(victim).map_err(|e| format!("flap down: {e}"))?;
+        }
+        let r = db.supervise_tick();
+        report.takeover_ops += r.takeover_ops;
+        report.restarts += r.restarted.len();
+        if !r.errors.is_empty() {
+            return Err(format!("supervisor tick {tick}: {:?}", r.errors));
+        }
+        // Service continues throughout: exact answers on every tick.
+        let got = scan_sorted(&db)?;
+        if got != want {
+            return Err(format!(
+                "tick {tick}: inexact scan during outage ({} rows, want {})",
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+    if report.restarts == 0 {
+        return Err("supervisor never auto-restarted the flapped node".into());
+    }
+    if !matches!(db.cluster_health(), eon_core::ClusterHealth::Healthy) {
+        return Err(format!(
+            "cluster not healthy after self-heal: {}",
+            db.cluster_health()
+        ));
+    }
+
+    // ---- Phase 2: S3 brownout -----------------------------------
+    s3.set_brownout(true);
+    for _ in 0..3 {
+        let got = scan_sorted(&db)?;
+        if got != want {
+            return Err("depot-only read inexact during brownout".into());
+        }
+        report.brownout_reads += 1;
+    }
+    let brown_batch = int_rows(600..650);
+    for i in 0..6 {
+        match db.copy_into("t", brown_batch.clone()) {
+            Ok(_) => return Err(format!("write {i} succeeded during brownout")),
+            Err(EonError::StoreUnavailable(_)) => report.write_fast_fails += 1,
+            Err(EonError::Storage(_)) => report.write_slow_fails += 1,
+            Err(e) => return Err(format!("write {i}: unexpected error {e}")),
+        }
+    }
+    if report.write_fast_fails == 0 {
+        return Err("breaker never fast-failed a write during brownout".into());
+    }
+    // The retry storm is bounded: only the writes that tripped the
+    // breaker plus the post-cooldown probe burn a backoff budget
+    // (without the breaker all six would). 2 to trip + 1 probe = 3.
+    if report.write_slow_fails > 3 {
+        return Err(format!(
+            "retry storm: {} writes burned a full backoff budget",
+            report.write_slow_fails
+        ));
+    }
+
+    // ---- Phase 3: brownout clears, breaker self-recovers --------
+    s3.set_brownout(false);
+    let recover_batch = int_rows(650..700);
+    let mut recovered = false;
+    for _ in 0..8 {
+        match db.copy_into("t", recover_batch.clone()) {
+            Ok(_) => {
+                model.rows.extend(recover_batch.clone());
+                recovered = true;
+                break;
+            }
+            Err(EonError::StoreUnavailable(_)) => continue, // cooldown
+            Err(e) => return Err(format!("post-brownout write: {e}")),
+        }
+    }
+    if !recovered {
+        return Err("breaker never recovered after the brownout cleared".into());
+    }
+
+    // Invariants: committed data exact, catalog references resolve,
+    // aborted brownout uploads reclaimed.
+    check_crash_invariants(&db, std::slice::from_ref(&model))
+        .map_err(|e| format!("invariants: {e}"))?;
+
+    report.trace = db.health_trace();
+    let rows = scan_sorted(&db)?;
+    report.rows = rows.len();
+    let mut keys = db
+        .shared()
+        .list("data/")
+        .map_err(|e| format!("list: {e}"))?;
+    keys.sort();
+    let mut h = DefaultHasher::new();
+    report.trace.hash(&mut h);
+    format!("{rows:?}").hash(&mut h);
+    keys.hash(&mut h);
+    report.digest = h.finish();
+    report.metrics = registry.deterministic_snapshot().to_string();
+    Ok(report)
+}
+
 /// Run the full crash schedule with `plan` armed. Returns the report
 /// if every step completed and every invariant held, else a
 /// description of the first violation.

@@ -9,10 +9,12 @@
 //! restarted, which is what drives the node-down experiments (Fig 12)
 //! and the recovery claims of §6.1.
 
+pub mod health;
 pub mod membership;
 pub mod node;
 pub mod slots;
 
+pub use health::{FailureDetector, HealthConfig, HealthEvent, HealthTransition, NodeHealth};
 pub use membership::Membership;
 pub use node::NodeRuntime;
 pub use slots::{ExecSlots, SlotGuard, SlotWait};

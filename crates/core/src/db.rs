@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use eon_catalog::{CatalogOp, CatalogState, ShardDef, ShardKind, SubState, Subscription, Txn, TxnRecord};
 use eon_cluster::{Membership, NodeRuntime};
 use eon_shard::rebalance_plan;
-use eon_storage::SharedFs;
+use eon_storage::{BreakerConfig, CircuitBreaker, SharedFs};
 use eon_types::{EonError, HashRange, NodeId, Result, ShardId, TxnVersion};
 
 use crate::config::EonConfig;
@@ -36,6 +36,13 @@ pub struct EonDb {
     pub(crate) reaper: Reaper,
     /// Per-subcluster admission pools (DESIGN.md "Admission control").
     pub(crate) admission: crate::admission::AdmissionControl,
+    /// S3 circuit breaker (DESIGN.md "Failure detection & degraded
+    /// modes"). Shared with the `RetryFs` wrapper around `shared`;
+    /// `None` when disabled via config.
+    pub(crate) breaker: Option<Arc<CircuitBreaker>>,
+    /// Self-healing supervisor state: the failure detector plus repair
+    /// bookkeeping, driven by [`EonDb::supervise_tick`].
+    pub(crate) supervisor: Mutex<crate::supervisor::SupervisorState>,
 }
 
 impl EonDb {
@@ -45,8 +52,11 @@ impl EonDb {
     pub fn create(shared: SharedFs, config: EonConfig) -> Result<Arc<EonDb>> {
         assert!(config.num_nodes > 0 && config.num_shards > 0);
         // Uniform §5.3 retry loop around every shared-storage access;
-        // its retry count lands in the database registry.
-        let shared = eon_storage::RetryFs::wrap_with(shared, &config.obs);
+        // its retry count lands in the database registry. The optional
+        // circuit breaker gates the same wrapper and is shared with the
+        // write-admission front door.
+        let breaker = Self::build_breaker(&config);
+        let shared = eon_storage::RetryFs::wrap_with_breaker(shared, &config.obs, breaker.clone());
         let incarnation = format!("inc{:08x}", 0xe0ee_0000u32);
         let db = Arc::new(EonDb {
             shared: shared.clone(),
@@ -62,6 +72,8 @@ impl EonDb {
                 crate::admission::AdmissionLimits::from_config(&config),
                 config.obs.clone(),
             ),
+            breaker,
+            supervisor: Mutex::new(crate::supervisor::SupervisorState::new(&config)),
             config,
         });
         for i in 0..db.config.num_nodes {
@@ -122,6 +134,27 @@ impl EonDb {
 
     pub fn shared(&self) -> &SharedFs {
         &self.shared
+    }
+
+    /// The S3 circuit breaker, when enabled (`EonConfig::breaker`).
+    pub fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        self.breaker.as_ref()
+    }
+
+    /// Build the configured breaker (`None` when the threshold is 0).
+    /// Shared by `create` and `revive`.
+    pub(crate) fn build_breaker(config: &EonConfig) -> Option<Arc<CircuitBreaker>> {
+        if config.breaker_failure_threshold == 0 {
+            return None;
+        }
+        Some(CircuitBreaker::with_metrics(
+            BreakerConfig {
+                failure_threshold: config.breaker_failure_threshold,
+                cooldown: config.breaker_cooldown,
+                half_open_probes: config.breaker_half_open_probes,
+            },
+            &config.obs,
+        ))
     }
 
     pub fn membership(&self) -> &Membership {

@@ -125,7 +125,7 @@ impl EonDb {
 
     /// DELETE FROM `table` WHERE `predicate`. Returns rows deleted.
     pub fn delete_where(&self, table: &str, predicate: &Predicate) -> Result<u64> {
-        self.ensure_viable()?;
+        self.admit_write()?;
         let coord = self.pick_coordinator()?;
         let mut txn = coord.catalog.begin();
         let t = txn
@@ -172,7 +172,7 @@ impl EonDb {
         predicate: &Predicate,
         set: &[(usize, Value)],
     ) -> Result<u64> {
-        self.ensure_viable()?;
+        self.admit_write()?;
         let coord = self.pick_coordinator()?;
         let mut txn = coord.catalog.begin();
         let t = txn

@@ -33,9 +33,11 @@ pub mod maintenance;
 pub mod provider;
 pub mod query;
 pub mod sql_api;
+pub mod supervisor;
 
 pub use admission::{AdmissionControl, AdmissionGuard, AdmissionLimits};
 pub use config::EonConfig;
 pub use db::EonDb;
 pub use invariants::{check_crash_invariants, InvariantReport, TableModel};
 pub use query::SessionOpts;
+pub use supervisor::{ClusterHealth, SupervisorReport};

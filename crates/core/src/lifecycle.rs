@@ -202,8 +202,10 @@ impl EonDb {
     }
 
     /// Advance all of `id`'s PENDING subscriptions to ACTIVE via
-    /// PASSIVE (metadata already transferred by `catch_up_node`).
-    fn promote_subscriptions(&self, id: NodeId, coord: &Arc<NodeRuntime>) -> Result<()> {
+    /// PASSIVE (metadata already transferred by `catch_up_node`). Also
+    /// used by the supervisor's takeover pass (DESIGN.md "Failure
+    /// detection & degraded modes").
+    pub(crate) fn promote_subscriptions(&self, id: NodeId, coord: &Arc<NodeRuntime>) -> Result<()> {
         for target in [SubState::Passive, SubState::Active] {
             let subs: Vec<Subscription> = coord
                 .catalog
@@ -278,7 +280,7 @@ impl EonDb {
         }
     }
 
-    fn pick_up_peer(&self, not: NodeId) -> Result<Arc<NodeRuntime>> {
+    pub(crate) fn pick_up_peer(&self, not: NodeId) -> Result<Arc<NodeRuntime>> {
         self.membership
             .up_nodes()
             .into_iter()
@@ -296,7 +298,9 @@ impl EonDb {
         config: EonConfig,
         now_ms: u64,
     ) -> Result<Arc<EonDb>> {
-        let shared = eon_storage::RetryFs::wrap_with(shared, &config.obs);
+        let breaker = Self::build_breaker(&config);
+        let shared =
+            eon_storage::RetryFs::wrap_with_breaker(shared, &config.obs, breaker.clone());
         let info = ClusterInfo::read(shared.as_ref())?
             .ok_or_else(|| EonError::Revive("no cluster_info.json on shared storage".into()))?;
         if info.lease_live(now_ms) {
@@ -350,6 +354,8 @@ impl EonDb {
                 crate::admission::AdmissionLimits::from_config(&config),
                 config.obs.clone(),
             ),
+            breaker,
+            supervisor: parking_lot::Mutex::new(crate::supervisor::SupervisorState::new(&config)),
             config,
         });
         for i in 0..db.config.num_nodes {

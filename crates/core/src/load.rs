@@ -206,7 +206,10 @@ impl EonDb {
         profile: Option<&QueryProfile>,
         cancel: Option<eon_types::CancelToken>,
     ) -> Result<u64> {
-        self.ensure_viable()?;
+        // Write front door (DESIGN.md "Failure detection & degraded
+        // modes"): typed ClusterDown on a non-viable cluster, typed
+        // StoreUnavailable fast-fail while the breaker is open.
+        self.admit_write()?;
         if rows.is_empty() {
             return Ok(0);
         }

@@ -166,6 +166,11 @@ impl EonDb {
         profile: Option<&QueryProfile>,
     ) -> Result<Vec<Vec<Value>>> {
         const MAX_FAILOVERS: usize = 3;
+        // Health front door (DESIGN.md "Failure detection & degraded
+        // modes"): a down cluster rejects with typed `ClusterDown`
+        // before the session queues for admission or touches a slot
+        // semaphore. Degraded and read-only states still serve reads.
+        self.admit_read()?;
         // Admission (DESIGN.md "Admission control"): the session enters
         // its subcluster's resource pool before any participant work —
         // one admission covers all failover attempts. The guard is held

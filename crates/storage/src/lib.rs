@@ -11,6 +11,7 @@
 //! Fig 7 and the retry loop §5.3 demands around fallible shared-storage
 //! access.
 
+pub mod breaker;
 pub mod fault;
 pub mod fs;
 pub mod mem;
@@ -20,6 +21,7 @@ pub mod retryfs;
 pub mod s3sim;
 pub mod sid;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use fault::{FaultEvent, FaultInjector, FaultPlan};
 pub use fs::{FileSystem, FsStats, SharedFs};
 pub use mem::MemFs;

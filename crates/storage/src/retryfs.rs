@@ -7,6 +7,12 @@
 //! Whole-object writes and deletes are idempotent on an object store,
 //! so retrying them blindly is safe; that is precisely why the UDFS
 //! API has no append or rename (§5.3).
+//!
+//! An optional [`CircuitBreaker`] gates every operation: while it is
+//! open, requests fail fast with `StoreUnavailable` instead of burning
+//! a full backoff budget against a browned-out store, and each
+//! operation's final outcome (exhausted-retry transient failure vs.
+//! answered) feeds the breaker's state machine.
 
 use std::sync::Arc;
 
@@ -14,6 +20,7 @@ use bytes::Bytes;
 use eon_obs::{Counter, Registry};
 use eon_types::Result;
 
+use crate::breaker::CircuitBreaker;
 use crate::fs::{FileSystem, FsStats, SharedFs};
 use crate::retry::{with_retry_observed, RetryPolicy};
 
@@ -24,6 +31,9 @@ pub struct RetryFs {
     /// `s3_retries_total` — one tick per re-issued request. Wired to a
     /// private registry until [`RetryFs::with_metrics`].
     retries: Arc<Counter>,
+    /// Optional brownout protection (DESIGN.md "Failure detection &
+    /// degraded modes"). `None` = the historical always-retry shape.
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl RetryFs {
@@ -41,7 +51,14 @@ impl RetryFs {
             inner,
             policy,
             retries: registry.counter("s3_retries_total", &[("subsystem", "s3")]),
+            breaker: None,
         }
+    }
+
+    /// This wrapper with a circuit breaker gating every operation.
+    pub fn breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.breaker = Some(breaker);
+        self
     }
 
     pub fn inner(&self) -> &SharedFs {
@@ -56,15 +73,43 @@ impl RetryFs {
 
     /// [`RetryFs::wrap`] with the retry counter in `registry`.
     pub fn wrap_with(fs: SharedFs, registry: &Registry) -> SharedFs {
+        Self::wrap_with_breaker(fs, registry, None)
+    }
+
+    /// [`RetryFs::wrap_with`], additionally gating every operation
+    /// behind `breaker` when one is given. An already-wrapped fs passes
+    /// through untouched (same idempotence as [`RetryFs::wrap`]).
+    pub fn wrap_with_breaker(
+        fs: SharedFs,
+        registry: &Registry,
+        breaker: Option<Arc<CircuitBreaker>>,
+    ) -> SharedFs {
         if fs.kind() == "retry" {
             fs
         } else {
-            Arc::new(Self::with_metrics(fs, RetryPolicy::default(), registry))
+            let mut wrapped = Self::with_metrics(fs, RetryPolicy::default(), registry);
+            wrapped.breaker = breaker;
+            Arc::new(wrapped)
         }
     }
 
-    fn retrying<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
-        with_retry_observed(&self.policy, |_| self.retries.inc(), op)
+    fn retrying<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        // Fast-fail while the breaker is open (it half-opens itself
+        // after its cooldown; that admission proceeds as the probe).
+        if let Some(b) = &self.breaker {
+            b.admit()?;
+        }
+        let result = with_retry_observed(&self.policy, |_| self.retries.inc(), &mut op);
+        if let Some(b) = &self.breaker {
+            match &result {
+                Ok(_) => b.record_success(),
+                Err(e) if e.is_transient() => b.record_failure(),
+                // Terminal (NotFound, precondition): the store answered
+                // — never trips the breaker (DESIGN.md classification).
+                Err(_) => b.record_success(),
+            }
+        }
+        result
     }
 }
 
@@ -150,5 +195,63 @@ mod tests {
             fs.read("missing"),
             Err(eon_types::EonError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn breaker_opens_on_exhausted_retries_and_fast_fails() {
+        use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+        let sim = Arc::new(S3SimFs::new(S3Config::instant()));
+        sim.set_brownout(true);
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 3,
+            half_open_probes: 1,
+        });
+        let fs = RetryFs::with_policy(
+            sim.clone(),
+            RetryPolicy {
+                max_attempts: 3,
+                base_backoff: std::time::Duration::ZERO,
+                max_backoff: std::time::Duration::ZERO,
+                ..Default::default()
+            },
+        )
+        .breaker(breaker.clone());
+        // Two operations exhaust their retries → breaker opens.
+        assert!(matches!(fs.read("k"), Err(eon_types::EonError::Storage(_))));
+        assert!(matches!(fs.read("k"), Err(eon_types::EonError::Storage(_))));
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Open: fast-fail without touching the store (request count
+        // frozen through the cooldown window).
+        let before = sim.stats().cost_nanodollars;
+        for _ in 0..3 {
+            assert!(matches!(
+                fs.write("k", Bytes::from_static(b"v")),
+                Err(eon_types::EonError::StoreUnavailable(_))
+            ));
+        }
+        assert_eq!(sim.stats().cost_nanodollars, before, "open breaker must not hit the store");
+        // Brownout over: the post-cooldown probe closes the breaker.
+        sim.set_brownout(false);
+        fs.write("k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(fs.read("k").unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn terminal_errors_do_not_feed_the_breaker() {
+        use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            ..Default::default()
+        });
+        let fs = RetryFs::new(Arc::new(crate::mem::MemFs::new())).breaker(breaker.clone());
+        for _ in 0..5 {
+            assert!(matches!(
+                fs.read("missing"),
+                Err(eon_types::EonError::NotFound(_))
+            ));
+        }
+        assert_eq!(breaker.state(), BreakerState::Closed);
     }
 }

@@ -21,6 +21,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -139,6 +140,7 @@ struct S3Metrics {
     fail: Arc<Counter>,
     throttle: Arc<Counter>,
     ambiguous: Arc<Counter>,
+    brownout: Arc<Counter>,
 }
 
 impl S3Metrics {
@@ -155,6 +157,7 @@ impl S3Metrics {
             fail: kind("fail"),
             throttle: kind("throttle"),
             ambiguous: kind("ambiguous"),
+            brownout: kind("brownout"),
         }
     }
 
@@ -184,6 +187,12 @@ pub struct S3SimFs {
     attempts: Mutex<HashMap<(&'static str, String), u64>>,
     cost: Mutex<u64>,
     metrics: S3Metrics,
+    /// Brownout switch (DESIGN.md "Failure detection & degraded
+    /// modes"): while set, **every** request fails with a transient
+    /// `Storage` error after paying its latency — the store is
+    /// reachable but serving nothing, the §5.3 scenario the circuit
+    /// breaker and depot-only read mode exist for.
+    brownout: AtomicBool,
 }
 
 impl S3SimFs {
@@ -199,6 +208,7 @@ impl S3SimFs {
             attempts: Mutex::new(HashMap::new()),
             cost: Mutex::new(0),
             metrics: S3Metrics::register(registry),
+            brownout: AtomicBool::new(false),
         }
     }
 
@@ -208,6 +218,16 @@ impl S3SimFs {
 
     pub fn config(&self) -> &S3Config {
         &self.config
+    }
+
+    /// Toggle a simulated brownout: while on, every request fails with
+    /// a transient `Storage` error (after paying its latency charge).
+    pub fn set_brownout(&self, on: bool) {
+        self.brownout.store(on, Ordering::SeqCst);
+    }
+
+    pub fn brownout(&self) -> bool {
+        self.brownout.load(Ordering::SeqCst)
     }
 
     /// Uniform [0, 1) roll keyed by (seed, salt, verb, path, attempt).
@@ -243,6 +263,10 @@ impl S3SimFs {
         *self.cost.lock() += price;
         self.metrics.verb(verb).inc();
         self.metrics.cost.add(price);
+        if self.brownout.load(Ordering::SeqCst) {
+            self.metrics.brownout.inc();
+            return Err(EonError::Storage(format!("simulated S3 brownout: {verb} {path}")));
+        }
         let attempt = self.next_attempt(verb, path);
         let roll = self.unit_roll(verb, path, attempt, 0);
         if roll < self.config.throttle_rate {
@@ -277,9 +301,14 @@ impl FileSystem for S3SimFs {
         if self.config.reject_overwrite && self.store.exists(path)? {
             // An identical re-PUT is the idempotent retry of an
             // ambiguous outcome, not an overwrite — only *different*
-            // bytes violate immutability (§5.2).
+            // bytes violate immutability (§5.2). Terminal
+            // (`PreconditionFailed`): retrying an invariant violation
+            // can never succeed, so it must not burn backoff budget or
+            // trip the circuit breaker.
             if self.store.read(path)? != data {
-                return Err(EonError::Storage(format!("overwrite of immutable object {path}")));
+                return Err(EonError::PreconditionFailed(format!(
+                    "overwrite of immutable object {path}"
+                )));
             }
         }
         self.store.write(path, data)?;
@@ -410,9 +439,34 @@ mod tests {
             ..S3Config::instant()
         });
         fs.write("immutable", Bytes::from_static(b"a")).unwrap();
-        assert!(fs.write("immutable", Bytes::from_static(b"b")).is_err());
+        // Terminal, not transient: an invariant violation must surface
+        // immediately instead of burning retry budget.
+        let err = fs.write("immutable", Bytes::from_static(b"b")).unwrap_err();
+        assert!(matches!(err, EonError::PreconditionFailed(_)), "{err}");
+        assert!(!err.is_transient());
         // Original data untouched.
         assert_eq!(fs.read("immutable").unwrap().as_ref(), b"a");
+    }
+
+    #[test]
+    fn brownout_fails_everything_transiently_until_cleared() {
+        let fs = instant();
+        fs.write("pre", Bytes::from_static(b"v")).unwrap();
+        fs.set_brownout(true);
+        for outcome in [
+            fs.write("k", Bytes::from_static(b"x")).err(),
+            fs.read("pre").err(),
+            fs.list("").err(),
+            fs.delete("pre").err(),
+            fs.exists("pre").err(),
+        ] {
+            let e = outcome.expect("brownout must fail every request");
+            assert!(e.is_transient(), "brownout errors are retryable: {e}");
+        }
+        fs.set_brownout(false);
+        // Nothing was applied during the brownout; service resumes.
+        assert_eq!(fs.read("pre").unwrap().as_ref(), b"v");
+        assert!(!fs.exists("k").unwrap());
     }
 
     #[test]

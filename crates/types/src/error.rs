@@ -60,6 +60,19 @@ pub enum EonError {
     Cancelled(String),
     /// Corrupt on-disk data (bad magic, short read, checksum).
     Corrupt(String),
+    /// Shared storage is behind an **open circuit breaker** (DESIGN.md
+    /// "Failure detection & degraded modes"): consecutive requests
+    /// exhausted their retry budgets, so further requests fail fast
+    /// instead of burning backoff. Deliberately **not** transient —
+    /// retrying it inside the storage retry loop would defeat the
+    /// fast-fail; callers shed the write (or serve depot-only reads)
+    /// and the breaker half-opens on its own cooldown.
+    StoreUnavailable(String),
+    /// A storage precondition was violated — e.g. a PUT would overwrite
+    /// an immutable object with different bytes (§5.2). Terminal: the
+    /// request can never succeed, so it must not burn backoff budget or
+    /// trip the circuit breaker.
+    PreconditionFailed(String),
     /// A deterministic crash-point fired (fault-injection harness).
     /// Deliberately **not** transient: a simulated process death must
     /// propagate out of the operation, not be retried away.
@@ -92,6 +105,8 @@ impl fmt::Display for EonError {
             DeadlineExceeded(s) => write!(f, "deadline exceeded: {s}"),
             Cancelled(s) => write!(f, "cancelled: {s}"),
             Corrupt(s) => write!(f, "corrupt data: {s}"),
+            StoreUnavailable(s) => write!(f, "shared storage unavailable: {s}"),
+            PreconditionFailed(s) => write!(f, "precondition failed: {s}"),
             FaultInjected(s) => write!(f, "injected fault: crash at {s}"),
             Internal(s) => write!(f, "internal error: {s}"),
         }
@@ -152,5 +167,15 @@ mod tests {
         assert!(!EonError::Saturated { queued: 1, depth: 1 }.is_transient());
         assert!(!EonError::DeadlineExceeded("q".into()).is_transient());
         assert!(!EonError::Cancelled("q".into()).is_transient());
+    }
+
+    #[test]
+    fn degraded_mode_errors_are_terminal() {
+        // An open breaker means "stop asking" — retrying would undo the
+        // fast-fail; a violated precondition can never succeed.
+        assert!(!EonError::StoreUnavailable("breaker open".into()).is_transient());
+        assert!(!EonError::PreconditionFailed("overwrite".into()).is_transient());
+        // NotFound likewise never earns a retry (NoSuchKey is terminal).
+        assert!(!EonError::NotFound("k".into()).is_transient());
     }
 }

@@ -1,0 +1,218 @@
+//! Property test for the S3 circuit breaker's state machine (DESIGN.md
+//! "Failure detection & degraded modes"): the implementation is checked
+//! op-for-op against an independent reference model over random
+//! admit/outcome sequences and random (small) configurations.
+//!
+//! Invariants pinned after **every** op:
+//!
+//! * an open breaker **never admits a write** before its cooldown is
+//!   consumed — the first `cooldown` admissions fast-fail with typed
+//!   `StoreUnavailable`;
+//! * an open breaker **always half-opens** once exactly `cooldown`
+//!   admissions have fast-failed — the next admission goes through as
+//!   the probe (no wall clock involved, so this is exact);
+//! * terminal outcomes (NotFound, precondition violations) never trip
+//!   or re-open the breaker — only exhausted-retry transient failures
+//!   do;
+//! * the implementation's state always equals the model's.
+
+use eon_db as _;
+use eon_storage::{BreakerConfig, BreakerState, CircuitBreaker};
+use eon_types::EonError;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Gate one operation (may fast-fail).
+    Admit,
+    /// An admitted operation reached the store and succeeded.
+    Success,
+    /// An admitted operation exhausted its retry budget (transient).
+    TransientFail,
+    /// The store answered with a terminal error (NotFound etc.).
+    TerminalFail,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Admit),
+        Just(Op::Admit),
+        Just(Op::Success),
+        Just(Op::TransientFail),
+        Just(Op::TerminalFail),
+    ]
+}
+
+/// Independent re-statement of the intended state machine.
+#[derive(Debug)]
+struct Model {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    failures: u32,
+    fast_fails: u32,
+    probes: u32,
+}
+
+impl Model {
+    fn new(cfg: BreakerConfig) -> Self {
+        Model {
+            cfg,
+            state: BreakerState::Closed,
+            failures: 0,
+            fast_fails: 0,
+            probes: 0,
+        }
+    }
+
+    /// Returns whether the admission goes through.
+    fn admit(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.fast_fails >= self.cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes = 0;
+                    true
+                } else {
+                    self.fast_fails += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    fn success(&mut self) {
+        self.failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.probes += 1;
+            if self.probes >= self.cfg.half_open_probes {
+                self.state = BreakerState::Closed;
+                self.fast_fails = 0;
+                self.probes = 0;
+            }
+        }
+    }
+
+    fn transient_fail(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.failures = 0;
+                    self.fast_fails = 0;
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.fast_fails = 0;
+                self.probes = 0;
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn breaker_matches_model_and_honors_cooldown(
+        threshold in 1u32..4,
+        cooldown in 1u32..5,
+        probes in 1u32..3,
+        ops in vec(op_strategy(), 1..120),
+    ) {
+        let cfg = BreakerConfig {
+            failure_threshold: threshold,
+            cooldown,
+            half_open_probes: probes,
+        };
+        let breaker = CircuitBreaker::new(cfg.clone());
+        let mut model = Model::new(cfg);
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Admit => {
+                    // The model decides first what MUST happen.
+                    let was_open = model.state == BreakerState::Open;
+                    let must_admit = model.admit();
+                    let got = breaker.admit();
+                    if must_admit {
+                        prop_assert!(
+                            got.is_ok(),
+                            "op {i}: model admits (open={was_open}) but impl fast-failed"
+                        );
+                        if was_open {
+                            // Cooldown consumed ⇒ ALWAYS half-opens.
+                            prop_assert_eq!(breaker.state(), BreakerState::HalfOpen);
+                        }
+                    } else {
+                        // Open before cooldown ⇒ NEVER serves a write.
+                        prop_assert!(
+                            matches!(got, Err(EonError::StoreUnavailable(_))),
+                            "op {i}: open breaker admitted before cooldown"
+                        );
+                    }
+                }
+                Op::Success => {
+                    model.success();
+                    breaker.observe(&Ok(()));
+                }
+                Op::TransientFail => {
+                    model.transient_fail();
+                    breaker.observe(&Err(EonError::Storage("503".into())));
+                }
+                Op::TerminalFail => {
+                    // Terminal = the store answered: same as a success
+                    // for the trip accounting.
+                    model.success();
+                    breaker.observe(&Err(EonError::NotFound("k".into())));
+                }
+            }
+            prop_assert_eq!(
+                breaker.state(),
+                model.state,
+                "op {} ({:?}): state diverged from model",
+                i,
+                op
+            );
+        }
+    }
+
+    /// From ANY reachable open state, exactly `cooldown` fast-fails
+    /// then one admission half-opens — the breaker can never wedge
+    /// open forever.
+    #[test]
+    fn open_breaker_always_half_opens_after_cooldown(
+        cooldown in 1u32..6,
+        warmup in vec(op_strategy(), 0..60),
+    ) {
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown,
+            half_open_probes: 1,
+        });
+        for op in warmup {
+            match op {
+                Op::Admit => { let _ = breaker.admit(); }
+                Op::Success => breaker.observe(&Ok(())),
+                Op::TransientFail => breaker.observe(&Err(EonError::Storage("x".into()))),
+                Op::TerminalFail => breaker.observe(&Err(EonError::NotFound("k".into()))),
+            }
+        }
+        // Force open (threshold 1; a failure from any state lands in
+        // Open), then drain: within `cooldown + 1` admissions one MUST
+        // go through.
+        breaker.observe(&Err(EonError::Storage("x".into())));
+        prop_assert_eq!(breaker.state(), BreakerState::Open);
+        let mut admitted = false;
+        for _ in 0..=cooldown {
+            if breaker.admit().is_ok() {
+                admitted = true;
+                break;
+            }
+        }
+        prop_assert!(admitted, "breaker wedged open past its cooldown");
+        prop_assert_eq!(breaker.state(), BreakerState::HalfOpen);
+    }
+}

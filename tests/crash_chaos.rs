@@ -8,7 +8,7 @@
 //! pin the two properties the sweep relies on: every named site is
 //! reachable, and a given seed replays identically.
 
-use eon_bench::chaos::{crash_schedule, seeded_crash_schedule};
+use eon_bench::chaos::{crash_schedule, flap_brownout_schedule, seeded_crash_schedule};
 use eon_db as _;
 use eon_storage::fault::{site, FaultPlan, SITES};
 
@@ -96,4 +96,42 @@ fn seed_sweep_slice_upholds_invariants() {
                 .unwrap_or_else(|e| panic!("seed {seed} ambiguous={ambiguous}: {e}"));
         }
     }
+}
+
+/// Self-healing chaos (DESIGN.md "Failure detection & degraded
+/// modes"): a node flap plus an S3 brownout window completes with zero
+/// operator intervention — the detector declares DOWN once despite the
+/// flap, the supervisor takes over subscriptions and auto-restarts the
+/// node, depot-only reads serve through the brownout, writes fast-fail
+/// with `StoreUnavailable`, and the breaker self-recovers.
+#[test]
+fn flap_and_brownout_self_heal_without_operator() {
+    for seed in [1u64, 5, 9] {
+        let r = flap_brownout_schedule(seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(r.restarts >= 1, "seed {seed}: no auto-restart");
+        assert!(r.takeover_ops >= 1, "seed {seed}: no subscription takeover");
+        assert_eq!(r.brownout_reads, 3, "seed {seed}: brownout reads failed");
+        assert!(r.write_fast_fails >= 1, "seed {seed}: no fast-fail");
+        // Exactly one DOWN and one RECOVERED despite the flap
+        // (hysteresis): the detector must not thrash the rebalancer.
+        let downs = r.trace.matches(" DOWN").count();
+        let recoveries = r.trace.matches(" RECOVERED").count();
+        assert_eq!((downs, recoveries), (1, 1), "seed {seed}: trace {}", r.trace);
+    }
+}
+
+/// Same seed ⇒ byte-identical detection trace, digest, and metrics
+/// snapshot for the flap-and-brownout schedule.
+#[test]
+fn flap_and_brownout_replays_identically() {
+    let a = flap_brownout_schedule(5).unwrap();
+    let b = flap_brownout_schedule(5).unwrap();
+    assert_eq!(a.trace, b.trace, "detection traces diverged");
+    assert_eq!(a.digest, b.digest, "final state diverged");
+    assert_eq!(a.metrics, b.metrics, "metrics snapshots diverged");
+    assert!(
+        a.metrics.contains("breaker_opened_total"),
+        "snapshot should carry breaker counters: {}",
+        a.metrics
+    );
 }
