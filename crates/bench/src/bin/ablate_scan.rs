@@ -2,21 +2,30 @@
 //! parallel scan path and measure what it buys, so the win is measured
 //! rather than asserted.
 //!
-//! Five configurations over the same deterministic table and query:
+//! Seven configurations over the same deterministic table and query:
 //!
 //! * `serial` — one scan worker, no single-flight, no coalescing, no
 //!   late materialization (the pre-pipeline shape),
 //! * `parallel` — adds the intra-node scan pool (workers = exec slots),
 //! * `singleflight` — serial plus single-flight depot fills,
 //! * `coalesce` — serial plus coalesced ranged reads,
-//! * `full` — everything on (the shipping default).
+//! * `full` — everything on (the shipping default),
+//! * `decode_first` — `full` with compression-aware execution forced
+//!   off: every block decodes to rows before predicates run,
+//! * `encoded_exec` — `full` with encoded views on (the default), named
+//!   so the A/B against `decode_first` reads directly off the table.
 //!
 //! Per configuration we time a depot-cold query, a warm query, and a
 //! cache-bypass query (every block read is a simulated-S3 ranged GET, so
 //! coalescing and the scan pool show up directly in GET counts and
-//! wall-clock). A final phase clears the depots and fires the same
-//! query from many threads at once: with single-flight on, concurrent
-//! misses on one key must produce exactly one backing GET and a nonzero
+//! wall-clock). The `decode_first`/`encoded_exec` pair is additionally
+//! timed on an encoded-heavy query — a predicate on a long-run string
+//! column feeding a group-by on a low-cardinality one, where RLE runs
+//! and dictionary codes do the work — so the bypass-mode win of
+//! evaluating once per run/dictionary entry is measured, not asserted.
+//! A final phase clears the depots and fires the same query from many
+//! threads at once: with single-flight on, concurrent misses on one key
+//! must produce exactly one backing GET and a nonzero
 //! `depot_singleflight_waits_total`.
 //!
 //! Knobs: `EON_BENCH_SCAN_ROWS` (default 60000), `EON_BENCH_S3_LAT_US`
@@ -61,14 +70,17 @@ struct Ablation {
     single_flight: bool,
     coalesce: Option<u64>,
     late_materialization: bool,
+    decode_first: bool,
 }
 
 const CONFIGS: &[Ablation] = &[
-    Ablation { name: "serial", workers: 1, single_flight: false, coalesce: None, late_materialization: false },
-    Ablation { name: "parallel", workers: 0, single_flight: false, coalesce: None, late_materialization: false },
-    Ablation { name: "singleflight", workers: 1, single_flight: true, coalesce: None, late_materialization: false },
-    Ablation { name: "coalesce", workers: 1, single_flight: false, coalesce: Some(64 * 1024), late_materialization: false },
-    Ablation { name: "full", workers: 0, single_flight: true, coalesce: Some(64 * 1024), late_materialization: true },
+    Ablation { name: "serial", workers: 1, single_flight: false, coalesce: None, late_materialization: false, decode_first: true },
+    Ablation { name: "parallel", workers: 0, single_flight: false, coalesce: None, late_materialization: false, decode_first: true },
+    Ablation { name: "singleflight", workers: 1, single_flight: true, coalesce: None, late_materialization: false, decode_first: true },
+    Ablation { name: "coalesce", workers: 1, single_flight: false, coalesce: Some(64 * 1024), late_materialization: false, decode_first: true },
+    Ablation { name: "full", workers: 0, single_flight: true, coalesce: Some(64 * 1024), late_materialization: true, decode_first: false },
+    Ablation { name: "decode_first", workers: 0, single_flight: true, coalesce: Some(64 * 1024), late_materialization: true, decode_first: true },
+    Ablation { name: "encoded_exec", workers: 0, single_flight: true, coalesce: Some(64 * 1024), late_materialization: true, decode_first: false },
 ];
 
 /// Build a fresh Eon cluster over simulated S3 with the given ablation
@@ -90,10 +102,20 @@ fn build_db(ab: &Ablation, rows: usize, latency: Duration) -> (Arc<EonDb>, Regis
             .scan_workers(if ab.workers == 0 { 0 } else { ab.workers })
             .scan_coalesce_gap(ab.coalesce)
             .scan_late_materialization(ab.late_materialization)
+            .scan_decode_first(ab.decode_first)
             .depot_single_flight(ab.single_flight),
     )
     .unwrap();
-    let s = schema![("id", Int), ("grp", Int), ("val", Int)];
+    // Columns 3 and 4 are the compression-aware-execution targets: `cat`
+    // changes value a handful of times across the whole table (long RLE
+    // runs), `tag` cycles a seven-word vocabulary (dictionary codes).
+    let s = schema![
+        ("id", Int),
+        ("grp", Int),
+        ("val", Int),
+        ("cat", Str),
+        ("tag", Str)
+    ];
     db.create_table(
         "scan_t",
         s.clone(),
@@ -104,12 +126,21 @@ fn build_db(ab: &Ablation, rows: usize, latency: Duration) -> (Arc<EonDb>, Regis
     // enough blocks per column for footer pruning and run coalescing to
     // have something to chew on, enough containers for the scan pool to
     // fan out.
+    const TAGS: [&str; 7] = ["ads", "api", "batch", "etl", "ml", "ui", "web"];
     let half = rows / 2;
     for batch in 0..2 {
         let data: Vec<Vec<Value>> = (batch * half..(batch + 1) * half)
             .map(|i| {
+                let cat = format!("c{}", i * 6 / rows.max(1));
+                let tag = TAGS[i % TAGS.len()];
                 let i = i as i64;
-                vec![Value::Int(i), Value::Int(i % 8), Value::Int(i * 37 % 1000)]
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 8),
+                    Value::Int(i * 37 % 1000),
+                    Value::Str(cat),
+                    Value::Str(tag.to_string()),
+                ]
             })
             .collect();
         db.copy_into("scan_t", data).unwrap();
@@ -130,6 +161,23 @@ fn bench_plan(rows: usize) -> Plan {
     )
     .aggregate(
         vec![1],
+        vec![AggSpec::sum(Expr::col(2)), AggSpec::count_star()],
+    )
+    .sort(vec![SortKey::asc(0)])
+}
+
+/// The encoded-heavy query: a predicate on the long-run `cat` column
+/// (one test per RLE run instead of per row) feeding a group-by on the
+/// dictionary-coded `tag` column. This is where compression-aware
+/// execution earns its keep; the int window in [`bench_plan`] mostly
+/// measures the rest of the pipeline.
+fn encoded_plan() -> Plan {
+    Plan::scan(ScanSpec::new("scan_t").predicate(Predicate::Or(vec![
+        Predicate::cmp(3, CmpOp::Eq, "c1"),
+        Predicate::cmp(3, CmpOp::Eq, "c4"),
+    ])))
+    .aggregate(
+        vec![4],
         vec![AggSpec::sum(Expr::col(2)), AggSpec::count_star()],
     )
     .sort(vec![SortKey::asc(0)])
@@ -234,6 +282,47 @@ fn main() {
         dbs.push((ab.name, db, registry, cold_gets));
     }
 
+    // Encoded-heavy A/B: the same RLE/dict-targeted query on the
+    // decode-first and encoded-exec databases. Warm runs isolate the
+    // CPU cost of decoding (no S3 on the read path); bypass runs show
+    // the win still holds when every block is a ranged GET. Both sides
+    // must return identical rows — the speedup may not buy a single
+    // changed answer.
+    let eplan = encoded_plan();
+    let mut encoded_json = Vec::new();
+    let mut encoded_ref: Option<Vec<Vec<Value>>> = None;
+    for (name, db, registry, _) in dbs
+        .iter()
+        .filter(|(n, ..)| *n == "decode_first" || *n == "encoded_exec")
+    {
+        eprintln!("encoded phase: {name}");
+        let result = db.query(&eplan).unwrap();
+        match &encoded_ref {
+            None => encoded_ref = Some(result),
+            Some(r) => assert_eq!(r, &result, "encoded plan answers diverged on {name}"),
+        }
+        let warm = time_best_of(3, || {
+            db.query(&eplan).unwrap();
+        });
+        let bypass_opts = SessionOpts {
+            bypass_cache: true,
+            ..Default::default()
+        };
+        let bypass = time_best_of(2, || {
+            db.query_with(&eplan, &bypass_opts).unwrap();
+        });
+        let summary = metrics_summary(&registry.snapshot());
+        let record = serde_json::json!({
+            "config": *name,
+            "warm_ms": warm.as_secs_f64() * 1e3,
+            "bypass_ms": bypass.as_secs_f64() * 1e3,
+            "encoded_blocks": summary["scan_encoded_blocks"],
+            "rows_short_circuited": summary["scan_rows_short_circuited"],
+        });
+        print_json("ablate_scan_encoded", record.clone());
+        encoded_json.push(record);
+    }
+
     // Concurrent-miss phases. Single-flight dedups within one node's
     // depot, so the sharp acceptance check targets one depot directly:
     // many threads miss on the same key at once and shared storage must
@@ -325,6 +414,15 @@ fn main() {
     };
     let sf_full = sf_find("full");
     let sf_off = sf_find("parallel");
+    let enc_find = |n: &str| {
+        encoded_json
+            .iter()
+            .find(|r| r["config"].as_str() == Some(n))
+            .cloned()
+            .unwrap_or_default()
+    };
+    let enc = enc_find("encoded_exec");
+    let dec = enc_find("decode_first");
     let acceptance = serde_json::json!({
         "parallel_faster_bypass": parallel["bypass_ms"].as_f64() < serial["bypass_ms"].as_f64(),
         "parallel_faster_cold": parallel["cold_ms"].as_f64() < serial["cold_ms"].as_f64(),
@@ -333,6 +431,10 @@ fn main() {
         "singleflight_no_duplicate_fetches": sf_full["same_key_s3_gets"].as_u64() == Some(1),
         "singleflight_reduces_concurrent_gets":
             sf_full["concurrent_query_s3_gets"].as_u64() < sf_off["concurrent_query_s3_gets"].as_u64(),
+        "encoded_faster_warm": enc["warm_ms"].as_f64() < dec["warm_ms"].as_f64(),
+        "encoded_faster_bypass": enc["bypass_ms"].as_f64() < dec["bypass_ms"].as_f64(),
+        "encoded_short_circuits_rows": enc["rows_short_circuited"].as_u64().unwrap_or(0) > 0,
+        "decode_first_no_encoded_blocks": dec["encoded_blocks"].as_u64() == Some(0),
     });
     print_json("ablate_scan_acceptance", acceptance.clone());
 
@@ -344,6 +446,7 @@ fn main() {
             "nodes": NODES,
             "shards": SHARDS,
             "configs": config_json,
+            "encoded": encoded_json,
             "singleflight": singleflight_json,
             "acceptance": acceptance,
         }),

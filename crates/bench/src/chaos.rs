@@ -337,6 +337,20 @@ pub fn crash_schedule(
     s3_seed: u64,
     ambiguous: bool,
 ) -> Result<CrashRunReport, String> {
+    crash_schedule_encoded(plan, s3_seed, ambiguous, None)
+}
+
+/// [`crash_schedule`] with every container force-encoded as `force`
+/// (compression-aware execution under crashes): the schedule's scans
+/// then run on RLE runs or dictionary codes rather than decoded rows,
+/// and determinism must hold anyway — same seed, same force ⇒ same
+/// fired sites, digest, and metrics snapshot.
+pub fn crash_schedule_encoded(
+    plan: FaultInjector,
+    s3_seed: u64,
+    ambiguous: bool,
+    force: Option<eon_columnar::Encoding>,
+) -> Result<CrashRunReport, String> {
     let registry = Registry::new();
     let s3 = Arc::new(S3SimFs::with_metrics(
         S3Config {
@@ -348,6 +362,7 @@ pub fn crash_schedule(
     ));
     let config = EonConfig::new(NODES, NODES)
         .faults(plan.clone())
+        .force_encoding(force)
         .observability(registry.clone());
     // No fault site precedes the first commit, so creation cannot crash.
     let db = EonDb::create(s3.clone(), config.clone()).map_err(|e| format!("create: {e}"))?;

@@ -17,7 +17,9 @@
 use bytes::Bytes;
 use eon_types::{EonError, Result, Value};
 
-use crate::encoding::{decode_column, encode_column};
+use crate::encoding::{
+    decode_column_view, encode_column, encode_with, encoding_fits, EncodedBlock, Encoding,
+};
 use crate::format::{checksum, Reader, Writer};
 
 const MAGIC: u32 = 0x524f_5331; // "ROS1"
@@ -102,12 +104,14 @@ fn minmax(values: &[Value]) -> (Value, Value, bool) {
 /// Encodes column-major data into the container format.
 pub struct RosWriter {
     block_rows: usize,
+    force: Option<Encoding>,
 }
 
 impl Default for RosWriter {
     fn default() -> Self {
         RosWriter {
             block_rows: DEFAULT_BLOCK_ROWS,
+            force: None,
         }
     }
 }
@@ -119,7 +123,20 @@ impl RosWriter {
 
     pub fn with_block_rows(block_rows: usize) -> Self {
         assert!(block_rows > 0);
-        RosWriter { block_rows }
+        RosWriter {
+            block_rows,
+            ..Self::default()
+        }
+    }
+
+    /// Force every block onto one encoding instead of the per-block
+    /// heuristic (A/B testing and encoding-equivalence tests). Blocks
+    /// the encoding cannot represent (e.g. Delta over a mixed-type
+    /// block) silently fall back to the heuristic choice, so any data
+    /// remains writable under any forced encoding.
+    pub fn force_encoding(mut self, force: Option<Encoding>) -> Self {
+        self.force = force;
+        self
     }
 
     /// Encode `columns` (column-major, equal lengths, already sorted by
@@ -145,7 +162,12 @@ impl RosWriter {
             let mut meta = ColumnMeta::default();
             for chunk in col.chunks(self.block_rows.max(1)) {
                 let offset = w.len() as u64;
-                encode_column(chunk, &mut w);
+                match self.force {
+                    Some(enc) if encoding_fits(chunk, enc) => encode_with(chunk, enc, &mut w),
+                    _ => {
+                        encode_column(chunk, &mut w);
+                    }
+                }
                 let (min, max, has_null) = minmax(chunk);
                 meta.blocks.push(BlockMeta {
                     offset,
@@ -194,6 +216,11 @@ fn parse_footer(buf: &[u8]) -> Result<RosFooter> {
     let mut columns = Vec::with_capacity(ncols);
     for _ in 0..ncols {
         let nblocks = r.get_varint()? as usize;
+        // Each block entry costs ≥ 13 bytes; a corrupt count past the
+        // buffer must not become a huge upfront allocation.
+        if nblocks > r.remaining() {
+            return Err(EonError::Corrupt("block count exceeds footer".into()));
+        }
         let mut blocks = Vec::with_capacity(nblocks);
         for _ in 0..nblocks {
             blocks.push(BlockMeta {
@@ -301,6 +328,27 @@ impl RosReader {
         coalesce_gap: Option<u64>,
         stats: &mut ReadStats,
     ) -> Result<Vec<Option<Vec<Value>>>> {
+        let blocks = self.read_column_blocks_encoded(fs, col, keep, coalesce_gap, stats)?;
+        Ok(blocks
+            .into_iter()
+            .map(|b| b.map(|view| view.decode()))
+            .collect())
+    }
+
+    /// The encoded-view mode of
+    /// [`read_column_blocks_with`](Self::read_column_blocks_with):
+    /// same pruning and coalescing, but surviving blocks come back as
+    /// [`EncodedBlock`] views — RLE runs and dictionary codes are *not*
+    /// expanded to rows, so predicates can short-circuit on them and
+    /// late materialization can gather survivors only.
+    pub fn read_column_blocks_encoded(
+        &self,
+        fs: &dyn eon_storage::FileSystem,
+        col: usize,
+        keep: &[bool],
+        coalesce_gap: Option<u64>,
+        stats: &mut ReadStats,
+    ) -> Result<Vec<Option<EncodedBlock>>> {
         let meta = self
             .footer
             .columns
@@ -309,7 +357,7 @@ impl RosReader {
         if keep.len() != meta.blocks.len() {
             return Err(EonError::Internal("keep mask length mismatch".into()));
         }
-        let mut out: Vec<Option<Vec<Value>>> = Vec::with_capacity(meta.blocks.len());
+        let mut out: Vec<Option<EncodedBlock>> = Vec::with_capacity(meta.blocks.len());
         out.resize_with(meta.blocks.len(), || None);
 
         // Group surviving blocks into runs fetchable with one ranged
@@ -353,16 +401,16 @@ impl RosReader {
                 let b = &meta.blocks[i];
                 let lo = (b.offset - start) as usize;
                 let hi = lo + b.len as usize;
-                let vals = decode_column(&mut Reader::new(&raw[lo..hi]))?;
-                if vals.len() as u64 != b.rows {
+                let view = decode_column_view(&mut Reader::new(&raw[lo..hi]))?;
+                if view.rows() as u64 != b.rows {
                     return Err(EonError::Corrupt(format!(
                         "{}: block decoded {} rows, footer says {}",
                         self.key,
-                        vals.len(),
+                        view.rows(),
                         b.rows
                     )));
                 }
-                out[i] = Some(vals);
+                out[i] = Some(view);
             }
         }
         Ok(out)
@@ -569,6 +617,56 @@ mod tests {
         assert_eq!(wide.gap_bytes, gap);
         assert_eq!(merged, split);
         assert_eq!(merged, r.read_column_blocks(&fs, 0, &keep).unwrap());
+    }
+
+    #[test]
+    fn forced_encoding_roundtrips_with_fallback() {
+        let cols = sample_columns();
+        let plain = {
+            let fs = MemFs::new();
+            write_sample(&fs, "auto");
+            let r = RosReader::open(&fs, "auto").unwrap();
+            (0..3)
+                .map(|c| r.read_column(&fs, c).unwrap())
+                .collect::<Vec<_>>()
+        };
+        for enc in [Encoding::Plain, Encoding::Rle, Encoding::Dict, Encoding::Delta] {
+            let fs = MemFs::new();
+            let (bytes, _) = RosWriter::new()
+                .force_encoding(Some(enc))
+                .encode(&cols)
+                .unwrap();
+            fs.write("f", bytes).unwrap();
+            let r = RosReader::open(&fs, "f").unwrap();
+            for (c, expect) in plain.iter().enumerate() {
+                // Delta can't hold the Str/Float columns — the writer
+                // falls back, and the data still round-trips.
+                assert_eq!(&r.read_column(&fs, c).unwrap(), expect, "{enc:?} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_reads_keep_compressed_shape() {
+        let fs = MemFs::new();
+        let cols = sample_columns();
+        let (bytes, _) = RosWriter::new()
+            .force_encoding(Some(Encoding::Dict))
+            .encode(&cols)
+            .unwrap();
+        fs.write("d", bytes).unwrap();
+        let r = RosReader::open(&fs, "d").unwrap();
+        let mut stats = ReadStats::default();
+        let keep = vec![true; r.footer().columns[1].blocks.len()];
+        let blocks = r
+            .read_column_blocks_encoded(&fs, 1, &keep, Some(0), &mut stats)
+            .unwrap();
+        for b in blocks.iter().flatten() {
+            assert!(matches!(b, EncodedBlock::Dict { dict, .. } if dict.len() == 13));
+            assert!(b.is_encoded());
+        }
+        let decoded: Vec<Value> = blocks.into_iter().flatten().flat_map(|b| b.decode()).collect();
+        assert_eq!(decoded, cols[1]);
     }
 
     #[test]

@@ -74,6 +74,49 @@ fn all_intlike(values: &[Value]) -> bool {
         || values.iter().all(|v| matches!(v, Value::Date(_)))
 }
 
+/// Structural identity for encoder run/dictionary detection. `Value`'s
+/// cmp-based `==` aliases `Int(1)`/`Float(1.0)` and `0.0`/`-0.0`, so
+/// using it would let RLE/Dict rewrite a stored variant into whichever
+/// alias appeared first in the block. Encoders must reproduce the exact
+/// representation, so floats compare by bits and variants must match.
+fn same_repr(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Date(x), Value::Date(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Hash-map key wrapper agreeing with [`same_repr`], for the dictionary
+/// encoder's first-appearance index.
+struct ReprKey<'a>(&'a Value);
+
+impl PartialEq for ReprKey<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        same_repr(self.0, other.0)
+    }
+}
+
+impl Eq for ReprKey<'_> {}
+
+impl std::hash::Hash for ReprKey<'_> {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        std::mem::discriminant(self.0).hash(h);
+        match self.0 {
+            Value::Null => {}
+            Value::Int(x) => x.hash(h),
+            Value::Float(x) => x.to_bits().hash(h),
+            Value::Str(s) => s.hash(h),
+            Value::Bool(b) => b.hash(h),
+            Value::Date(d) => d.hash(h),
+        }
+    }
+}
+
 /// Pick an encoding for a block by inspecting it. Pure heuristic — every
 /// encoding round-trips every block it is chosen for.
 pub fn choose_encoding(values: &[Value]) -> Encoding {
@@ -110,7 +153,7 @@ pub fn encode_with(values: &[Value], enc: Encoding, w: &mut Writer) {
             let mut i = 0;
             while i < values.len() {
                 let mut j = i + 1;
-                while j < values.len() && values[j] == values[i] {
+                while j < values.len() && same_repr(&values[j], &values[i]) {
                     j += 1;
                 }
                 w.put_varint((j - i) as u64);
@@ -122,10 +165,10 @@ pub fn encode_with(values: &[Value], enc: Encoding, w: &mut Writer) {
             // Dictionary in first-appearance order; codes are varints.
             let mut dict: Vec<&Value> = Vec::new();
             let mut codes: Vec<u64> = Vec::with_capacity(values.len());
-            let mut index: std::collections::HashMap<&Value, u64> =
+            let mut index: std::collections::HashMap<ReprKey, u64> =
                 std::collections::HashMap::new();
             for v in values {
-                let code = *index.entry(v).or_insert_with(|| {
+                let code = *index.entry(ReprKey(v)).or_insert_with(|| {
                     dict.push(v);
                     (dict.len() - 1) as u64
                 });
@@ -154,6 +197,16 @@ pub fn encode_with(values: &[Value], enc: Encoding, w: &mut Writer) {
     }
 }
 
+/// Can `values` be written with `enc` and decode back exactly? Only
+/// Delta has a real restriction (one type tag for the whole block);
+/// the other encodings round-trip any block.
+pub fn encoding_fits(values: &[Value], enc: Encoding) -> bool {
+    match enc {
+        Encoding::Plain | Encoding::Rle | Encoding::Dict => true,
+        Encoding::Delta => all_intlike(values),
+    }
+}
+
 /// Encode a block, choosing the encoding automatically.
 pub fn encode_column(values: &[Value], w: &mut Writer) -> Encoding {
     let enc = choose_encoding(values);
@@ -161,47 +214,188 @@ pub fn encode_column(values: &[Value], w: &mut Writer) -> Encoding {
     enc
 }
 
-/// Decode one block written by [`encode_column`]/[`encode_with`].
-pub fn decode_column(r: &mut Reader<'_>) -> Result<Vec<Value>> {
+/// One decoded-or-not column block: the scan path's view of a block.
+///
+/// `Plain` carries fully decoded values (the Delta decoder also lands
+/// here — deltas must be cumulated anyway, so there is nothing to
+/// operate on "encoded"). `Rle` and `Dict` keep the compressed shape so
+/// predicates and aggregates can work per-run / per-dictionary-entry
+/// instead of per-row, and so late materialization can gather only
+/// surviving rows without ever building the full `Vec<Value>`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedBlock {
+    Plain(Vec<Value>),
+    Rle {
+        rows: usize,
+        /// (run length, value); run lengths are ≥ 1 and sum to `rows`.
+        runs: Vec<(u64, Value)>,
+    },
+    Dict {
+        /// Distinct values in first-appearance order.
+        dict: Vec<Value>,
+        /// One in-range dictionary code per row.
+        codes: Vec<u32>,
+    },
+}
+
+impl EncodedBlock {
+    pub fn rows(&self) -> usize {
+        match self {
+            EncodedBlock::Plain(vs) => vs.len(),
+            EncodedBlock::Rle { rows, .. } => *rows,
+            EncodedBlock::Dict { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether this block is served in compressed form (the
+    /// `scan_encoded_blocks_total` metric counts these).
+    pub fn is_encoded(&self) -> bool {
+        !matches!(self, EncodedBlock::Plain(_))
+    }
+
+    /// Predicate comparisons avoided versus row-at-a-time evaluation:
+    /// an RLE block needs one test per run, a dictionary block one per
+    /// distinct value.
+    pub fn short_circuit_rows(&self) -> u64 {
+        match self {
+            EncodedBlock::Plain(_) => 0,
+            EncodedBlock::Rle { rows, runs } => (rows - runs.len()) as u64,
+            EncodedBlock::Dict { dict, codes } => codes.len().saturating_sub(dict.len()) as u64,
+        }
+    }
+
+    /// The [`BlockCol`](crate::pruning::BlockCol) view
+    /// [`Predicate::eval_block`](crate::pruning::Predicate::eval_block)
+    /// consumes.
+    pub fn as_block_col(&self) -> crate::pruning::BlockCol<'_> {
+        match self {
+            EncodedBlock::Plain(vs) => crate::pruning::BlockCol::Values(vs),
+            EncodedBlock::Rle { runs, .. } => crate::pruning::BlockCol::Rle(runs),
+            EncodedBlock::Dict { dict, codes } => crate::pruning::BlockCol::Dict { dict, codes },
+        }
+    }
+
+    /// Materialize every row.
+    pub fn decode(&self) -> Vec<Value> {
+        match self {
+            EncodedBlock::Plain(vs) => vs.clone(),
+            EncodedBlock::Rle { rows, runs } => {
+                let mut out = Vec::with_capacity(*rows);
+                for (run, v) in runs {
+                    out.resize(out.len() + *run as usize, v.clone());
+                }
+                out
+            }
+            EncodedBlock::Dict { dict, codes } => {
+                codes.iter().map(|&c| dict[c as usize].clone()).collect()
+            }
+        }
+    }
+
+    /// Materialize only the rows at `idx` (sorted ascending, in range):
+    /// late materialization below the decode boundary. One pass over
+    /// the runs/codes regardless of how many survivors there are.
+    pub fn gather(&self, idx: &[usize]) -> Vec<Value> {
+        debug_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        match self {
+            EncodedBlock::Plain(vs) => idx.iter().map(|&i| vs[i].clone()).collect(),
+            EncodedBlock::Rle { runs, .. } => {
+                let mut out = Vec::with_capacity(idx.len());
+                let mut it = idx.iter().peekable();
+                let mut end = 0u64;
+                for (run, v) in runs {
+                    end += run;
+                    while it.peek().map(|&&i| (i as u64) < end).unwrap_or(false) {
+                        it.next();
+                        out.push(v.clone());
+                    }
+                    if it.peek().is_none() {
+                        break;
+                    }
+                }
+                debug_assert_eq!(out.len(), idx.len(), "gather index out of range");
+                out
+            }
+            EncodedBlock::Dict { dict, codes } => idx
+                .iter()
+                .map(|&i| dict[codes[i] as usize].clone())
+                .collect(),
+        }
+    }
+}
+
+fn corrupt(msg: &str) -> eon_types::EonError {
+    eon_types::EonError::Corrupt(msg.into())
+}
+
+/// Decode one block written by [`encode_column`]/[`encode_with`] into
+/// its [`EncodedBlock`] view, without materializing RLE runs or
+/// dictionary codes into rows.
+///
+/// Hardened against corrupt input: counts from the wire are bounded by
+/// the bytes actually present before any allocation (each value, code,
+/// or delta costs at least one byte), so a bit-flipped length yields a
+/// typed [`Corrupt`](eon_types::EonError::Corrupt) error — never a
+/// capacity-overflow abort, never silently short rows.
+pub fn decode_column_view(r: &mut Reader<'_>) -> Result<EncodedBlock> {
     let tag = r.get_u8()?;
     let enc = Encoding::from_tag(tag)
         .ok_or_else(|| eon_types::EonError::Corrupt(format!("bad encoding tag {tag}")))?;
     let n = r.get_varint()? as usize;
-    let mut out = Vec::with_capacity(n);
     match enc {
         Encoding::Plain => {
+            if n > r.remaining() {
+                return Err(corrupt("plain count exceeds payload"));
+            }
+            let mut out = Vec::with_capacity(n);
             for _ in 0..n {
                 out.push(r.get_value()?);
             }
+            Ok(EncodedBlock::Plain(out))
         }
         Encoding::Rle => {
-            while out.len() < n {
-                let run = r.get_varint()? as usize;
+            // Each run costs ≥ 2 bytes (length varint + value tag).
+            let mut runs = Vec::with_capacity((n.min(r.remaining()) / 2).min(n));
+            let mut total = 0usize;
+            while total < n {
+                let run = r.get_varint()?;
                 let v = r.get_value()?;
-                if run == 0 || out.len() + run > n {
-                    return Err(eon_types::EonError::Corrupt("bad RLE run".into()));
+                if run == 0 || total as u64 + run > n as u64 {
+                    return Err(corrupt("bad RLE run"));
                 }
-                for _ in 0..run {
-                    out.push(v.clone());
-                }
+                total += run as usize;
+                runs.push((run, v));
             }
+            Ok(EncodedBlock::Rle { rows: n, runs })
         }
         Encoding::Dict => {
             let dsize = r.get_varint()? as usize;
+            if dsize > r.remaining() {
+                return Err(corrupt("dict size exceeds payload"));
+            }
             let mut dict = Vec::with_capacity(dsize);
             for _ in 0..dsize {
                 dict.push(r.get_value()?);
             }
-            for _ in 0..n {
-                let code = r.get_varint()? as usize;
-                let v = dict
-                    .get(code)
-                    .ok_or_else(|| eon_types::EonError::Corrupt("dict code out of range".into()))?;
-                out.push(v.clone());
+            if n > r.remaining() {
+                return Err(corrupt("dict code count exceeds payload"));
             }
+            let mut codes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let code = r.get_varint()?;
+                if code >= dsize as u64 {
+                    return Err(corrupt("dict code out of range"));
+                }
+                codes.push(code as u32);
+            }
+            Ok(EncodedBlock::Dict { dict, codes })
         }
         Encoding::Delta => {
             let is_date = r.get_u8()? != 0;
+            if n > r.remaining() {
+                return Err(corrupt("delta count exceeds payload"));
+            }
+            let mut out = Vec::with_capacity(n);
             let mut prev: i64 = 0;
             for _ in 0..n {
                 prev = prev.wrapping_add(r.get_signed_varint()?);
@@ -211,9 +405,14 @@ pub fn decode_column(r: &mut Reader<'_>) -> Result<Vec<Value>> {
                     Value::Int(prev)
                 });
             }
+            Ok(EncodedBlock::Plain(out))
         }
     }
-    Ok(out)
+}
+
+/// Decode one block written by [`encode_column`]/[`encode_with`].
+pub fn decode_column(r: &mut Reader<'_>) -> Result<Vec<Value>> {
+    Ok(decode_column_view(r)?.decode())
 }
 
 #[cfg(test)]
@@ -247,6 +446,30 @@ mod tests {
             .collect();
         assert_eq!(choose_encoding(&vals), Encoding::Rle);
         assert_eq!(roundtrip(&vals), vals);
+    }
+
+    /// `Value`'s cmp-based `==` says `Int(1) == Float(1.0)` and
+    /// `0.0 == -0.0`; the RLE/Dict encoders must not collapse those
+    /// aliases into one stored representation.
+    #[test]
+    fn rle_and_dict_preserve_value_representation() {
+        let vals = vec![
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Int(1),
+        ];
+        for enc in [Encoding::Rle, Encoding::Dict] {
+            let mut w = Writer::new();
+            encode_with(&vals, enc, &mut w);
+            let got = decode_column(&mut Reader::new(w.as_slice())).unwrap();
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{vals:?}"),
+                "{enc:?} rewrote a value representation"
+            );
+        }
     }
 
     #[test]
@@ -305,6 +528,91 @@ mod tests {
     fn corrupt_tag_is_error() {
         let buf = [9u8, 0u8];
         assert!(decode_column(&mut Reader::new(&buf)).is_err());
+    }
+
+    /// A corrupt row/dict/delta count larger than the payload must be a
+    /// typed error before any allocation, not a capacity-overflow abort.
+    #[test]
+    fn absurd_counts_are_typed_errors() {
+        for enc in [Encoding::Plain, Encoding::Rle, Encoding::Dict, Encoding::Delta] {
+            let mut w = Writer::new();
+            w.put_u8(enc as u8);
+            w.put_varint(u64::MAX); // claimed count
+            w.put_u8(0); // one byte of "payload"
+            let b = w.into_bytes();
+            let got = decode_column(&mut Reader::new(&b));
+            assert!(
+                matches!(got, Err(eon_types::EonError::Corrupt(_))),
+                "{enc:?}: {got:?}"
+            );
+        }
+    }
+
+    /// Encoded views keep the compressed shape and gather survivors
+    /// without materializing the block.
+    #[test]
+    fn views_keep_shape_and_gather() {
+        let rle: Vec<Value> = (0..100)
+            .map(|i| Value::Str(if i < 60 { "a" } else { "b" }.into()))
+            .collect();
+        let mut w = Writer::new();
+        encode_with(&rle, Encoding::Rle, &mut w);
+        let b = w.into_bytes();
+        let view = decode_column_view(&mut Reader::new(&b)).unwrap();
+        assert!(matches!(&view, EncodedBlock::Rle { rows: 100, runs } if runs.len() == 2));
+        assert!(view.is_encoded());
+        assert_eq!(view.short_circuit_rows(), 98);
+        assert_eq!(view.decode(), rle);
+        assert_eq!(
+            view.gather(&[0, 59, 60, 99]),
+            vec![rle[0].clone(), rle[59].clone(), rle[60].clone(), rle[99].clone()]
+        );
+
+        let dict: Vec<Value> = (0..40).map(|i| Value::Int(i % 3)).collect();
+        let mut w = Writer::new();
+        encode_with(&dict, Encoding::Dict, &mut w);
+        let b = w.into_bytes();
+        let view = decode_column_view(&mut Reader::new(&b)).unwrap();
+        assert!(matches!(&view, EncodedBlock::Dict { dict, codes } if dict.len() == 3 && codes.len() == 40));
+        assert_eq!(view.short_circuit_rows(), 37);
+        assert_eq!(view.decode(), dict);
+        assert_eq!(view.gather(&[1, 38]), vec![dict[1].clone(), dict[38].clone()]);
+
+        // Delta falls back to a decoded Plain view.
+        let ints: Vec<Value> = (0..50).map(Value::Int).collect();
+        let mut w = Writer::new();
+        encode_with(&ints, Encoding::Delta, &mut w);
+        let b = w.into_bytes();
+        let view = decode_column_view(&mut Reader::new(&b)).unwrap();
+        assert!(matches!(&view, EncodedBlock::Plain(_)));
+        assert!(!view.is_encoded());
+        assert_eq!(view.decode(), ints);
+    }
+
+    proptest! {
+        /// `gather` over any encoding equals indexing the decoded rows.
+        #[test]
+        fn prop_gather_matches_decode_index(
+            vals in proptest::collection::vec(
+                prop_oneof![
+                    Just(Value::Null),
+                    (-3i64..3).prop_map(Value::Int),
+                    "[ab]{0,2}".prop_map(Value::Str),
+                ],
+                1..120,
+            ),
+            mask in proptest::collection::vec(any::<bool>(), 1..120),
+        ) {
+            let idx: Vec<usize> = (0..vals.len()).filter(|&i| *mask.get(i).unwrap_or(&false)).collect();
+            for enc in [Encoding::Plain, Encoding::Rle, Encoding::Dict] {
+                let mut w = Writer::new();
+                encode_with(&vals, enc, &mut w);
+                let b = w.into_bytes();
+                let view = decode_column_view(&mut Reader::new(&b)).unwrap();
+                let expect: Vec<Value> = idx.iter().map(|&i| vals[i].clone()).collect();
+                prop_assert_eq!(view.gather(&idx), expect, "{:?}", enc);
+            }
+        }
     }
 
     proptest! {

@@ -20,7 +20,10 @@ pub mod segment;
 
 pub use container::{BlockMeta, ColumnMeta, ReadStats, RosFooter, RosReader, RosWriter};
 pub use delete::DeleteVector;
-pub use encoding::{decode_column, encode_column, Encoding};
+pub use encoding::{
+    decode_column, decode_column_view, encode_column, encode_with, encoding_fits, EncodedBlock,
+    Encoding,
+};
 pub use projection::{LapFunc, LiveAggregate, Projection, SortOrder};
 pub use pruning::{BlockCol, ColumnStats, Predicate};
 pub use segment::split_rows_by_shard;

@@ -139,12 +139,17 @@ impl Predicate {
         }
     }
 
-    /// Columnar evaluation over one decoded block: returns a selection
-    /// vector of `rows` booleans, one per row, equal to what
+    /// Columnar evaluation over one block: returns a selection vector
+    /// of `rows` booleans, one per row, equal to what
     /// [`eval_row`](Self::eval_row) would produce on materialized rows.
     /// `cols` is indexed by predicate column index; columns the
     /// predicate doesn't touch may be `BlockCol::Const(&Value::Null)`
     /// placeholders.
+    ///
+    /// This is where compression-aware execution pays off: an RLE
+    /// column is tested once per run (the verdict fans across the run)
+    /// and a dictionary column once per distinct value (a code-indexed
+    /// verdict table maps codes to booleans), instead of once per row.
     pub fn eval_block(&self, cols: &[BlockCol<'_>], rows: usize) -> Vec<bool> {
         match self {
             Predicate::True => vec![true; rows],
@@ -163,19 +168,10 @@ impl Predicate {
                         CmpOp::Ge => ord != std::cmp::Ordering::Less,
                     }
                 };
-                match &cols[*col] {
-                    BlockCol::Values(vs) => vs.iter().map(test).collect(),
-                    BlockCol::Const(v) => vec![test(v); rows],
-                }
+                cols[*col].test_rows(rows, &test)
             }
-            Predicate::IsNull(col) => match &cols[*col] {
-                BlockCol::Values(vs) => vs.iter().map(|v| v.is_null()).collect(),
-                BlockCol::Const(v) => vec![v.is_null(); rows],
-            },
-            Predicate::IsNotNull(col) => match &cols[*col] {
-                BlockCol::Values(vs) => vs.iter().map(|v| !v.is_null()).collect(),
-                BlockCol::Const(v) => vec![!v.is_null(); rows],
-            },
+            Predicate::IsNull(col) => cols[*col].test_rows(rows, &|v| v.is_null()),
+            Predicate::IsNotNull(col) => cols[*col].test_rows(rows, &|v| !v.is_null()),
             Predicate::And(ps) => {
                 let mut sel = vec![true; rows];
                 for p in ps {
@@ -214,6 +210,38 @@ pub enum BlockCol<'a> {
     /// Every row carries this value — e.g. a column added to the table
     /// after the container was written, materialized from the default.
     Const(&'a Value),
+    /// Run-length-encoded rows: (run length, value) pairs whose lengths
+    /// sum to the block's row count. Predicates test each run once.
+    Rle(&'a [(u64, Value)]),
+    /// Dictionary-encoded rows: distinct values plus one in-range code
+    /// per row. Predicates test each dictionary entry once.
+    Dict {
+        dict: &'a [Value],
+        codes: &'a [u32],
+    },
+}
+
+impl BlockCol<'_> {
+    /// Apply a per-value test across the block's `rows`, exploiting the
+    /// encoding: one test per run for RLE, one per dictionary entry for
+    /// Dict, one total for Const.
+    fn test_rows(&self, rows: usize, test: &dyn Fn(&Value) -> bool) -> Vec<bool> {
+        match self {
+            BlockCol::Values(vs) => vs.iter().map(test).collect(),
+            BlockCol::Const(v) => vec![test(v); rows],
+            BlockCol::Rle(runs) => {
+                let mut sel = Vec::with_capacity(rows);
+                for (run, v) in *runs {
+                    sel.resize(sel.len() + *run as usize, test(v));
+                }
+                sel
+            }
+            BlockCol::Dict { dict, codes } => {
+                let verdicts: Vec<bool> = dict.iter().map(test).collect();
+                codes.iter().map(|&c| verdicts[c as usize]).collect()
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +356,50 @@ mod tests {
                 let row = vec![v.clone(), dflt.clone()];
                 prop_assert_eq!(sel[i], p.eval_row(&row), "row {}", i);
             }
+        }
+
+        /// The encoded `BlockCol` views (RLE runs, dictionary codes)
+        /// must produce the same selection vector as the decoded
+        /// per-row view for every predicate shape.
+        #[test]
+        fn prop_encoded_views_match_values_view(
+            col0 in proptest::collection::vec(
+                (-7i64..5).prop_map(|v| if v < -5 { Value::Null } else { Value::Int(v) }),
+                1..60,
+            ),
+            lit0 in -6i64..6,
+            op_idx in 0usize..6,
+        ) {
+            let rows = col0.len();
+            let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][op_idx];
+            let p = Predicate::Or(vec![
+                Predicate::cmp(0, op, lit0),
+                Predicate::IsNull(0),
+            ]);
+            let baseline = p.eval_block(&[BlockCol::Values(&col0)], rows);
+
+            // Build RLE runs from the raw rows.
+            let mut runs: Vec<(u64, Value)> = Vec::new();
+            for v in &col0 {
+                match runs.last_mut() {
+                    Some((n, last)) if last == v => *n += 1,
+                    _ => runs.push((1, v.clone())),
+                }
+            }
+            prop_assert_eq!(&p.eval_block(&[BlockCol::Rle(&runs)], rows), &baseline);
+
+            // Build a first-appearance dictionary.
+            let mut dict: Vec<Value> = Vec::new();
+            let mut codes: Vec<u32> = Vec::new();
+            for v in &col0 {
+                let code = match dict.iter().position(|d| d == v) {
+                    Some(i) => i,
+                    None => { dict.push(v.clone()); dict.len() - 1 }
+                };
+                codes.push(code as u32);
+            }
+            let dcol = BlockCol::Dict { dict: &dict, codes: &codes };
+            prop_assert_eq!(&p.eval_block(&[dcol], rows), &baseline);
         }
 
         /// Soundness: a block is never pruned if it contains a matching

@@ -49,6 +49,15 @@ pub struct EonConfig {
     /// Selection-vector predicate evaluation with late
     /// materialization of non-predicate columns.
     pub scan_late_materialization: bool,
+    /// Force the decode-first scan path: every block is fully decoded
+    /// to rows before predicates see it, as before compression-aware
+    /// execution. Off by default; the A/B knob for
+    /// `tests/encoded_exec_prop.rs` and the `ablate_scan` bench.
+    pub scan_decode_first: bool,
+    /// Force every container block onto one encoding instead of the
+    /// per-block heuristic (blocks the encoding can't represent fall
+    /// back). Testing knob for encoding-equivalence properties.
+    pub force_encoding: Option<eon_columnar::Encoding>,
     /// Single-flight depot fills: concurrent misses on one key share
     /// one backing GET.
     pub depot_single_flight: bool,
@@ -117,6 +126,8 @@ impl Default for EonConfig {
             scan_workers: 0,
             scan_coalesce_gap: Some(crate::provider::DEFAULT_COALESCE_GAP),
             scan_late_materialization: true,
+            scan_decode_first: false,
+            force_encoding: None,
             depot_single_flight: true,
             load_workers: 0,
             admission_max_concurrent: 0,
@@ -189,6 +200,19 @@ impl EonConfig {
     /// Toggle selection-vector filtering with late materialization.
     pub fn scan_late_materialization(mut self, on: bool) -> Self {
         self.scan_late_materialization = on;
+        self
+    }
+
+    /// Force the decode-first scan path (disable compression-aware
+    /// execution) for A/B comparison.
+    pub fn scan_decode_first(mut self, on: bool) -> Self {
+        self.scan_decode_first = on;
+        self
+    }
+
+    /// Force one block encoding at write time (`None` = heuristic).
+    pub fn force_encoding(mut self, enc: Option<eon_columnar::Encoding>) -> Self {
+        self.force_encoding = enc;
         self
     }
 

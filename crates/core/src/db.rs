@@ -230,6 +230,7 @@ impl EonDb {
             workers,
             coalesce_gap: self.config.scan_coalesce_gap,
             late_materialization: self.config.scan_late_materialization,
+            encoded_exec: !self.config.scan_decode_first,
             obs: self.config.obs.clone(),
             profile: profile.cloned(),
             cancel,

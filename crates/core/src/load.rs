@@ -580,7 +580,9 @@ impl EonDb {
                 columns[c].push(v);
             }
         }
-        let (bytes, footer) = RosWriter::new().encode(&columns)?;
+        let (bytes, footer) = RosWriter::new()
+            .force_encoding(self.config.force_encoding)
+            .encode(&columns)?;
         let key = job.key.clone();
         let size = bytes.len() as u64;
 

@@ -207,6 +207,7 @@ impl EonDb {
                 workers: 1,
                 coalesce_gap: self.config.scan_coalesce_gap,
                 late_materialization: self.config.scan_late_materialization,
+                encoded_exec: !self.config.scan_decode_first,
                 obs: self.config.obs.clone(),
                 profile: None,
                 cancel: None,

@@ -22,7 +22,7 @@ use eon_cache::CacheMode;
 use eon_catalog::{CatalogState, ContainerMeta, Table};
 use eon_cluster::NodeRuntime;
 use eon_columnar::pruning::ColumnStats;
-use eon_columnar::{BlockCol, DeleteVector, Predicate, Projection, ReadStats, RosReader};
+use eon_columnar::{BlockCol, DeleteVector, EncodedBlock, Predicate, Projection, ReadStats, RosReader};
 use eon_exec::crunch::CrunchSlice;
 use eon_exec::{ScanSpec, TableProvider};
 use eon_obs::{Counter, Histogram, QueryProfile, Registry};
@@ -49,6 +49,13 @@ pub struct ScanOptions {
     /// fetching non-predicate columns for blocks with no survivors.
     /// `false` falls back to materialize-then-`eval_row`.
     pub late_materialization: bool,
+    /// Compression-aware execution (DESIGN.md "Compression-aware
+    /// execution"): serve blocks as [`EncodedBlock`] views so
+    /// predicates evaluate once per RLE run / dictionary entry and
+    /// survivors are gathered without materializing the block. `false`
+    /// forces the decode-first path (every block decoded to rows up
+    /// front) — output is identical either way.
+    pub encoded_exec: bool,
     /// Registry scan metrics land in.
     pub obs: Registry,
     /// Per-query profile for scan spans, when one is being collected.
@@ -64,6 +71,7 @@ impl Default for ScanOptions {
             workers: 1,
             coalesce_gap: Some(DEFAULT_COALESCE_GAP),
             late_materialization: true,
+            encoded_exec: true,
             obs: Registry::new(),
             profile: None,
             cancel: None,
@@ -79,6 +87,8 @@ struct ScanMetrics {
     queue_wait: Arc<Histogram>,
     blocks_pruned: Arc<Counter>,
     blocks_late_skipped: Arc<Counter>,
+    encoded_blocks: Arc<Counter>,
+    rows_short_circuited: Arc<Counter>,
     read_requests: Arc<Counter>,
     requests_saved: Arc<Counter>,
     coalesced_bytes: Arc<Counter>,
@@ -93,6 +103,8 @@ impl ScanMetrics {
             queue_wait: registry.timing_histogram("scan_pool_queue_wait_us", labels),
             blocks_pruned: registry.counter("scan_blocks_pruned_total", labels),
             blocks_late_skipped: registry.counter("scan_blocks_late_skipped_total", labels),
+            encoded_blocks: registry.counter("scan_encoded_blocks_total", labels),
+            rows_short_circuited: registry.counter("scan_rows_short_circuited_total", labels),
             read_requests: registry.counter("scan_read_requests_total", labels),
             requests_saved: registry.counter("scan_coalesced_requests_saved_total", labels),
             coalesced_bytes: registry.counter("scan_coalesced_bytes_total", labels),
@@ -316,15 +328,52 @@ impl NodeProvider {
         table.defaults.get(table_idx).cloned().unwrap_or(Value::Null)
     }
 
+    /// Fetch one column's surviving blocks, as encoded views when
+    /// compression-aware execution is on, decoded to plain rows when
+    /// the session forces decode-first. Either way the scan loop sees
+    /// [`EncodedBlock`]s — decode-first just never sees a compressed
+    /// one, so the two modes share every line downstream of here.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_blocks(
+        &self,
+        reader: &RosReader,
+        fs: &dyn eon_storage::FileSystem,
+        col: usize,
+        keep: &[bool],
+        rstats: &mut ReadStats,
+        metrics: &ScanMetrics,
+    ) -> Result<Vec<Option<EncodedBlock>>> {
+        let gap = self.scan.coalesce_gap;
+        if self.scan.encoded_exec {
+            let blocks = reader.read_column_blocks_encoded(fs, col, keep, gap, rstats)?;
+            metrics.encoded_blocks.add(
+                blocks
+                    .iter()
+                    .flatten()
+                    .filter(|b| b.is_encoded())
+                    .count() as u64,
+            );
+            Ok(blocks)
+        } else {
+            let blocks = reader.read_column_blocks_with(fs, col, keep, gap, rstats)?;
+            Ok(blocks
+                .into_iter()
+                .map(|b| b.map(EncodedBlock::Plain))
+                .collect())
+        }
+    }
+
     /// Scan one container, returning rows in projection column space
     /// (only `read_cols` populated; absent columns are the table
     /// default).
     ///
     /// Pipeline order: prune blocks on footer min/max stats, fetch
-    /// predicate columns (coalesced), evaluate the predicate into a
-    /// per-block selection vector intersected with the delete mask,
-    /// drop blocks with no survivors, then fetch the remaining columns
-    /// and materialize only selected rows. With
+    /// predicate columns (coalesced, as encoded views), evaluate the
+    /// predicate into a per-block selection vector — once per RLE run
+    /// / dictionary entry on compressed blocks — intersected with the
+    /// delete mask, drop blocks with no survivors, then fetch the
+    /// remaining columns and gather only selected rows (for compressed
+    /// blocks, without ever materializing the block). With
     /// `ScanOptions::late_materialization` off, every kept block is
     /// fully materialized and filtered row-at-a-time — same output.
     #[allow(clippy::too_many_arguments)]
@@ -370,7 +419,6 @@ impl NodeProvider {
             return Ok(Vec::new());
         }
 
-        let gap = self.scan.coalesce_gap;
         let mut rstats = ReadStats::default();
         let mask = self.delete_mask(c)?;
         // Block start positions (cumulative row counts).
@@ -383,7 +431,7 @@ impl NodeProvider {
             }
         }
 
-        let mut col_blocks: HashMap<usize, Vec<Option<Vec<Value>>>> = HashMap::new();
+        let mut col_blocks: HashMap<usize, Vec<Option<EncodedBlock>>> = HashMap::new();
         // Per kept block: which rows survive predicate + delete mask.
         // `None` (only without late materialization) means "all rows,
         // filter during materialization".
@@ -403,7 +451,7 @@ impl NodeProvider {
                 if col < present {
                     col_blocks.insert(
                         col,
-                        reader.read_column_blocks_with(fs, col, &keep, gap, &mut rstats)?,
+                        self.fetch_blocks(&reader, fs, col, &keep, &mut rstats, metrics)?,
                     );
                 }
             }
@@ -421,7 +469,10 @@ impl NodeProvider {
                 let cols_view: Vec<BlockCol> = (0..width)
                     .map(|col| match col_blocks.get(&col) {
                         Some(blocks) => match &blocks[b] {
-                            Some(vals) => BlockCol::Values(vals),
+                            Some(view) => {
+                                metrics.rows_short_circuited.add(view.short_circuit_rows());
+                                view.as_block_col()
+                            }
                             None => BlockCol::Const(&null),
                         },
                         None => match defaults.get(&col) {
@@ -456,7 +507,7 @@ impl NodeProvider {
             if col < present && !col_blocks.contains_key(&col) {
                 col_blocks.insert(
                     col,
-                    reader.read_column_blocks_with(fs, col, &keep, gap, &mut rstats)?,
+                    self.fetch_blocks(&reader, fs, col, &keep, &mut rstats, metrics)?,
                 );
             }
         }
@@ -468,24 +519,48 @@ impl NodeProvider {
                 continue;
             }
             let rows_in_block = footer.columns[0].blocks[b].rows as usize;
-            let sel = selection[b].as_ref();
-            for r in 0..rows_in_block {
-                let pos = block_start[b] + r as u64;
-                if late {
-                    if !sel.map(|s| s[r]).unwrap_or(false) {
-                        continue;
-                    }
-                } else if let Some(m) = &mask {
-                    if !m[pos as usize] {
-                        continue;
-                    }
+            // Survivor row indices within the block: the selection
+            // vector when late materialization ran, otherwise every
+            // row the delete mask keeps (row-at-a-time predicate and
+            // crunch filters still apply below).
+            let surv: Vec<usize> = match (late, &selection[b]) {
+                (true, Some(sel)) => sel
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(r, &s)| s.then_some(r))
+                    .collect(),
+                (true, None) => continue,
+                (false, _) => (0..rows_in_block)
+                    .filter(|&r| {
+                        mask.as_ref()
+                            .map(|m| m[(block_start[b] + r as u64) as usize])
+                            .unwrap_or(true)
+                    })
+                    .collect(),
+            };
+            if surv.is_empty() {
+                continue;
+            }
+            // Gather survivor values per fetched column. Compressed
+            // blocks yield survivors in one pass over their runs/codes
+            // without materializing the other rows — this is late
+            // materialization below the decode boundary.
+            let mut gathered: HashMap<usize, Vec<Value>> = HashMap::new();
+            for (&col, blocks) in &col_blocks {
+                if let Some(view) = &blocks[b] {
+                    gathered.insert(col, view.gather(&surv));
                 }
+            }
+            for (j, &r) in surv.iter().enumerate() {
+                let pos = block_start[b] + r as u64;
                 let mut row = vec![Value::Null; width];
                 for &col in read_cols {
                     row[col] = match col_blocks.get(&col) {
-                        Some(blocks) => blocks[b]
-                            .as_ref()
-                            .map(|vals| vals[r].clone())
+                        // Gathered values are each used exactly once:
+                        // move them out instead of cloning.
+                        Some(_) => gathered
+                            .get_mut(&col)
+                            .map(|vals| std::mem::replace(&mut vals[j], Value::Null))
                             .unwrap_or(Value::Null),
                         // Column added after this container was written
                         // (§6.3): materialize the default.

@@ -39,6 +39,44 @@ fn add_values(acc: &Value, v: &Value) -> Value {
     }
 }
 
+/// `acc += v` applied `n ≥ 2` times, bit-exactly.
+fn sum_repeated(acc: &mut Value, v: &Value, n: u64) {
+    match (&*acc, v) {
+        // Int-only arithmetic is modular: n repeated wrapping adds
+        // equal one wrapping multiply.
+        (Value::Null | Value::Int(_), Value::Int(b)) => {
+            *acc = add_values(acc, &Value::Int(b.wrapping_mul(n as i64)));
+        }
+        // A float anywhere: replay the additions so rounding matches
+        // the row-at-a-time path exactly.
+        _ => {
+            for _ in 0..n {
+                *acc = add_values(acc, v);
+            }
+        }
+    }
+}
+
+/// Structural row equality for run detection: stricter than `Value`'s
+/// comparison-based `==` (which deems `Int(1) == Float(1.0)` and all
+/// NaNs equal). A run must never span a representation change — the
+/// accumulator's type evolution depends on the exact variant it sees.
+fn same_repr(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Date(x), Value::Date(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn same_row(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| same_repr(x, y))
+}
+
 impl AggState {
     /// Fresh state for a function.
     pub fn new(func: AggFunc) -> AggState {
@@ -92,6 +130,36 @@ impl AggState {
                 if !v.is_null() {
                     seen.insert(v.clone());
                 }
+            }
+        }
+    }
+
+    /// Fold the same input value `n` times — the RLE fast path for
+    /// aggregates over runs of identical rows.
+    ///
+    /// Exactness contract (property-tested): the result is *byte
+    /// identical* to calling [`update`](Self::update) `n` times.
+    /// COUNT adds `n`; an Int sum over an Int/empty accumulator takes
+    /// one wrapping multiply (repeated wrapping adds ≡ one wrapping
+    /// multiply, modular arithmetic); any float involvement replays
+    /// the adds, because repeated float addition is not `v * n` at the
+    /// bit level; MIN/MAX/DISTINCT are idempotent — once is enough.
+    pub fn update_repeated(&mut self, v: &Value, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if n == 1 || v.is_null() {
+            return self.update(v);
+        }
+        match self {
+            AggState::Count { n: c } => *c += n as i64,
+            AggState::Sum { acc } => sum_repeated(acc, v, n),
+            AggState::Avg { sum, n: c } => {
+                sum_repeated(sum, v, n);
+                *c += n as i64;
+            }
+            AggState::Min { .. } | AggState::Max { .. } | AggState::Distinct { .. } => {
+                self.update(v)
             }
         }
     }
@@ -151,17 +219,32 @@ pub struct PartialGroup {
 pub type Partials = Vec<PartialGroup>;
 
 /// Fold rows into partial aggregates.
+///
+/// RLE fast path (DESIGN.md "Compression-aware execution"): scans over
+/// run-length-encoded containers materialize long stretches of
+/// identical rows, so the fold detects runs of structurally identical
+/// consecutive rows and advances group lookup and expression
+/// evaluation once per run — [`AggState::update_repeated`] folds the
+/// whole run bit-exactly.
 pub fn aggregate_partial(rows: &Rows, group_by: &[usize], aggs: &[AggSpec]) -> Result<Partials> {
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-    for row in rows {
+    let mut i = 0;
+    while i < rows.len() {
+        let row = &rows[i];
+        let mut j = i + 1;
+        while j < rows.len() && same_row(&rows[j], row) {
+            j += 1;
+        }
+        let n = (j - i) as u64;
         let key: Vec<Value> = group_by.iter().map(|&c| row[c].clone()).collect();
         let states = groups
             .entry(key)
             .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect());
         for (st, spec) in states.iter_mut().zip(aggs) {
             let v = spec.expr.eval(row)?;
-            st.update(&v);
+            st.update_repeated(&v, n);
         }
+        i = j;
     }
     // SQL: a global aggregate (no GROUP BY) over zero rows still
     // produces one output row (COUNT = 0, SUM = NULL, …).
@@ -329,7 +412,88 @@ mod tests {
         assert_eq!(merged[0][1], Value::Int(3));
     }
 
+    /// The pre-fast-path fold: one `update` per row. Reference for the
+    /// run-collapse equivalence property.
+    fn aggregate_partial_rowwise(
+        rows: &Rows,
+        group_by: &[usize],
+        aggs: &[AggSpec],
+    ) -> Result<Partials> {
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        for row in rows {
+            let key: Vec<Value> = group_by.iter().map(|&c| row[c].clone()).collect();
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect());
+            for (st, spec) in states.iter_mut().zip(aggs) {
+                let v = spec.expr.eval(row)?;
+                st.update(&v);
+            }
+        }
+        if group_by.is_empty() && groups.is_empty() {
+            groups.insert(
+                Vec::new(),
+                aggs.iter().map(|a| AggState::new(a.func)).collect(),
+            );
+        }
+        let mut out: Partials = groups
+            .into_iter()
+            .map(|(key, states)| PartialGroup { key, states })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(out)
+    }
+
+    #[test]
+    fn run_collapse_never_crosses_int_float_aliasing() {
+        // Int(1) == Float(1.0) under Value's comparison equality, but
+        // they must NOT form a run: a sum over [Int(1), Float(1.0)] is
+        // Float(2.0), while a collapsed Int run would yield Int(2).
+        let input = vec![
+            vec![Value::Int(0), Value::Int(1)],
+            vec![Value::Int(0), Value::Float(1.0)],
+        ];
+        let specs = vec![AggSpec::sum(Expr::col(1))];
+        let fast = aggregate_partial(&input, &[0], &specs).unwrap();
+        let slow = aggregate_partial_rowwise(&input, &[0], &specs).unwrap();
+        assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+        assert_eq!(fast[0].states[0], AggState::Sum { acc: Value::Float(2.0) });
+    }
+
     proptest! {
+        /// Bit-exact equivalence of the run-collapsed fold and the
+        /// row-at-a-time fold, over data with long runs, NaNs, nulls,
+        /// and Int/Float aliasing — compared via Debug strings so
+        /// Float(-0.0) vs Float(0.0) and NaN payloads can't hide
+        /// behind comparison equality.
+        #[test]
+        fn prop_run_collapsed_fold_is_bit_exact(
+            data in proptest::collection::vec(
+                (0i64..3, prop_oneof![
+                    Just(Value::Null),
+                    (-4i64..4).prop_map(Value::Int),
+                    (-2i32..3).prop_map(|v| Value::Float(v as f64 * 0.5)),
+                    Just(Value::Float(f64::NAN)),
+                    Just(Value::Int(1)),
+                    Just(Value::Float(1.0)),
+                ], 0u8..6),
+                0..80,
+            ),
+        ) {
+            // `reps` stretches values into runs of identical rows.
+            let all: Rows = data
+                .iter()
+                .flat_map(|(g, v, reps)| {
+                    std::iter::repeat_with(|| vec![Value::Int(*g), v.clone()])
+                        .take(*reps as usize + 1)
+                })
+                .collect();
+            let specs = specs();
+            let fast = aggregate_partial(&all, &[0], &specs).unwrap();
+            let slow = aggregate_partial_rowwise(&all, &[0], &specs).unwrap();
+            prop_assert_eq!(format!("{:?}", fast), format!("{:?}", slow));
+        }
+
         /// The distributed-equals-centralized property: splitting rows
         /// arbitrarily across "nodes", partial-aggregating, and merging
         /// gives exactly the single-phase answer.

@@ -8,7 +8,10 @@
 //! pin the two properties the sweep relies on: every named site is
 //! reachable, and a given seed replays identically.
 
-use eon_bench::chaos::{crash_schedule, flap_brownout_schedule, seeded_crash_schedule};
+use eon_bench::chaos::{
+    crash_schedule, crash_schedule_encoded, flap_brownout_schedule, seeded_crash_schedule,
+};
+use eon_columnar::Encoding;
 use eon_db as _;
 use eon_storage::fault::{site, FaultPlan, SITES};
 
@@ -83,6 +86,36 @@ fn same_seed_runs_emit_identical_metrics_snapshots() {
             a.metrics, b.metrics,
             "seed {seed} ambiguous={ambiguous}: metrics snapshots diverged"
         );
+    }
+}
+
+/// Compression-aware execution under crashes: the same seeded schedule
+/// over containers force-encoded as RLE and as Dict must (a) uphold
+/// every crash-consistency invariant while scans run on encoded views,
+/// (b) replay deterministically — same seed, same force ⇒ byte-identical
+/// digest and metrics snapshot — and (c) land on the same logical table
+/// (row count) as the heuristic-encoded run, since encoding is purely
+/// physical.
+#[test]
+fn force_encoded_schedules_replay_identically() {
+    for seed in [0u64, 7] {
+        let baseline = seeded_crash_schedule(seed, false).unwrap();
+        for force in [Encoding::Rle, Encoding::Dict] {
+            let plan = || FaultPlan::seeded(seed, SITES, 3);
+            let a = crash_schedule_encoded(plan(), seed, false, Some(force))
+                .unwrap_or_else(|e| panic!("seed {seed} force {force:?}: {e}"));
+            let b = crash_schedule_encoded(plan(), seed, false, Some(force)).unwrap();
+            assert_eq!(a.fired, b.fired, "seed {seed} force {force:?}: sites diverged");
+            assert_eq!(a.digest, b.digest, "seed {seed} force {force:?}: digest diverged");
+            assert_eq!(
+                a.metrics, b.metrics,
+                "seed {seed} force {force:?}: metrics snapshots diverged"
+            );
+            assert_eq!(
+                a.rows, baseline.rows,
+                "seed {seed} force {force:?}: encoding changed the logical table"
+            );
+        }
     }
 }
 

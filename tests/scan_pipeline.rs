@@ -9,7 +9,10 @@
 //!
 //! * a property test runs the same seeded workload through a serial
 //!   pipeline and a fully-enabled one (Normal, Bypass, and crunch
-//!   sessions) and requires identical answers;
+//!   sessions) and requires identical answers — the serial side forces
+//!   the decode-first scan path and the workload sweeps forced block
+//!   encodings, so the property also pins compression-aware execution
+//!   (encoded-view blocks) against the row-at-a-time reference;
 //! * a single-node test compares *unsorted* scan output, which pins the
 //!   deterministic container-order merge of the parallel pool;
 //! * an armed `QUERY_WORKER_LOCAL` crash mid-scan must be absorbed by
@@ -23,7 +26,7 @@ use std::time::Duration;
 
 use eon_cache::{mem_cache, CacheMode};
 use eon_columnar::pruning::CmpOp;
-use eon_columnar::{Predicate, Projection};
+use eon_columnar::{Encoding, Predicate, Projection};
 use eon_core::{EonConfig, EonDb, SessionOpts};
 use eon_db as _;
 use eon_exec::{AggSpec, Expr, Plan, ScanSpec, SortKey};
@@ -70,13 +73,15 @@ fn load(db: &EonDb, rows: &[Vec<Value>], batches: usize) {
 }
 
 /// The scan pipeline with everything forced off: one worker, no
-/// coalescing, early materialization, per-miss depot fetches.
+/// coalescing, early materialization, decode-first blocks, per-miss
+/// depot fetches.
 fn serial_cfg(nodes: usize, shards: usize) -> EonConfig {
     EonConfig::new(nodes, shards)
         .exec_slots(4)
         .scan_workers(1)
         .scan_coalesce_gap(None)
         .scan_late_materialization(false)
+        .scan_decode_first(true)
         .depot_single_flight(false)
 }
 
@@ -125,7 +130,10 @@ fn plans(n: usize) -> Vec<Plan> {
 proptest! {
     /// Serial and fully-pipelined scans must agree on every answer, in
     /// Normal, Bypass, and crunch sessions, across seeds, row counts,
-    /// and coalescing gaps (off / adjacent-only / everything-bridges).
+    /// coalescing gaps (off / adjacent-only / everything-bridges), and
+    /// forced block encodings (heuristic / Plain / RLE / Dict / Delta).
+    /// The serial side runs decode-first, so this is also the
+    /// compression-aware-execution A/B.
     #[test]
     fn pipelined_scan_matches_serial(seed in 0u64..1_000_000, n in 100usize..400) {
         let gap = match seed % 3 {
@@ -133,11 +141,23 @@ proptest! {
             1 => Some(0),
             _ => Some(1 << 20),
         };
+        let force = match seed % 5 {
+            0 => None,
+            1 => Some(Encoding::Plain),
+            2 => Some(Encoding::Rle),
+            3 => Some(Encoding::Dict),
+            _ => Some(Encoding::Delta),
+        };
         let rows = gen_rows(seed, n);
         // 5 nodes over 2 shards so crunch sessions genuinely split
         // shards across extra participants.
-        let serial = EonDb::create(Arc::new(MemFs::new()), serial_cfg(5, 2)).unwrap();
-        let pipelined = EonDb::create(Arc::new(MemFs::new()), pipelined_cfg(5, 2, gap)).unwrap();
+        let serial =
+            EonDb::create(Arc::new(MemFs::new()), serial_cfg(5, 2).force_encoding(force)).unwrap();
+        let pipelined = EonDb::create(
+            Arc::new(MemFs::new()),
+            pipelined_cfg(5, 2, gap).force_encoding(force),
+        )
+        .unwrap();
         load(&serial, &rows, 2);
         load(&pipelined, &rows, 2);
 
@@ -163,7 +183,13 @@ proptest! {
 fn parallel_merge_preserves_container_order() {
     let rows = gen_rows(0xbeef, 3_000);
     let serial = EonDb::create(Arc::new(MemFs::new()), serial_cfg(1, 1)).unwrap();
-    let parallel = EonDb::create(Arc::new(MemFs::new()), pipelined_cfg(1, 1, Some(64 << 10))).unwrap();
+    // Force RLE on the parallel side: encoded-view blocks must not
+    // perturb the pool's container-order merge either.
+    let parallel = EonDb::create(
+        Arc::new(MemFs::new()),
+        pipelined_cfg(1, 1, Some(64 << 10)).force_encoding(Some(Encoding::Rle)),
+    )
+    .unwrap();
     // Several batches so one shard holds several containers — the
     // pool's fan-out/merge has real interleaving to get wrong.
     load(&serial, &rows, 4);
@@ -188,14 +214,18 @@ fn parallel_merge_preserves_container_order() {
 
 /// A participant dying mid-query under the parallel pipeline is
 /// absorbed by coordinator failover, and answers still match a healthy
-/// serial cluster — before and after the crash fires.
+/// serial cluster — before and after the crash fires. The wounded
+/// cluster stores force-RLE containers served as encoded views, so
+/// failover equivalence holds with compression-aware execution on.
 #[test]
 fn armed_worker_crash_does_not_change_answers() {
     let rows = gen_rows(0xfa11, 2_000);
     let healthy = EonDb::create(Arc::new(MemFs::new()), serial_cfg(3, 3)).unwrap();
     let wounded = EonDb::create(
         Arc::new(MemFs::new()),
-        pipelined_cfg(3, 3, Some(64 << 10)).faults(FaultPlan::at(site::QUERY_WORKER_LOCAL, 0)),
+        pipelined_cfg(3, 3, Some(64 << 10))
+            .force_encoding(Some(Encoding::Rle))
+            .faults(FaultPlan::at(site::QUERY_WORKER_LOCAL, 0)),
     )
     .unwrap();
     load(&healthy, &rows, 2);
