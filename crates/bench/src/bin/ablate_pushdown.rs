@@ -1,0 +1,344 @@
+//! Pushdown ablation: run the same queries with S3-Select-style
+//! pushdown on and off and measure what executing below the GET buys,
+//! so the win is measured rather than asserted.
+//!
+//! Two configurations over the same deterministic table:
+//!
+//! * `pushdown_off` — every scan fetches whole column ranges and
+//!   filters node-side (the pre-pushdown shape),
+//! * `pushdown_on` — the shipping default: eligible scans send a
+//!   `SelectRequest` below the GET and receive only survivors or
+//!   partial aggregate states.
+//!
+//! Phases:
+//!
+//! * **selective rows** — a ~5%-selective predicate on an unsorted
+//!   column (footer pruning can't help; pushdown can), run in bypass
+//!   mode so every byte crosses the simulated wire. The acceptance gate
+//!   demands ≥5× fewer store bytes returned and a wall-clock win.
+//! * **partial aggregates** — a full-table GROUP BY SUM/COUNT; the
+//!   store folds each container and ships states, not rows.
+//! * **depot-cold** — the same selective query in normal cache mode
+//!   with cleared depots: pushdown must engage (selects > 0) and must
+//!   leave the depot cold (selects never fault whole files in).
+//! * **crossover sweep** — the predicate widened step by step; the
+//!   deterministic cost model must switch from selects to plain GETs
+//!   exactly when the estimated selectivity crosses
+//!   `pushdown_max_selectivity`, with the fallback counted.
+//!
+//! Every phase asserts pushdown-on and pushdown-off answers are
+//! identical. Knobs: `EON_BENCH_PUSHDOWN_ROWS` (default 60000),
+//! `EON_BENCH_S3_LAT_US` (default 2000), `EON_BENCH_JSON` (output
+//! path, default `BENCH_pushdown.json`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eon_bench::{
+    metrics_summary, print_json, print_table, time_best_of, update_bench_json_default,
+};
+use eon_core::{EonConfig, EonDb, SessionOpts};
+use eon_columnar::pruning::CmpOp;
+use eon_columnar::{Predicate, Projection};
+use eon_exec::{AggSpec, Expr, Plan, ScanSpec, SortKey};
+use eon_obs::Registry;
+use eon_storage::{FileSystem, S3Config, S3SimFs};
+use eon_types::{schema, Value};
+
+const NODES: usize = 4;
+const SHARDS: usize = 4;
+const SLOTS: usize = 8;
+/// `val` cycles 0..VAL_SPAN uniformly, so a predicate `val < f*VAL_SPAN`
+/// has true selectivity ~f on every block — the estimator sees the same
+/// fraction from block min/max, making the crossover sweep exact.
+const VAL_SPAN: i64 = 1000;
+
+fn bench_rows() -> usize {
+    std::env::var("EON_BENCH_PUSHDOWN_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000)
+}
+
+fn s3_latency() -> Duration {
+    let us = std::env::var("EON_BENCH_S3_LAT_US")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    Duration::from_micros(us)
+}
+
+struct Ablation {
+    name: &'static str,
+    pushdown: bool,
+}
+
+const CONFIGS: &[Ablation] = &[
+    Ablation { name: "pushdown_off", pushdown: false },
+    Ablation { name: "pushdown_on", pushdown: true },
+];
+
+/// Fresh cluster over simulated S3; the payload column makes containers
+/// wide enough that byte savings dominate request overhead.
+fn build_db(ab: &Ablation, rows: usize, latency: Duration) -> (Arc<EonDb>, Registry, Arc<S3SimFs>) {
+    let registry = Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(
+        S3Config {
+            request_latency: latency,
+            ..S3Config::default()
+        },
+        &registry,
+    ));
+    let db = EonDb::create(
+        s3.clone(),
+        EonConfig::new(NODES, SHARDS)
+            .exec_slots(SLOTS)
+            .observability(registry.clone())
+            .pushdown(ab.pushdown),
+    )
+    .unwrap();
+    let s = schema![("id", Int), ("grp", Int), ("val", Int), ("payload", Str)];
+    db.create_table(
+        "pd_t",
+        s.clone(),
+        vec![Projection::super_projection("sp", &s, &[0], &[0])],
+    )
+    .unwrap();
+    let half = rows / 2;
+    for batch in 0..2 {
+        let data: Vec<Vec<Value>> = (batch * half..(batch + 1) * half)
+            .map(|i| {
+                let i = i as i64;
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 8),
+                    Value::Int(i * 37 % VAL_SPAN),
+                    Value::Str(format!("payload-{i:08}-{:024}", i * 271)),
+                ]
+            })
+            .collect();
+        db.copy_into("pd_t", data).unwrap();
+    }
+    (db, registry, s3)
+}
+
+/// Selective rows query: `val` is uniform and unsorted, so footer stats
+/// keep every block and only pushdown can cut the bytes fetched.
+fn rows_plan(frac: f64) -> Plan {
+    let cut = (frac * VAL_SPAN as f64) as i64;
+    Plan::scan(
+        ScanSpec::new("pd_t")
+            .columns(vec![0, 2, 3])
+            .predicate(Predicate::cmp(2, CmpOp::Lt, cut)),
+    )
+    .sort(vec![SortKey::asc(0)])
+}
+
+/// Full-table grouped aggregate: int sums only, so the per-container
+/// fold merges byte-identically and the store ships states, not rows.
+fn agg_plan() -> Plan {
+    Plan::scan(ScanSpec::new("pd_t")).aggregate(
+        vec![1],
+        vec![AggSpec::sum(Expr::col(2)), AggSpec::count_star()],
+    )
+}
+
+fn clear_depots(db: &EonDb) {
+    for node in db.membership().all() {
+        node.cache.clear().unwrap();
+    }
+}
+
+/// Bytes the store shipped to nodes: plain GET bytes plus SELECT
+/// response bytes (the two ways data crosses the simulated wire).
+fn wire_bytes(s3: &S3SimFs, registry: &Registry) -> u64 {
+    let returned = metrics_summary(&registry.snapshot())["s3_select_returned_bytes"]
+        .as_u64()
+        .unwrap_or(0);
+    s3.stats().bytes_read + returned
+}
+
+fn counter(registry: &Registry, key: &str) -> u64 {
+    metrics_summary(&registry.snapshot())[key].as_u64().unwrap_or(0)
+}
+
+fn main() {
+    let rows = bench_rows();
+    let latency = s3_latency();
+    eprintln!(
+        "ablate_pushdown: {rows} rows, S3 latency {latency:?}, {NODES} nodes / {SHARDS} shards"
+    );
+    let selective = rows_plan(0.05);
+    let aggregate = agg_plan();
+    let bypass_opts = SessionOpts {
+        bypass_cache: true,
+        ..Default::default()
+    };
+
+    let mut table_rows = Vec::new();
+    let mut config_json = Vec::new();
+    let mut rows_ref: Option<Vec<Vec<Value>>> = None;
+    let mut agg_ref: Option<Vec<Vec<Value>>> = None;
+    let mut by_name: Vec<(&'static str, serde_json::Value)> = Vec::new();
+    let mut dbs: Vec<(&'static str, Arc<EonDb>, Registry, Arc<S3SimFs>)> = Vec::new();
+
+    for ab in CONFIGS {
+        eprintln!("config {} …", ab.name);
+        let (db, registry, s3) = build_db(ab, rows, latency);
+
+        // Pushdown may never change an answer.
+        let result = db.query_with(&selective, &bypass_opts).unwrap();
+        match &rows_ref {
+            None => rows_ref = Some(result),
+            Some(r) => assert_eq!(r, &result, "{}: selective rows diverged", ab.name),
+        }
+        let agg_result = db.query_with(&aggregate, &bypass_opts).unwrap();
+        match &agg_ref {
+            None => agg_ref = Some(agg_result),
+            Some(r) => assert_eq!(r, &agg_result, "{}: aggregate diverged", ab.name),
+        }
+
+        // Selective rows, bypass mode: every byte crosses the wire.
+        let b0 = wire_bytes(&s3, &registry);
+        let g0 = counter(&registry, "s3_get");
+        let rows_ms = time_best_of(2, || {
+            db.query_with(&selective, &bypass_opts).unwrap();
+        });
+        let rows_wire = (wire_bytes(&s3, &registry) - b0) / 2;
+        let rows_gets = (counter(&registry, "s3_get") - g0) / 2;
+
+        // Full-table aggregate, bypass mode.
+        let b0 = wire_bytes(&s3, &registry);
+        let agg_ms = time_best_of(2, || {
+            db.query_with(&aggregate, &bypass_opts).unwrap();
+        });
+        let agg_wire = (wire_bytes(&s3, &registry) - b0) / 2;
+
+        // Depot-cold, normal cache mode: with pushdown on, the select
+        // must answer below the GET and leave the depot cold.
+        clear_depots(&db);
+        let b0 = wire_bytes(&s3, &registry);
+        let s0 = counter(&registry, "scan_pushdown_selects");
+        let w0 = counter(&registry, "depot_writes");
+        let cold_ms = eon_bench::time_once(|| {
+            db.query(&selective).unwrap();
+        });
+        let cold_wire = wire_bytes(&s3, &registry) - b0;
+        let cold_selects = counter(&registry, "scan_pushdown_selects") - s0;
+        let cold_depot_writes = counter(&registry, "depot_writes") - w0;
+
+        let summary = metrics_summary(&registry.snapshot());
+        let record = serde_json::json!({
+            "config": ab.name,
+            "rows_ms": rows_ms.as_secs_f64() * 1e3,
+            "rows_wire_bytes": rows_wire,
+            "rows_s3_gets": rows_gets,
+            "agg_ms": agg_ms.as_secs_f64() * 1e3,
+            "agg_wire_bytes": agg_wire,
+            "cold_ms": cold_ms.as_secs_f64() * 1e3,
+            "cold_wire_bytes": cold_wire,
+            "cold_selects": cold_selects,
+            "cold_depot_writes": cold_depot_writes,
+            "metrics_summary": summary,
+        });
+        print_json("ablate_pushdown", record.clone());
+        table_rows.push(vec![
+            ab.name.to_string(),
+            format!("{:.1}", rows_ms.as_secs_f64() * 1e3),
+            format!("{rows_wire}"),
+            format!("{:.1}", agg_ms.as_secs_f64() * 1e3),
+            format!("{agg_wire}"),
+            record["metrics_summary"]["scan_pushdown_selects"].to_string(),
+            record["metrics_summary"]["scan_pushdown_fallbacks"].to_string(),
+        ]);
+        by_name.push((ab.name, record.clone()));
+        config_json.push(record);
+        dbs.push((ab.name, db, registry, s3));
+    }
+
+    // Crossover sweep on the pushdown-on database: widen the predicate
+    // and watch the deterministic cost model hand back to plain GETs.
+    let (_, db, registry, s3) = dbs.iter().find(|(n, ..)| *n == "pushdown_on").unwrap();
+    let (_, db_off, ..) = dbs.iter().find(|(n, ..)| *n == "pushdown_off").unwrap();
+    let mut sweep_json = Vec::new();
+    for frac in [0.01, 0.05, 0.10, 0.20, 0.50, 0.90] {
+        let plan = rows_plan(frac);
+        let on = db.query_with(&plan, &bypass_opts).unwrap();
+        let off = db_off.query_with(&plan, &bypass_opts).unwrap();
+        assert_eq!(on, off, "sweep frac {frac}: answers diverged");
+        let s0 = counter(registry, "scan_pushdown_selects");
+        let f0 = counter(registry, "scan_pushdown_fallbacks");
+        let b0 = wire_bytes(s3, registry);
+        db.query_with(&plan, &bypass_opts).unwrap();
+        let record = serde_json::json!({
+            "selectivity": frac,
+            "selects": counter(registry, "scan_pushdown_selects") - s0,
+            "fallbacks": counter(registry, "scan_pushdown_fallbacks") - f0,
+            "wire_bytes": wire_bytes(s3, registry) - b0,
+        });
+        print_json("ablate_pushdown_sweep", record.clone());
+        sweep_json.push(record);
+    }
+
+    print_table(
+        &format!("Pushdown ablation — {rows} rows, S3 TTFB {latency:?}"),
+        &[
+            "config",
+            "rows ms",
+            "rows wire B",
+            "agg ms",
+            "agg wire B",
+            "selects",
+            "fallbacks",
+        ],
+        &table_rows,
+    );
+
+    let find = |n: &str| {
+        by_name
+            .iter()
+            .find(|(name, _)| *name == n)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    let off = find("pushdown_off");
+    let on = find("pushdown_on");
+    let ratio = |k: &str| {
+        off[k].as_u64().unwrap_or(0) as f64 / on[k].as_u64().unwrap_or(1).max(1) as f64
+    };
+    let narrow = &sweep_json[0]; // 1% — must push down
+    let wide = sweep_json.last().unwrap(); // 90% — must fall back
+    let acceptance = serde_json::json!({
+        "rows_wire_reduction": ratio("rows_wire_bytes"),
+        "rows_wire_reduction_5x": ratio("rows_wire_bytes") >= 5.0,
+        "agg_wire_reduction": ratio("agg_wire_bytes"),
+        "agg_wire_reduction_5x": ratio("agg_wire_bytes") >= 5.0,
+        "pushdown_faster_bypass": on["rows_ms"].as_f64() < off["rows_ms"].as_f64(),
+        "cold_pushdown_engages": on["cold_selects"].as_u64().unwrap_or(0) > 0,
+        "cold_depot_stays_cold": on["cold_depot_writes"].as_u64() == Some(0),
+        "narrow_predicate_pushes_down": narrow["selects"].as_u64().unwrap_or(0) > 0
+            && narrow["fallbacks"].as_u64() == Some(0),
+        "wide_predicate_falls_back": wide["selects"].as_u64() == Some(0)
+            && wide["fallbacks"].as_u64().unwrap_or(0) > 0,
+    });
+    print_json("ablate_pushdown_acceptance", acceptance.clone());
+    for (gate, v) in acceptance.as_object().unwrap() {
+        if let Some(ok) = v.as_bool() {
+            assert!(ok, "acceptance gate failed: {gate}");
+        }
+    }
+
+    update_bench_json_default(
+        "BENCH_pushdown.json",
+        "ablate_pushdown",
+        serde_json::json!({
+            "rows": rows,
+            "s3_latency_us": latency.as_micros() as u64,
+            "nodes": NODES,
+            "shards": SHARDS,
+            "configs": config_json,
+            "sweep": sweep_json,
+            "acceptance": acceptance,
+        }),
+    );
+}

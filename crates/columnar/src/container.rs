@@ -397,6 +397,7 @@ impl RosReader {
             stats.requests_saved += idxs.len() as u64 - 1;
             let kept: u64 = idxs.iter().map(|&i| meta.blocks[i].len).sum();
             stats.gap_bytes += (end - start) - kept;
+            stats.waste_bytes += (end - start) - kept;
             for i in idxs {
                 let b = &meta.blocks[i];
                 let lo = (b.offset - start) as usize;
@@ -429,6 +430,12 @@ pub struct ReadStats {
     /// Bytes fetched that belong to skipped blocks inside a coalesced
     /// run (the price paid for fewer requests).
     pub gap_bytes: u64,
+    /// Bytes fetched and then discarded without contributing a row:
+    /// coalescing gap bytes, plus (added by the scan layer) predicate
+    /// column blocks whose every row was filtered out after the fetch.
+    /// This is the measurable side of the pushdown-vs-coalesce
+    /// tradeoff — a select returns none of these bytes.
+    pub waste_bytes: u64,
 }
 
 #[cfg(test)]

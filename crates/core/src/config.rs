@@ -54,6 +54,25 @@ pub struct EonConfig {
     /// execution. Off by default; the A/B knob for
     /// `tests/encoded_exec_prop.rs` and the `ablate_scan` bench.
     pub scan_decode_first: bool,
+    /// S3-Select-style pushdown (DESIGN.md "Pushdown execution"): run
+    /// eligible predicates, projections, and partial aggregates inside
+    /// the store via the `select` verb instead of fetching blocks with
+    /// plain GETs. Output is byte-identical either way; this is purely
+    /// a cost/latency knob.
+    pub pushdown: bool,
+    /// Crossover policy: push a rows-mode select only when the
+    /// footer-stats selectivity estimate is at or below this fraction.
+    /// Unselective scans return most bytes anyway, so a select would
+    /// add scan charges on top of near-full transfer.
+    pub pushdown_max_selectivity: f64,
+    /// Crossover policy: push only when the plain-GET scan would fetch
+    /// at least this many bytes from the container. Keeps tiny
+    /// containers — where per-request overhead dominates — on the plain
+    /// path.
+    pub pushdown_min_bytes: u64,
+    /// Partial-aggregate pushdown: the store declines a select that
+    /// produces more groups than this, falling back to the local fold.
+    pub pushdown_max_groups: u64,
     /// Force every container block onto one encoding instead of the
     /// per-block heuristic (blocks the encoding can't represent fall
     /// back). Testing knob for encoding-equivalence properties.
@@ -127,6 +146,10 @@ impl Default for EonConfig {
             scan_coalesce_gap: Some(crate::provider::DEFAULT_COALESCE_GAP),
             scan_late_materialization: true,
             scan_decode_first: false,
+            pushdown: true,
+            pushdown_max_selectivity: 0.25,
+            pushdown_min_bytes: 32 * 1024,
+            pushdown_max_groups: 64,
             force_encoding: None,
             depot_single_flight: true,
             load_workers: 0,
@@ -207,6 +230,31 @@ impl EonConfig {
     /// execution) for A/B comparison.
     pub fn scan_decode_first(mut self, on: bool) -> Self {
         self.scan_decode_first = on;
+        self
+    }
+
+    /// Toggle S3-Select-style pushdown (the A/B knob for
+    /// `ablate_pushdown` and the equivalence property tests).
+    pub fn pushdown(mut self, on: bool) -> Self {
+        self.pushdown = on;
+        self
+    }
+
+    /// Rows-mode crossover: maximum estimated selectivity to push.
+    pub fn pushdown_max_selectivity(mut self, frac: f64) -> Self {
+        self.pushdown_max_selectivity = frac;
+        self
+    }
+
+    /// Crossover floor: minimum plain-GET bytes before a select pays.
+    pub fn pushdown_min_bytes(mut self, bytes: u64) -> Self {
+        self.pushdown_min_bytes = bytes;
+        self
+    }
+
+    /// Partial-aggregate group-cardinality cap for pushed selects.
+    pub fn pushdown_max_groups(mut self, groups: u64) -> Self {
+        self.pushdown_max_groups = groups;
         self
     }
 

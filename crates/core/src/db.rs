@@ -57,6 +57,11 @@ impl EonDb {
         // write-admission front door.
         let breaker = Self::build_breaker(&config);
         let shared = eon_storage::RetryFs::wrap_with_breaker(shared, &config.obs, breaker.clone());
+        // Teach the store to answer `select` requests against ROS
+        // containers (DESIGN.md "Pushdown execution"). Installed
+        // unconditionally — the per-session pushdown knobs decide
+        // whether scans actually issue selects.
+        shared.install_select_engine(Arc::new(crate::pushdown::RosSelectEngine));
         let incarnation = format!("inc{:08x}", 0xe0ee_0000u32);
         let db = Arc::new(EonDb {
             shared: shared.clone(),
@@ -231,6 +236,10 @@ impl EonDb {
             coalesce_gap: self.config.scan_coalesce_gap,
             late_materialization: self.config.scan_late_materialization,
             encoded_exec: !self.config.scan_decode_first,
+            pushdown: self.config.pushdown,
+            pushdown_max_selectivity: self.config.pushdown_max_selectivity,
+            pushdown_min_bytes: self.config.pushdown_min_bytes,
+            pushdown_max_groups: self.config.pushdown_max_groups,
             obs: self.config.obs.clone(),
             profile: profile.cloned(),
             cancel,

@@ -31,6 +31,7 @@ pub mod lifecycle;
 pub mod load;
 pub mod maintenance;
 pub mod provider;
+pub mod pushdown;
 pub mod query;
 pub mod sql_api;
 pub mod supervisor;

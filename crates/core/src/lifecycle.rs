@@ -301,6 +301,7 @@ impl EonDb {
         let breaker = Self::build_breaker(&config);
         let shared =
             eon_storage::RetryFs::wrap_with_breaker(shared, &config.obs, breaker.clone());
+        shared.install_select_engine(Arc::new(crate::pushdown::RosSelectEngine));
         let info = ClusterInfo::read(shared.as_ref())?
             .ok_or_else(|| EonError::Revive("no cluster_info.json on shared storage".into()))?;
         if info.lease_live(now_ms) {

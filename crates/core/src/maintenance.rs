@@ -208,6 +208,12 @@ impl EonDb {
                 coalesce_gap: self.config.scan_coalesce_gap,
                 late_materialization: self.config.scan_late_materialization,
                 encoded_exec: !self.config.scan_decode_first,
+                // Mergeout rewrites whole containers; there is nothing
+                // to push below the GET.
+                pushdown: false,
+                pushdown_max_selectivity: self.config.pushdown_max_selectivity,
+                pushdown_min_bytes: self.config.pushdown_min_bytes,
+                pushdown_max_groups: self.config.pushdown_max_groups,
                 obs: self.config.obs.clone(),
                 profile: None,
                 cancel: None,

@@ -23,15 +23,25 @@ use eon_catalog::{CatalogState, ContainerMeta, Table};
 use eon_cluster::NodeRuntime;
 use eon_columnar::pruning::ColumnStats;
 use eon_columnar::{BlockCol, DeleteVector, EncodedBlock, Predicate, Projection, ReadStats, RosReader};
+use eon_exec::agg::{aggregate_partial, merge_partials, AggState, Partials};
 use eon_exec::crunch::CrunchSlice;
-use eon_exec::{ScanSpec, TableProvider};
+use eon_exec::{AggSpec, Expr, ScanSpec, TableProvider};
 use eon_obs::{Counter, Histogram, QueryProfile, Registry};
 use eon_types::{EonError, Oid, Result, ShardId, Value};
 use parking_lot::Mutex;
 
+use crate::pushdown::{
+    agg_pushable, estimate_selectivity, kept_bytes, predicate_cols, AggRequest, SelectRequest,
+    SelectResponse,
+};
+
 /// Default coalescing gap: fetch up to this many dead bytes between
 /// two surviving blocks rather than pay a second request round-trip.
 pub const DEFAULT_COALESCE_GAP: u64 = 64 * 1024;
+
+/// One container's scan output: `(position, row)` pairs in position
+/// order (position is 0 when the caller didn't ask for it).
+type PosRows = Vec<(u64, Vec<Value>)>;
 
 /// Scan-pipeline tuning, carried per session (built from `EonConfig`
 /// by the coordinator; defaults are serial + full optimisation, which
@@ -56,6 +66,20 @@ pub struct ScanOptions {
     /// forces the decode-first path (every block decoded to rows up
     /// front) — output is identical either way.
     pub encoded_exec: bool,
+    /// S3-Select-style pushdown (DESIGN.md "Pushdown execution"): issue
+    /// `select` requests against shared storage for eligible scans
+    /// instead of fetching blocks with plain GETs. Output is identical
+    /// either way; the knobs below steer the cost crossover.
+    pub pushdown: bool,
+    /// Push a rows-mode select only when the footer-stats selectivity
+    /// estimate is at or below this fraction.
+    pub pushdown_max_selectivity: f64,
+    /// Push only when the plain-GET path would fetch at least this many
+    /// bytes from the container.
+    pub pushdown_min_bytes: u64,
+    /// Partial-aggregate pushdown group-cardinality cap; the store
+    /// declines selects producing more groups than this.
+    pub pushdown_max_groups: u64,
     /// Registry scan metrics land in.
     pub obs: Registry,
     /// Per-query profile for scan spans, when one is being collected.
@@ -72,6 +96,10 @@ impl Default for ScanOptions {
             coalesce_gap: Some(DEFAULT_COALESCE_GAP),
             late_materialization: true,
             encoded_exec: true,
+            pushdown: false,
+            pushdown_max_selectivity: 0.25,
+            pushdown_min_bytes: 32 * 1024,
+            pushdown_max_groups: 64,
             obs: Registry::new(),
             profile: None,
             cancel: None,
@@ -93,6 +121,14 @@ struct ScanMetrics {
     requests_saved: Arc<Counter>,
     coalesced_bytes: Arc<Counter>,
     gap_bytes: Arc<Counter>,
+    waste_bytes: Arc<Counter>,
+    pushdown_selects: Arc<Counter>,
+    pushdown_fallbacks: Arc<Counter>,
+    pushdown_bytes_saved: Arc<Counter>,
+    /// Per-scan tallies (this struct is built fresh per scan call) that
+    /// feed the query profile's pushdown annotations.
+    profile_selects: AtomicUsize,
+    profile_saved: AtomicUsize,
 }
 
 impl ScanMetrics {
@@ -109,6 +145,12 @@ impl ScanMetrics {
             requests_saved: registry.counter("scan_coalesced_requests_saved_total", labels),
             coalesced_bytes: registry.counter("scan_coalesced_bytes_total", labels),
             gap_bytes: registry.counter("scan_coalesced_gap_bytes_total", labels),
+            waste_bytes: registry.counter("scan_coalesce_waste_bytes_total", labels),
+            pushdown_selects: registry.counter("scan_pushdown_selects_total", labels),
+            pushdown_fallbacks: registry.counter("scan_pushdown_fallbacks_total", labels),
+            pushdown_bytes_saved: registry.counter("scan_pushdown_bytes_saved_total", labels),
+            profile_selects: AtomicUsize::new(0),
+            profile_saved: AtomicUsize::new(0),
         }
     }
 
@@ -117,6 +159,15 @@ impl ScanMetrics {
         self.requests_saved.add(s.requests_saved);
         self.coalesced_bytes.add(s.bytes_read);
         self.gap_bytes.add(s.gap_bytes);
+        self.waste_bytes.add(s.waste_bytes);
+    }
+
+    /// Record one answered select that spared `saved` plain-GET bytes.
+    fn record_select(&self, saved: u64) {
+        self.pushdown_selects.inc();
+        self.pushdown_bytes_saved.add(saved);
+        self.profile_selects.fetch_add(1, Ordering::Relaxed);
+        self.profile_saved.fetch_add(saved as usize, Ordering::Relaxed);
     }
 }
 
@@ -134,28 +185,6 @@ pub struct NodeProvider {
     pub crunch: Option<CrunchSlice>,
     /// Scan-pipeline tuning (worker pool, coalescing, filtering).
     pub scan: ScanOptions,
-}
-
-/// Collect the column indices a predicate touches, sorted and deduped.
-fn predicate_cols(p: &Predicate) -> Vec<usize> {
-    fn walk(p: &Predicate, out: &mut Vec<usize>) {
-        match p {
-            Predicate::True => {}
-            Predicate::Cmp { col, .. }
-            | Predicate::IsNull(col)
-            | Predicate::IsNotNull(col) => out.push(*col),
-            Predicate::And(ps) | Predicate::Or(ps) => {
-                for q in ps {
-                    walk(q, out);
-                }
-            }
-        }
-    }
-    let mut out = Vec::new();
-    walk(p, &mut out);
-    out.sort_unstable();
-    out.dedup();
-    out
 }
 
 /// Rewrite a predicate from table column indices to projection-local
@@ -387,10 +416,23 @@ impl NodeProvider {
         width: usize,
         with_positions: bool,
         apply_crunch: bool,
+        allow_pushdown: bool,
         metrics: &ScanMetrics,
-    ) -> Result<Vec<(u64, Vec<Value>)>> {
+    ) -> Result<PosRows> {
         let fs = self.fs();
-        let reader = RosReader::open(fs, &c.key)?;
+        // A pushdown candidate on a depot-cold file must not fault the
+        // file in just to read the footer: open it against the backing
+        // store, so an answered select leaves the depot untouched
+        // (DESIGN.md "Pushdown execution" — selects never fill the
+        // depot). Warm files and plain scans open through the cache as
+        // before.
+        let pd_candidate = allow_pushdown && self.scan.pushdown && *pred_local != Predicate::True;
+        let cold = self.cache_mode != CacheMode::Bypass && !self.node.cache.contains(&c.key);
+        let reader = if pd_candidate && cold {
+            RosReader::open(self.node.cache.backing().as_ref(), &c.key)?
+        } else {
+            RosReader::open(fs, &c.key)?
+        };
         let footer = reader.footer();
         let present = footer.columns.len();
         let nblocks = footer
@@ -417,6 +459,28 @@ impl NodeProvider {
             .add(keep.iter().filter(|&&k| !k).count() as u64);
         if !keep.iter().any(|&k| k) {
             return Ok(Vec::new());
+        }
+
+        // Pushdown composes with pruning: only unpruned blocks ride in
+        // the select's keep mask, and an answered select replaces every
+        // plain block GET below this point. A decline — by policy, by a
+        // depot hit, or by the store — falls through to the plain path.
+        if pd_candidate && (self.cache_mode == CacheMode::Bypass || cold) {
+            if let Some(out) = self.try_select_rows(
+                table,
+                proj,
+                c,
+                &reader,
+                read_cols,
+                pred_local,
+                width,
+                with_positions,
+                apply_crunch,
+                &keep,
+                metrics,
+            )? {
+                return Ok(out);
+            }
         }
 
         let mut rstats = ReadStats::default();
@@ -490,9 +554,17 @@ impl NodeProvider {
                 if sel.iter().any(|&s| s) {
                     selection[b] = Some(sel);
                 } else {
-                    // No survivors: don't fetch the other columns.
+                    // No survivors: don't fetch the other columns. The
+                    // predicate-column bytes already fetched for this
+                    // block contributed no row — count them as waste
+                    // (a pushed select would not have returned them).
                     keep[b] = false;
                     metrics.blocks_late_skipped.inc();
+                    for &col in &pcols {
+                        if col < present {
+                            rstats.waste_bytes += footer.columns[col].blocks[b].len;
+                        }
+                    }
                 }
             }
             if !keep.iter().any(|&k| k) {
@@ -584,6 +656,236 @@ impl NodeProvider {
         Ok(out)
     }
 
+    /// Attempt rows-mode pushdown for one container: predicate and
+    /// projection run inside the store, the node rebuilds rows from the
+    /// survivors. Returns `Ok(None)` when the crossover policy vetoes
+    /// the select or the store declines — the caller runs the plain
+    /// path, whose output is identical.
+    ///
+    /// Delete vectors, crunch slices, table defaults, and positions are
+    /// applied node-side, in exactly the order the plain path applies
+    /// them, so every caller feature composes with pushdown.
+    #[allow(clippy::too_many_arguments)]
+    fn try_select_rows(
+        &self,
+        table: &Table,
+        proj: &Projection,
+        c: &ContainerMeta,
+        reader: &RosReader,
+        read_cols: &[usize],
+        pred_local: &Predicate,
+        width: usize,
+        with_positions: bool,
+        apply_crunch: bool,
+        keep: &[bool],
+        metrics: &ScanMetrics,
+    ) -> Result<Option<PosRows>> {
+        let footer = reader.footer();
+        let present = footer.columns.len();
+        // Predicate columns that need table defaults stay local (the
+        // store has no schema); columns outside `read_cols` evaluate as
+        // Null on both paths, so they don't block pushdown.
+        let pcols = predicate_cols(pred_local);
+        if pcols.iter().any(|&col| read_cols.contains(&col) && col >= present) {
+            return Ok(None);
+        }
+        let send_cols: Vec<usize> =
+            read_cols.iter().copied().filter(|&col| col < present).collect();
+        if send_cols.is_empty() {
+            return Ok(None);
+        }
+        // Crossover policy: a select charges for bytes scanned; it only
+        // pays off when it returns a small fraction of a large fetch.
+        let plain_bytes = kept_bytes(footer, keep, &send_cols);
+        if plain_bytes < self.scan.pushdown_min_bytes {
+            return Ok(None);
+        }
+        if estimate_selectivity(pred_local, footer, keep) > self.scan.pushdown_max_selectivity {
+            metrics.pushdown_fallbacks.inc();
+            return Ok(None);
+        }
+        let req = SelectRequest {
+            width,
+            predicate: pred_local.clone(),
+            keep: keep.to_vec(),
+            read_cols: send_cols.clone(),
+            agg: None,
+        };
+        let resp = match self.fs().select(&c.key, &req.encode()?)? {
+            Some(bytes) => bytes,
+            None => {
+                metrics.pushdown_fallbacks.inc();
+                return Ok(None);
+            }
+        };
+        metrics.record_select(plain_bytes.saturating_sub(resp.len() as u64));
+        let SelectResponse::Rows(blocks) = SelectResponse::decode(&resp)? else {
+            return Err(EonError::Internal("rows select answered with partials".into()));
+        };
+
+        let mask = self.delete_mask(c)?;
+        let mut block_start = Vec::with_capacity(footer.columns[0].blocks.len());
+        let mut acc = 0u64;
+        for bm in &footer.columns[0].blocks {
+            block_start.push(acc);
+            acc += bm.rows;
+        }
+        let mut out = Vec::new();
+        for mut br in blocks {
+            let b = br.block;
+            if b >= block_start.len() || !keep[b] {
+                return Err(EonError::Corrupt(format!(
+                    "{}: select answered for unexpected block {b}",
+                    c.key
+                )));
+            }
+            let rows_in_block = footer.columns[0].blocks[b].rows as usize;
+            for j in 0..br.rows.len() {
+                let r = br.rows[j];
+                if r >= rows_in_block {
+                    return Err(EonError::Corrupt(format!(
+                        "{}: select row {r} out of block bounds",
+                        c.key
+                    )));
+                }
+                let pos = block_start[b] + r as u64;
+                if let Some(m) = &mask {
+                    if !m[pos as usize] {
+                        continue;
+                    }
+                }
+                let mut row = vec![Value::Null; width];
+                for &col in read_cols {
+                    row[col] = match send_cols.iter().position(|&sc| sc == col) {
+                        Some(ci) => std::mem::replace(&mut br.cols[ci][j], Value::Null),
+                        // Column added after this container was written
+                        // (§6.3): materialize the default locally.
+                        None => Self::default_for(table, proj, col),
+                    };
+                }
+                if apply_crunch {
+                    if let Some(slice) = &self.crunch {
+                        if !slice.keeps_row(&row, proj.seg_cols()) {
+                            continue;
+                        }
+                    }
+                }
+                out.push((if with_positions { pos } else { 0 }, row));
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// One container's partial aggregates, pushed below the GET when
+    /// eligible (no delete vectors, all inputs physically present, big
+    /// enough to beat the select overhead), otherwise folded locally
+    /// from a plain scan. Either way the returned states are the ones
+    /// the local fold would produce.
+    #[allow(clippy::too_many_arguments)]
+    fn partial_agg_container(
+        &self,
+        table: &Table,
+        proj: &Projection,
+        c: &ContainerMeta,
+        read_cols: &[usize],
+        pred_local: &Predicate,
+        width: usize,
+        group_local: &[usize],
+        aggs_local: &[AggSpec],
+        metrics: &ScanMetrics,
+    ) -> Result<Partials> {
+        let cold = self.cache_mode != CacheMode::Bypass && !self.node.cache.contains(&c.key);
+        let depot_ok = self.cache_mode == CacheMode::Bypass || cold;
+        let no_dvs = self.snapshot.delete_vectors_for(c.oid).is_empty();
+        if depot_ok && no_dvs {
+            let fs_for_footer: &dyn eon_storage::FileSystem = if cold {
+                self.node.cache.backing().as_ref()
+            } else {
+                self.fs()
+            };
+            let reader = RosReader::open(fs_for_footer, &c.key)?;
+            let footer = reader.footer();
+            let present = footer.columns.len();
+            let nblocks = footer
+                .columns
+                .first()
+                .map(|col| col.blocks.len())
+                .unwrap_or(0);
+            if read_cols.iter().all(|&col| col < present) {
+                let mut keep = vec![true; nblocks];
+                for (b, slot) in keep.iter_mut().enumerate() {
+                    let stats = |col: usize| -> Option<ColumnStats> {
+                        let meta = footer.columns.get(col)?.blocks.get(b)?;
+                        Some(ColumnStats {
+                            min: meta.min.clone(),
+                            max: meta.max.clone(),
+                            has_null: meta.has_null,
+                        })
+                    };
+                    *slot = pred_local.could_match(&stats);
+                }
+                metrics
+                    .blocks_pruned
+                    .add(keep.iter().filter(|&&k| !k).count() as u64);
+                if !keep.iter().any(|&k| k) {
+                    // Everything pruned: this container contributes the
+                    // identity partial, no I/O at all.
+                    return aggregate_partial(&Vec::new(), group_local, aggs_local);
+                }
+                let plain_bytes = kept_bytes(footer, &keep, read_cols);
+                if plain_bytes >= self.scan.pushdown_min_bytes {
+                    let req = SelectRequest {
+                        width,
+                        predicate: pred_local.clone(),
+                        keep,
+                        read_cols: read_cols.to_vec(),
+                        agg: Some(AggRequest {
+                            group_by: group_local.to_vec(),
+                            aggs: aggs_local.to_vec(),
+                            max_groups: self.scan.pushdown_max_groups,
+                        }),
+                    };
+                    match self.fs().select(&c.key, &req.encode()?)? {
+                        Some(resp) => {
+                            metrics.record_select(plain_bytes.saturating_sub(resp.len() as u64));
+                            let SelectResponse::Partials(parts) = SelectResponse::decode(&resp)?
+                            else {
+                                return Err(EonError::Internal(
+                                    "agg select answered with rows".into(),
+                                ));
+                            };
+                            return Ok(parts);
+                        }
+                        None => metrics.pushdown_fallbacks.inc(),
+                    }
+                }
+            }
+        }
+        // Local fold over the plain scan of this container (rows-mode
+        // pushdown may still kick in underneath for the fetch itself).
+        let rows = self.scan_container(
+            table, proj, c, read_cols, pred_local, width, false, false, true, metrics,
+        )?;
+        let rows: Vec<Vec<Value>> = rows.into_iter().map(|(_, row)| row).collect();
+        aggregate_partial(&rows, group_local, aggs_local)
+    }
+
+    /// Forward this scan's pushdown tallies into the query profile, so
+    /// `EXPLAIN ANALYZE` shows whether — and how much — the store
+    /// filtered below the GET.
+    fn annotate_pushdown(&self, metrics: &ScanMetrics) {
+        if let Some(p) = &self.scan.profile {
+            let selects = metrics.profile_selects.load(Ordering::Relaxed);
+            if selects > 0 {
+                p.annotate("pushdown_selects", selects as i64);
+                p.annotate(
+                    "pushdown_bytes_saved",
+                    metrics.profile_saved.load(Ordering::Relaxed) as i64,
+                );
+            }
+        }
+    }
+
     /// The shards a scan covers given its distribution and projection.
     fn shards_for(&self, proj: &Projection, global: bool) -> Vec<ShardId> {
         if proj.is_replicated() {
@@ -617,7 +919,7 @@ impl NodeProvider {
         let metrics = self.scan_metrics();
         Ok(self
             .scan_container(
-                table, proj, c, read_cols, pred_local, width, false, false, &metrics,
+                table, proj, c, read_cols, pred_local, width, false, false, false, &metrics,
             )?
             .into_iter()
             .map(|(_, row)| row)
@@ -657,7 +959,7 @@ impl NodeProvider {
         let per_container = self.run_scan_tasks(work.len(), &metrics, |i| {
             let (_, c) = work[i];
             self.scan_container(
-                t, proj, c, &read_cols, &pred_local, width, true, false, &metrics,
+                t, proj, c, &read_cols, &pred_local, width, true, false, false, &metrics,
             )
         })?;
         let mut out = Vec::new();
@@ -719,6 +1021,7 @@ impl TableProvider for NodeProvider {
                     width,
                     false,
                     false,
+                    false,
                     &metrics,
                 )
             })?;
@@ -778,14 +1081,142 @@ impl TableProvider for NodeProvider {
                 width,
                 false,
                 apply_crunch,
+                true,
                 &metrics,
             )
         })?;
+        self.annotate_pushdown(&metrics);
         let mut rows = Vec::new();
         for (_, row) in per_container.into_iter().flatten() {
             rows.push(out_local.iter().map(|&c| row[c].clone()).collect());
         }
         Ok(rows)
+    }
+
+    fn scan_partial_agg(
+        &self,
+        spec: &ScanSpec,
+        group_by: &[usize],
+        aggs: &[AggSpec],
+    ) -> Result<Option<Partials>> {
+        // Crunch slicing filters rows node-side after the fetch;
+        // pushing the fold below the GET would fold sliced-away rows
+        // in, so crunch workers take the plain path.
+        if !self.scan.pushdown || self.crunch.is_some() || !agg_pushable(aggs) {
+            return Ok(None);
+        }
+        let Some(t) = self.snapshot.table_by_name(&spec.table) else {
+            return Ok(None); // let the plain path surface the error
+        };
+        let out_cols: Vec<usize> = spec
+            .columns
+            .clone()
+            .unwrap_or_else(|| (0..t.schema.len()).collect());
+        let mut needed = out_cols.clone();
+        needed.extend(predicate_cols(&spec.predicate));
+        needed.sort_unstable();
+        needed.dedup();
+        let global = spec.distribute == eon_exec::Distribution::Global;
+        let Ok((proj_oid, proj)) =
+            self.pick_projection(t, &needed, global, spec.projection.as_deref())
+        else {
+            return Ok(None);
+        };
+        if proj.is_live_aggregate() {
+            return Ok(None);
+        }
+        let table_to_proj: HashMap<usize, usize> = proj
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(pi, &ti)| (ti, pi))
+            .collect();
+        let Ok(pred_local) = remap_predicate(&spec.predicate, &table_to_proj) else {
+            return Ok(None);
+        };
+        let read_cols: Vec<usize> = needed.iter().map(|c| table_to_proj[c]).collect();
+        let out_local: Vec<usize> = out_cols.iter().map(|c| table_to_proj[c]).collect();
+        let width = proj.columns.len();
+        // `group_by` / `aggs` index the scan's OUTPUT columns; the
+        // per-container fold runs on projection-local rows, so remap.
+        let mut group_local = Vec::with_capacity(group_by.len());
+        for &g in group_by {
+            match out_local.get(g) {
+                Some(&l) => group_local.push(l),
+                None => return Ok(None),
+            }
+        }
+        let mut aggs_local = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            let expr = match &a.expr {
+                Expr::Col(k) => match out_local.get(*k) {
+                    Some(&l) => Expr::col(l),
+                    None => return Ok(None),
+                },
+                other => other.clone(), // CountStar ignores its expr
+            };
+            aggs_local.push(AggSpec { func: a.func, expr });
+        }
+
+        let metrics = self.scan_metrics();
+        let _span = self
+            .scan
+            .profile
+            .as_ref()
+            .map(|p| p.span("scan_pipeline", &format!("node{}:{}", self.node.id.0, spec.table)));
+        let mut work: Vec<&ContainerMeta> = Vec::new();
+        for shard in self.shards_for(proj, global) {
+            for c in self.snapshot.containers_for(proj_oid, shard) {
+                let stats = |col: usize| -> Option<ColumnStats> {
+                    match c.col_minmax.get(col) {
+                        Some(Some((mn, mx))) => Some(ColumnStats {
+                            min: mn.clone(),
+                            max: mx.clone(),
+                            has_null: true,
+                        }),
+                        _ => None,
+                    }
+                };
+                if pred_local.could_match(&stats) {
+                    work.push(c);
+                }
+            }
+        }
+        let per_container = self.run_scan_tasks(work.len(), &metrics, |i| {
+            self.partial_agg_container(
+                t,
+                proj,
+                work[i],
+                &read_cols,
+                &pred_local,
+                width,
+                &group_local,
+                &aggs_local,
+                &metrics,
+            )
+        })?;
+        // Float addition is order-sensitive: folding per container and
+        // merging would not be byte-identical to the single local fold.
+        // Any Float sum state means the whole query falls back.
+        let float_sum = per_container.iter().any(|parts| {
+            parts.iter().any(|pg| {
+                pg.states
+                    .iter()
+                    .any(|s| matches!(s, AggState::Sum { acc: Value::Float(_) }))
+            })
+        });
+        if float_sum {
+            metrics.pushdown_fallbacks.inc();
+            return Ok(None);
+        }
+        let mut parts = per_container;
+        // The identity partial makes zero-container global aggregates
+        // produce their init group, matching the local path's SQL
+        // semantics; with groups present it merges as a no-op.
+        parts.push(aggregate_partial(&Vec::new(), &group_local, &aggs_local)?);
+        let merged = merge_partials(parts, &aggs_local);
+        self.annotate_pushdown(&metrics);
+        Ok(Some(merged))
     }
 
     fn num_columns(&self, table: &str) -> Result<usize> {

@@ -29,6 +29,20 @@ pub trait TableProvider {
     /// Number of columns a scan of `table` (all columns) yields. Needed
     /// to pad LEFT joins whose right side came back empty.
     fn num_columns(&self, table: &str) -> Result<usize>;
+
+    /// Aggregate pushdown: produce this node's partial aggregate states
+    /// for `aggs` grouped by `group_by` directly from the scan,
+    /// *bit-exactly* equal to `aggregate_partial(scan(spec), ..)`.
+    /// `Ok(None)` means the provider can't (or won't, by cost policy)
+    /// — the caller falls back to scan-then-fold. Default: declined.
+    fn scan_partial_agg(
+        &self,
+        _spec: &ScanSpec,
+        _group_by: &[usize],
+        _aggs: &[AggSpec],
+    ) -> Result<Option<Partials>> {
+        Ok(None)
+    }
 }
 
 /// Output width of a plan (column count).
@@ -193,6 +207,14 @@ impl DistributedPlan {
 
     /// Run the local phase on one node.
     pub fn execute_local(&self, provider: &dyn TableProvider) -> Result<LocalResult> {
+        // Aggregate-over-bare-scan is the shape where the provider may
+        // compute the partials below the scan (S3-Select-style); any
+        // other local plan folds node-side as before.
+        if let (Some((group_by, aggs)), Plan::Scan(spec)) = (&self.partial_agg, &self.local) {
+            if let Some(partials) = provider.scan_partial_agg(spec, group_by, aggs)? {
+                return Ok(LocalResult::Partials(partials));
+            }
+        }
         let rows = execute(&self.local, provider)?;
         match &self.partial_agg {
             Some((group_by, aggs)) => Ok(LocalResult::Partials(aggregate_partial(

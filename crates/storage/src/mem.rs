@@ -39,6 +39,19 @@ impl MemFs {
     pub fn total_bytes(&self) -> u64 {
         self.inner.lock().objects.values().map(|b| b.len() as u64).sum()
     }
+
+    /// Object lookup that bypasses the request/byte counters. The S3
+    /// simulator's SELECT verb feeds the object to its compute engine
+    /// in-store; that read never crosses the simulated wire, so it must
+    /// not show up in [`FsStats`] as a GET.
+    pub(crate) fn peek(&self, path: &str) -> Result<Bytes> {
+        self.inner
+            .lock()
+            .objects
+            .get(path)
+            .cloned()
+            .ok_or_else(|| EonError::NotFound(path.to_owned()))
+    }
 }
 
 impl Default for MemFs {
@@ -63,6 +76,25 @@ impl FileSystem for MemFs {
             Some(b) => {
                 g.stats.bytes_read += b.len() as u64;
                 Ok(b)
+            }
+            None => Err(EonError::NotFound(path.to_owned())),
+        }
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        // Bill only the bytes actually served: the trait default reads
+        // the whole object, which would make every ranged GET count as
+        // a full-object transfer in [`FsStats`] and swamp the byte
+        // accounting the pushdown crossover measurements rely on.
+        let mut g = self.inner.lock();
+        g.stats.gets += 1;
+        match g.objects.get(path) {
+            Some(b) => {
+                let start = (offset as usize).min(b.len());
+                let end = ((offset + len) as usize).min(b.len());
+                let s = b.slice(start..end);
+                g.stats.bytes_read += s.len() as u64;
+                Ok(s)
             }
             None => Err(EonError::NotFound(path.to_owned())),
         }
