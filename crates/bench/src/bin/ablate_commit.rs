@@ -1,0 +1,278 @@
+//! Group-commit ablation: serial vs batched catalog-log commits under
+//! many small concurrent writers (DESIGN.md "Group commit").
+//!
+//! Configurations over the same 16-writer single-row COPY workload:
+//!
+//! * `serial` — `commit_group_window = 0`, one durable log append and
+//!   one distribution round-trip per statement (the pre-batch shape),
+//! * `window2` — a 2-tick accumulation window,
+//! * `window8` — an 8-tick window (the shipping default shape).
+//!
+//! Every statement pays the simulated per-append fsync cost
+//! (`EonConfig::commit_append_us`) on the coordinator *and* on every
+//! peer, serialized under the global commit lock — exactly the fixed
+//! cost group commit exists to amortize. The batched configurations
+//! must:
+//!
+//! * commit **byte-identical** catalog state to serial under a
+//!   sequenced arrival schedule (the determinism gate, asserted before
+//!   any timing is reported);
+//! * answer the same row count from the free-running throughput phase;
+//! * issue **strictly fewer** coordinator log appends than committed
+//!   statements (the amortization gate);
+//! * beat serial statements/sec (the throughput gate; the recorded
+//!   `speedup` should be ≥ 2× at default knobs).
+//!
+//! Knobs: `EON_BENCH_COMMIT_WRITERS` (default 16),
+//! `EON_BENCH_COMMIT_STMTS` (statements per writer, default 12),
+//! `EON_BENCH_COMMIT_APPEND_US` (simulated per-append fsync, default
+//! 200), `EON_BENCH_COMMIT_MIN_SPEEDUP` (throughput gate, default
+//! 1.0), `EON_BENCH_JSON` (output path, default `BENCH_commit.json`).
+
+use std::sync::Arc;
+
+use eon_bench::{print_json, print_table, time_once, update_bench_json_default};
+use eon_columnar::Projection;
+use eon_core::{EonConfig, EonDb};
+use eon_exec::{AggSpec, Plan, ScanSpec};
+use eon_obs::Registry;
+use eon_storage::{S3Config, S3SimFs};
+use eon_types::{schema, Value};
+
+const NODES: usize = 3;
+const SHARDS: usize = 3;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Ablation {
+    name: &'static str,
+    /// Accumulation window in deterministic ticks; `0` = serial.
+    window: u64,
+}
+
+const CONFIGS: &[Ablation] = &[
+    Ablation { name: "serial", window: 0 },
+    Ablation { name: "window2", window: 2 },
+    Ablation { name: "window8", window: 8 },
+];
+
+fn build_db(window: u64, group_max: usize, append_us: u64) -> (Arc<EonDb>, Registry) {
+    let registry = Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(S3Config::instant(), &registry));
+    // The window is enabled *after* bootstrap (via the dynamic knob) so
+    // the quiet setup DDL does not wait out accumulation windows alone.
+    let db = EonDb::create(
+        s3,
+        EonConfig::new(NODES, SHARDS)
+            .observability(registry.clone())
+            .commit_group_max(group_max)
+            .commit_append_us(append_us)
+            .load_workers(1),
+    )
+    .unwrap();
+    let s = schema![("id", Int), ("val", Int)];
+    db.create_table(
+        "t",
+        s.clone(),
+        vec![Projection::super_projection("p", &s, &[0], &[0])],
+    )
+    .unwrap();
+    db.set_commit_group_window(window);
+    (db, registry)
+}
+
+/// Committed write-path state, keys included: the batched path must
+/// reproduce the serial path byte for byte under sequenced arrivals.
+fn catalog_fingerprint(db: &EonDb) -> Vec<String> {
+    let snap = db.snapshot().unwrap();
+    let mut out: Vec<String> = snap
+        .containers
+        .values()
+        .map(|c| {
+            format!(
+                "c:{}:{}:{}:{}:{}",
+                c.oid.0, c.key, c.shard, c.rows, c.size_bytes
+            )
+        })
+        .collect();
+    out.sort();
+    out.push(format!("v:{}", db.version().0));
+    out
+}
+
+fn counter(registry: &Registry, name: &str) -> u64 {
+    registry
+        .snapshot()
+        .get(&format!("{name}{{subsystem=\"commit\"}}"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0)
+}
+
+/// Determinism gate: the same sequenced single-row COPYs through the
+/// serial path and through one full batch must commit identical state.
+fn fingerprint_gate(writers: usize) -> bool {
+    let (serial, _) = build_db(0, writers, 0);
+    for i in 0..writers {
+        serial
+            .copy_into("t", vec![vec![Value::Int(i as i64), Value::Int(7)]])
+            .unwrap();
+    }
+    let (grouped, _) = build_db(500_000, writers, 0);
+    std::thread::scope(|scope| {
+        for i in 0..writers {
+            let db = grouped.clone();
+            scope.spawn(move || {
+                while db.commit_group_queued() < i {
+                    std::thread::yield_now();
+                }
+                db.copy_into("t", vec![vec![Value::Int(i as i64), Value::Int(7)]])
+                    .unwrap();
+            });
+        }
+    });
+    let (sfp, gfp) = (catalog_fingerprint(&serial), catalog_fingerprint(&grouped));
+    assert_eq!(sfp, gfp, "grouped commit changed committed catalog state");
+    true
+}
+
+fn main() {
+    let writers = env_u64("EON_BENCH_COMMIT_WRITERS", 16) as usize;
+    let per = env_u64("EON_BENCH_COMMIT_STMTS", 12) as usize;
+    let append_us = env_u64("EON_BENCH_COMMIT_APPEND_US", 200);
+    let min_speedup = env_f64("EON_BENCH_COMMIT_MIN_SPEEDUP", 1.0);
+    eprintln!(
+        "ablate_commit: {writers} writers × {per} single-row COPYs, \
+         append cost {append_us}µs/node, {NODES} nodes / {SHARDS} shards"
+    );
+
+    let state_identical = fingerprint_gate(writers.min(8));
+
+    let count_plan =
+        Plan::scan(ScanSpec::new("t")).aggregate(vec![], vec![AggSpec::count_star()]);
+    let mut table_rows = Vec::new();
+    let mut config_json = Vec::new();
+    let mut by_name: Vec<(&'static str, serde_json::Value)> = Vec::new();
+
+    for ab in CONFIGS {
+        eprintln!("config {} …", ab.name);
+        let (db, registry) = build_db(ab.window, 16, append_us);
+        let (appends0, stmts0, waits0) = (
+            counter(&registry, "commit_appends_total"),
+            counter(&registry, "commit_statements_total"),
+            counter(&registry, "commit_group_waits_total"),
+        );
+
+        // Free-running writers: each commits `per` single-row COPYs as
+        // fast as the commit protocol admits them.
+        let elapsed = time_once(|| {
+            std::thread::scope(|scope| {
+                for w in 0..writers {
+                    let db = db.clone();
+                    scope.spawn(move || {
+                        for k in 0..per {
+                            let id = (w * per + k) as i64;
+                            db.copy_into("t", vec![vec![Value::Int(id), Value::Int(1)]])
+                                .unwrap();
+                        }
+                    });
+                }
+            });
+        });
+
+        let statements = counter(&registry, "commit_statements_total") - stmts0;
+        let appends = counter(&registry, "commit_appends_total") - appends0;
+        let waits = counter(&registry, "commit_group_waits_total") - waits0;
+        assert_eq!(statements as usize, writers * per, "lost statements");
+        let rows = db.query(&count_plan).unwrap()[0][0].as_int().unwrap();
+        assert_eq!(rows as usize, writers * per, "config {}: lost rows", ab.name);
+        if ab.window > 0 {
+            assert!(
+                appends < statements,
+                "config {}: {appends} appends for {statements} statements — nothing amortized",
+                ab.name
+            );
+        }
+
+        let stmts_per_sec = statements as f64 / elapsed.as_secs_f64();
+        let record = serde_json::json!({
+            "config": ab.name,
+            "window_ticks": ab.window,
+            "elapsed_ms": elapsed.as_secs_f64() * 1e3,
+            "stmts_per_sec": stmts_per_sec,
+            "statements": statements,
+            "log_appends": appends,
+            "group_waits": waits,
+        });
+        print_json("ablate_commit", record.clone());
+        table_rows.push(vec![
+            ab.name.to_string(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+            format!("{stmts_per_sec:.0}"),
+            appends.to_string(),
+            statements.to_string(),
+        ]);
+        by_name.push((ab.name, record.clone()));
+        config_json.push(record);
+    }
+
+    print_table(
+        &format!("Group-commit ablation — {writers} writers × {per} COPYs"),
+        &["config", "elapsed ms", "stmts/s", "log appends", "statements"],
+        &table_rows,
+    );
+
+    let find = |n: &str| {
+        by_name
+            .iter()
+            .find(|(name, _)| *name == n)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    let serial = find("serial");
+    let batched = find("window8");
+    let speedup = batched["stmts_per_sec"].as_f64().unwrap()
+        / serial["stmts_per_sec"].as_f64().unwrap();
+    let acceptance = serde_json::json!({
+        "batched_faster": speedup >= min_speedup,
+        "speedup": speedup,
+        "speedup_2x": speedup >= 2.0,
+        "fewer_appends_than_statements":
+            batched["log_appends"].as_u64() < batched["statements"].as_u64(),
+        "state_identical": state_identical, // asserted above, fatal on mismatch
+    });
+    print_json("ablate_commit_acceptance", acceptance.clone());
+    assert!(
+        acceptance["batched_faster"].as_bool() == Some(true),
+        "batched commit did not reach {min_speedup}× serial throughput ({speedup:.2}×)"
+    );
+    assert!(
+        acceptance["fewer_appends_than_statements"].as_bool() == Some(true),
+        "batched commit did not amortize log appends"
+    );
+
+    update_bench_json_default(
+        "BENCH_commit.json",
+        "ablate_commit",
+        serde_json::json!({
+            "writers": writers,
+            "stmts_per_writer": per,
+            "append_cost_us": append_us,
+            "nodes": NODES,
+            "shards": SHARDS,
+            "configs": config_json,
+            "acceptance": acceptance,
+        }),
+    );
+}

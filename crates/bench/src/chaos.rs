@@ -30,7 +30,7 @@ use eon_columnar::{Predicate, Projection};
 use eon_core::{check_crash_invariants, EonConfig, EonDb, TableModel};
 use eon_exec::{AggSpec, Expr, Plan, ScanSpec};
 use eon_obs::Registry;
-use eon_storage::fault::SITES;
+use eon_storage::fault::{site, SITES};
 use eon_storage::{FaultInjector, FaultPlan, S3Config, S3SimFs};
 use eon_types::{schema, EonError, NodeId, Value};
 
@@ -327,6 +327,199 @@ pub fn flap_brownout_schedule(seed: u64) -> Result<HealthRunReport, String> {
     report.digest = h.finish();
     report.metrics = registry.deterministic_snapshot().to_string();
     Ok(report)
+}
+
+/// The group-commit crash sites, in the order the seed cycles them.
+/// Deliberately separate from [`SITES`]: the serial schedule never
+/// opens an accumulation window, so these are only reachable here.
+const GROUP_SITES: &[&str] = &[
+    site::COMMIT_LEADER_APPEND,
+    site::COMMIT_MID_DISTRIBUTION,
+    site::COMMIT_POST_APPEND,
+];
+
+/// Outcome of one group-commit crash schedule that upheld every
+/// invariant.
+#[derive(Debug, Clone)]
+pub struct GroupCommitRunReport {
+    /// The armed crash site (seed-selected from the group-commit
+    /// sites).
+    pub site: String,
+    /// Whether the batch survived the crash — true exactly when the
+    /// crash hit after the coordinator's durable batch append.
+    pub batch_durable: bool,
+    /// Orphaned objects the post-crash leak scan reclaimed.
+    pub reclaimed: usize,
+    /// Rows the table holds at the end of the schedule.
+    pub rows: usize,
+    /// Fingerprint of (site, final rows, surviving `data/` keys).
+    pub digest: u64,
+    /// Deterministic metrics snapshot (JSON text) for the whole run.
+    pub metrics: String,
+}
+
+/// Group-commit crash schedule (DESIGN.md "Group commit"): park a full
+/// batch of sequenced concurrent single-row COPYs in the accumulator,
+/// crash the batch leader at a seed-selected point — before the
+/// coordinator's durable append, mid-distribution, or after every
+/// append but before waking the members — then cold-restart the whole
+/// cluster (the leader's death loses every in-memory catalog) and
+/// verify the batch-durability invariant:
+///
+/// * **prefix-or-nothing, never a gap**: every node's durable log
+///   holds the whole batch or none of it — the batch is one atomic
+///   multi-record file;
+/// * a leader-append crash aborts the batch and the leak scan reclaims
+///   every member's orphaned upload;
+/// * a mid-distribution or post-append crash commits the batch — the
+///   laggard peers converge from the most-advanced durable log;
+/// * the cluster serves normal traffic afterwards, and the whole run
+///   replays byte-identically for the same seed (sequenced arrivals
+///   pin batch composition; `commit_group_max` closes the batch at
+///   exactly the planned membership).
+pub fn crash_schedule_group_commit(seed: u64) -> Result<GroupCommitRunReport, String> {
+    const WRITERS: usize = 4;
+    let armed = GROUP_SITES[(seed % GROUP_SITES.len() as u64) as usize];
+    let registry = Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(
+        S3Config {
+            seed,
+            ..S3Config::instant()
+        },
+        &registry,
+    ));
+    let faults = FaultPlan::inert();
+    let config = EonConfig::new(NODES, NODES)
+        .faults(faults.clone())
+        .observability(registry.clone())
+        .commit_group_max(WRITERS)
+        .load_workers(1);
+    let db = EonDb::create(s3.clone(), config).map_err(|e| format!("create: {e}"))?;
+    let s = schema![("id", Int), ("v", Int)];
+    db.create_table(
+        "t",
+        s.clone(),
+        vec![Projection::super_projection("p", &s, &[0], &[0])],
+    )
+    .map_err(|e| format!("create_table: {e}"))?;
+
+    let mut model = TableModel::new("t");
+    let base = int_rows(0..200);
+    db.copy_into("t", base.clone())
+        .map_err(|e| format!("base copy: {e}"))?;
+    model.rows.extend(base);
+
+    // Arm the crash and open the window only now: bootstrap ran serial
+    // and quiet, so occurrence 0 of the armed site is the batch's.
+    let v0 = db.version();
+    faults.rearm(armed, 0, None);
+    db.set_commit_group_window(500_000);
+
+    // Sequenced arrivals: writer `i` starts once `i` statements are
+    // parked, so batch composition (and upload order) is the plan's,
+    // not the scheduler's. `commit_group_max == WRITERS` closes the
+    // batch at exactly the planned membership.
+    let batch_rows: Vec<Vec<Value>> = (0..WRITERS)
+        .map(|i| vec![Value::Int(10_000 + i as i64), Value::Int(1)])
+        .collect();
+    let outcomes: Vec<eon_types::Result<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|i| {
+                let db = db.clone();
+                let row = batch_rows[i].clone();
+                scope.spawn(move || {
+                    while db.commit_group_queued() < i {
+                        std::thread::yield_now();
+                    }
+                    db.copy_into("t", vec![row])
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, o) in outcomes.iter().enumerate() {
+        match o {
+            Err(EonError::FaultInjected(_)) => {}
+            other => {
+                return Err(format!(
+                    "site {armed}: writer {i} expected a crash, got {other:?}"
+                ))
+            }
+        }
+    }
+
+    // The leader process died: every in-memory catalog is gone. Each
+    // node recovers from its local durable log alone, laggards replay
+    // the most-advanced log's tail.
+    let tip = db
+        .cold_restart_all()
+        .map_err(|e| format!("site {armed}: cold restart: {e}"))?;
+    let expect_durable = armed != site::COMMIT_LEADER_APPEND;
+    let batch_durable = tip.0 == v0.0 + WRITERS as u64;
+    if batch_durable != expect_durable {
+        return Err(format!(
+            "site {armed}: batch durable={batch_durable}, expected {expect_durable} (v0 {} tip {})",
+            v0.0, tip.0
+        ));
+    }
+    // Prefix-or-nothing on every node: the whole batch or none of it,
+    // never a partial suffix of members missing.
+    let want = if expect_durable { WRITERS } else { 0 };
+    for node in db.membership().up_nodes() {
+        let got = node
+            .store
+            .read_records_after(v0)
+            .map_err(|e| format!("read_records_after: {e}"))?
+            .len();
+        if got != want {
+            return Err(format!(
+                "site {armed}: {} holds {got} batch records durably, want {want}",
+                node.id
+            ));
+        }
+    }
+    if expect_durable {
+        model.rows.extend(batch_rows.iter().cloned());
+    }
+
+    // Normal service resumes (small window: a lone statement commits as
+    // a singleton batch without waiting out the chaos window).
+    db.set_commit_group_window(2);
+    let extra = int_rows(200..260);
+    db.copy_into("t", extra.clone())
+        .map_err(|e| format!("site {armed}: post-crash copy: {e}"))?;
+    model.rows.extend(extra);
+
+    // Invariants: committed data answers exactly; an aborted batch's
+    // uploads are crash orphans the leak scan must reclaim (the abort
+    // path deliberately leaves them — the "process died").
+    let report = check_crash_invariants(&db, std::slice::from_ref(&model))
+        .map_err(|e| format!("site {armed}: invariants: {e}"))?;
+    let reclaimed = report.reclaimed.len();
+    if !expect_durable && reclaimed < WRITERS {
+        return Err(format!(
+            "site {armed}: aborted batch left only {reclaimed} reclaimable orphans, want >= {WRITERS}"
+        ));
+    }
+
+    let rows = scan_sorted(&db)?;
+    let mut keys = db
+        .shared()
+        .list("data/")
+        .map_err(|e| format!("list: {e}"))?;
+    keys.sort();
+    let mut h = DefaultHasher::new();
+    armed.hash(&mut h);
+    format!("{rows:?}").hash(&mut h);
+    keys.hash(&mut h);
+    Ok(GroupCommitRunReport {
+        site: armed.to_owned(),
+        batch_durable,
+        reclaimed,
+        rows: rows.len(),
+        digest: h.finish(),
+        metrics: registry.deterministic_snapshot().to_string(),
+    })
 }
 
 /// Run the full crash schedule with `plan` armed. Returns the report

@@ -36,6 +36,39 @@ impl TxnRecord {
     }
 }
 
+/// Encode a group-commit batch as one log file: a JSON array of
+/// records. The array brace is the format discriminator — single
+/// records serialize as objects, so [`decode_log_file`] can dispatch on
+/// the leading byte.
+pub fn encode_batch(records: &[TxnRecord]) -> Bytes {
+    Bytes::from(serde_json::to_vec(records).expect("txn batch serialization cannot fail"))
+}
+
+/// Decode a log file that may hold either a single [`TxnRecord`] or a
+/// group-commit batch of them. Batches must be non-empty and hold
+/// consecutive versions — a malformed batch is corruption, not a gap.
+pub fn decode_log_file(data: &[u8]) -> Result<Vec<TxnRecord>> {
+    let records = if data.first() == Some(&b'[') {
+        let records: Vec<TxnRecord> = serde_json::from_slice(data)
+            .map_err(|e| EonError::Corrupt(format!("bad txn batch: {e}")))?;
+        if records.is_empty() {
+            return Err(EonError::Corrupt("empty txn batch".into()));
+        }
+        records
+    } else {
+        vec![TxnRecord::decode(data)?]
+    };
+    for pair in records.windows(2) {
+        if pair[1].version != pair[0].version.next() {
+            return Err(EonError::Corrupt(format!(
+                "non-consecutive txn batch: {} then {}",
+                pair[0].version.0, pair[1].version.0
+            )));
+        }
+    }
+    Ok(records)
+}
+
 /// A full catalog snapshot labelled with its version, so it "can be
 /// ordered relative to the transaction logs".
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,14 +95,60 @@ pub fn txn_key(prefix: &str, version: TxnVersion) -> String {
     format!("{prefix}txn/{:020}", version.0)
 }
 
+/// Key for a group-commit batch holding versions `lo..=hi`. The lexico-
+/// graphic position is fixed by the zero-padded `lo` (and `-` sorts
+/// before every digit), so batch files interleave correctly with
+/// single-record files in `list`-based replay.
+pub fn txn_batch_key(prefix: &str, lo: TxnVersion, hi: TxnVersion) -> String {
+    format!("{prefix}txn/{:020}-{:020}", lo.0, hi.0)
+}
+
 /// Key for the checkpoint at `version` under `prefix`.
 pub fn ckpt_key(prefix: &str, version: TxnVersion) -> String {
     format!("{prefix}ckpt/{:020}", version.0)
 }
 
-/// Parse the version out of a `txn_key`/`ckpt_key`-shaped key.
+/// A version component is exactly the 20-digit zero-padded form the key
+/// constructors emit — anything looser would let stray numeric-suffixed
+/// objects under the catalog prefix be ingested by list-based replay.
+fn parse_padded(s: &str) -> Option<TxnVersion> {
+    if s.len() == 20 && s.bytes().all(|b| b.is_ascii_digit()) {
+        s.parse::<u64>().ok().map(TxnVersion)
+    } else {
+        None
+    }
+}
+
+/// The `txn/` / `ckpt/` path component of a log key, or `None` if the
+/// key is not shaped like one of ours.
+fn log_kind_component(key: &str) -> Option<&str> {
+    let mut it = key.rsplit('/');
+    let last = it.next()?;
+    matches!(it.next(), Some("txn" | "ckpt")).then_some(last)
+}
+
+/// Parse the version out of a `txn_key`/`ckpt_key`-shaped key. Requires
+/// the `txn/`/`ckpt/` component and the exact zero-padded shape; batch
+/// keys and any other object under the prefix return `None`.
 pub fn version_of_key(key: &str) -> Option<TxnVersion> {
-    key.rsplit('/').next()?.parse::<u64>().ok().map(TxnVersion)
+    parse_padded(log_kind_component(key)?)
+}
+
+/// Parse the inclusive version range of a log key: `(v, v)` for a
+/// single-record key, `(lo, hi)` for a batch key. `None` for anything
+/// that is not a well-formed log key.
+pub fn version_range_of_key(key: &str) -> Option<(TxnVersion, TxnVersion)> {
+    let last = log_kind_component(key)?;
+    if let Some(v) = parse_padded(last) {
+        return Some((v, v));
+    }
+    let (lo, hi) = last.split_once('-')?;
+    let (lo, hi) = (parse_padded(lo)?, parse_padded(hi)?);
+    if lo <= hi {
+        Some((lo, hi))
+    } else {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +188,74 @@ mod tests {
         assert!(a < b && b < c);
         assert_eq!(version_of_key(&c), Some(TxnVersion(100)));
         assert_eq!(version_of_key("meta/ckpt/nope"), None);
+    }
+
+    #[test]
+    fn version_of_key_requires_log_shape() {
+        // Wrong path component: numeric suffix alone must not parse.
+        assert_eq!(version_of_key("catalog/junk/00000000000000000007"), None);
+        // Unpadded or otherwise malformed version components.
+        assert_eq!(version_of_key("catalog/txn/7"), None);
+        assert_eq!(version_of_key("catalog/txn/0000000000000000007x"), None);
+        assert_eq!(version_of_key("txn"), None);
+        // The exact constructor shapes still parse.
+        assert_eq!(
+            version_of_key(&txn_key("catalog/", TxnVersion(7))),
+            Some(TxnVersion(7))
+        );
+        assert_eq!(
+            version_of_key(&ckpt_key("meta/inc0/", TxnVersion(3))),
+            Some(TxnVersion(3))
+        );
+        // Batch keys are not single-version keys.
+        assert_eq!(
+            version_of_key(&txn_batch_key("catalog/", TxnVersion(4), TxnVersion(6))),
+            None
+        );
+    }
+
+    #[test]
+    fn version_range_of_key_parses_both_shapes() {
+        assert_eq!(
+            version_range_of_key(&txn_key("catalog/", TxnVersion(7))),
+            Some((TxnVersion(7), TxnVersion(7)))
+        );
+        assert_eq!(
+            version_range_of_key(&txn_batch_key("catalog/", TxnVersion(4), TxnVersion(6))),
+            Some((TxnVersion(4), TxnVersion(6)))
+        );
+        // Inverted ranges and junk paths are rejected.
+        assert_eq!(
+            version_range_of_key(&txn_batch_key("catalog/", TxnVersion(6), TxnVersion(4))),
+            None
+        );
+        assert_eq!(version_range_of_key("catalog/junk/00000000000000000007"), None);
+    }
+
+    #[test]
+    fn batch_keys_interleave_with_single_keys() {
+        // A batch covering 7..=9 must sort after txn 6 and before txn 10
+        // by its lo component.
+        let before = txn_key("catalog/", TxnVersion(6));
+        let batch = txn_batch_key("catalog/", TxnVersion(7), TxnVersion(9));
+        let after = txn_key("catalog/", TxnVersion(10));
+        assert!(before < batch && batch < after);
+    }
+
+    #[test]
+    fn batch_roundtrip_and_dispatch() {
+        let recs: Vec<TxnRecord> = (1..=3)
+            .map(|v| TxnRecord {
+                version: TxnVersion(v),
+                ops: vec![CatalogOp::DropTable(Oid(v))],
+            })
+            .collect();
+        assert_eq!(decode_log_file(&encode_batch(&recs)).unwrap(), recs);
+        // Single-record files decode through the same entry point.
+        assert_eq!(decode_log_file(&recs[0].encode()).unwrap(), recs[..1]);
+        // Empty or gapped batches are corruption.
+        assert!(decode_log_file(b"[]").is_err());
+        let gapped = vec![recs[0].clone(), recs[2].clone()];
+        assert!(decode_log_file(&encode_batch(&gapped)).is_err());
     }
 }

@@ -14,7 +14,10 @@ use parking_lot::Mutex;
 use eon_storage::fault::{site, FaultPlan};
 use eon_storage::{FaultInjector, SharedFs};
 
-use crate::log::{ckpt_key, txn_key, version_of_key, Checkpoint, TxnRecord};
+use crate::log::{
+    ckpt_key, decode_log_file, encode_batch, txn_batch_key, txn_key, version_of_key,
+    version_range_of_key, Checkpoint, TxnRecord,
+};
 use crate::state::CatalogState;
 
 /// The range of versions a node can revive to from shared storage
@@ -78,6 +81,26 @@ impl CatalogStore {
             .write(&txn_key(LOCAL_PREFIX, record.version), record.encode())
     }
 
+    /// Append a group-commit batch as **one** local log file (one write
+    /// = one durability point for the whole batch: after a crash either
+    /// every record in the file is replayable or none is, which is how
+    /// the prefix-or-nothing batch invariant is kept). Records must be
+    /// consecutive versions in order; a singleton batch degenerates to
+    /// the plain single-record file so the log shape is identical to
+    /// serial commit.
+    pub fn append_local_batch(&self, records: &[TxnRecord]) -> Result<()> {
+        match records {
+            [] => Ok(()),
+            [one] => self.append_local(one),
+            many => {
+                let (lo, hi) = (many[0].version, many[many.len() - 1].version);
+                debug_assert_eq!(hi.0 - lo.0 + 1, many.len() as u64);
+                self.local
+                    .write(&txn_batch_key(LOCAL_PREFIX, lo, hi), encode_batch(many))
+            }
+        }
+    }
+
     /// Write a checkpoint locally and prune old checkpoints + the log
     /// records they subsume, retaining [`CHECKPOINTS_RETAINED`].
     pub fn write_checkpoint(&self, ckpt: &Checkpoint) -> Result<()> {
@@ -93,9 +116,11 @@ impl CatalogStore {
                 self.local.delete(k)?;
             }
             // Logs at or before the oldest retained checkpoint are
-            // subsumed by it.
+            // subsumed by it. A batch file straddling the floor is kept
+            // whole — replay from the checkpoint skips its subsumed
+            // prefix.
             for k in self.local.list(&format!("{LOCAL_PREFIX}txn/"))? {
-                if version_of_key(&k).map(|v| v <= floor).unwrap_or(false) {
+                if version_range_of_key(&k).map(|(_, hi)| hi <= floor).unwrap_or(false) {
                     self.local.delete(&k)?;
                 }
             }
@@ -126,7 +151,7 @@ impl CatalogStore {
                     })?;
                 }
                 if kind == "txn/" {
-                    if let Some(v) = version_of_key(&lk) {
+                    if let Some((_, v)) = version_range_of_key(&lk) {
                         let mut hi = self.uploaded_hi.lock();
                         if v > *hi {
                             *hi = v;
@@ -149,7 +174,7 @@ impl CatalogStore {
             .unwrap_or(TxnVersion::ZERO);
         let hi = txns
             .iter()
-            .filter_map(|k| version_of_key(k))
+            .filter_map(|k| version_range_of_key(k).map(|(_, hi)| hi))
             .max()
             .unwrap_or(lo)
             .max(
@@ -207,22 +232,30 @@ impl CatalogStore {
         };
         // Replay logs after the checkpoint, in version order, stopping
         // at the first gap (later records cannot be applied soundly).
-        let mut logs: Vec<(TxnVersion, String)> = fs
+        // A log file may be a single record or a group-commit batch;
+        // batch files straddling the checkpoint or the truncation point
+        // contribute only their in-range records.
+        let mut logs: Vec<(TxnVersion, TxnVersion, String)> = fs
             .list(&format!("{prefix}txn/"))?
             .into_iter()
-            .filter_map(|k| version_of_key(&k).map(|v| (v, k)))
-            .filter(|(v, _)| *v > version && in_range(*v))
+            .filter_map(|k| version_range_of_key(&k).map(|(lo, hi)| (lo, hi, k)))
+            .filter(|(lo, hi, _)| *hi > version && upto.map(|u| *lo <= u).unwrap_or(true))
             .collect();
         logs.sort();
-        for (v, key) in logs {
-            if v != version.next() {
-                break;
+        'files: for (_, _, key) in logs {
+            for rec in decode_log_file(&fs.read(&key)?)? {
+                let v = rec.version;
+                if v <= version {
+                    continue; // subsumed by the checkpoint
+                }
+                if !in_range(v) || v != version.next() {
+                    break 'files;
+                }
+                for op in &rec.ops {
+                    state.apply(op, v)?;
+                }
+                version = v;
             }
-            let rec = TxnRecord::decode(&fs.read(&key)?)?;
-            for op in &rec.ops {
-                state.apply(op, v)?;
-            }
-            version = v;
         }
         Ok((state, version))
     }
@@ -234,22 +267,27 @@ impl CatalogStore {
     /// non-trivial `after` may mean the logs were pruned by
     /// checkpointing, in which case the peer ships a full snapshot.
     pub fn read_records_after(&self, after: TxnVersion) -> Result<Vec<TxnRecord>> {
-        let mut found: Vec<(TxnVersion, String)> = self
+        let mut found: Vec<(TxnVersion, TxnVersion, String)> = self
             .local
             .list(&format!("{LOCAL_PREFIX}txn/"))?
             .into_iter()
-            .filter_map(|k| version_of_key(&k).map(|v| (v, k)))
-            .filter(|(v, _)| *v > after)
+            .filter_map(|k| version_range_of_key(&k).map(|(lo, hi)| (lo, hi, k)))
+            .filter(|(_, hi, _)| *hi > after)
             .collect();
         found.sort();
         let mut out = Vec::with_capacity(found.len());
         let mut expect = after.next();
-        for (v, key) in found {
-            if v != expect {
-                break;
+        'files: for (_, _, key) in found {
+            for rec in decode_log_file(&self.local.read(&key)?)? {
+                if rec.version <= after {
+                    continue; // batch prefix the peer already has
+                }
+                if rec.version != expect {
+                    break 'files;
+                }
+                expect = rec.version.next();
+                out.push(rec);
             }
-            out.push(TxnRecord::decode(&self.local.read(&key)?)?);
-            expect = v.next();
         }
         Ok(out)
     }
@@ -262,8 +300,21 @@ impl CatalogStore {
     pub fn truncate_local(&self, truncation: TxnVersion, state: &CatalogState) -> Result<()> {
         for kind in ["txn/", "ckpt/"] {
             for k in self.local.list(&format!("{LOCAL_PREFIX}{kind}"))? {
-                if version_of_key(&k).map(|v| v > truncation).unwrap_or(false) {
+                let Some((lo, hi)) = version_range_of_key(&k) else {
+                    continue;
+                };
+                if lo > truncation {
                     self.local.delete(&k)?;
+                } else if hi > truncation {
+                    // A batch straddling the truncation point: rewrite
+                    // it to its surviving prefix so local recovery can
+                    // never resurrect truncated commits.
+                    let keep: Vec<TxnRecord> = decode_log_file(&self.local.read(&k)?)?
+                        .into_iter()
+                        .filter(|r| r.version <= truncation)
+                        .collect();
+                    self.local.delete(&k)?;
+                    self.append_local_batch(&keep)?;
                 }
             }
         }
@@ -300,6 +351,28 @@ mod tests {
         let rec = cat.commit(t).unwrap();
         store.append_local(&rec).unwrap();
         rec
+    }
+
+    /// Commit `names` as consecutive versions and durably append them
+    /// as one batch log file (the group-commit shape).
+    fn commit_batch(cat: &Catalog, store: &CatalogStore, names: &[&str]) -> Vec<TxnRecord> {
+        let recs: Vec<TxnRecord> = names
+            .iter()
+            .map(|name| {
+                let mut t = cat.begin();
+                let oid = cat.next_oid();
+                t.push(CatalogOp::CreateTable(Table {
+                    oid,
+                    name: (*name).into(),
+                    schema: schema![("a", Int)],
+                    projections: vec![],
+                    defaults: vec![Value::Null],
+                }));
+                cat.commit(t).unwrap()
+            })
+            .collect();
+        store.append_local_batch(&recs).unwrap();
+        recs
     }
 
     #[test]
@@ -404,6 +477,93 @@ mod tests {
         let (state, version) = store.recover_local().unwrap();
         assert_eq!(version, TxnVersion(1));
         assert_eq!(state.tables.len(), 1);
+    }
+
+    #[test]
+    fn batch_append_recovers_like_serial() {
+        let (local, shared) = fses();
+        let local2 = local.clone();
+        let store = CatalogStore::new(local, shared, "inc0");
+        let cat = Catalog::new();
+        commit_table(&cat, &store, "t1");
+        commit_batch(&cat, &store, &["t2", "t3", "t4"]);
+        commit_table(&cat, &store, "t5");
+        // Three log files cover five versions.
+        assert_eq!(local2.list("catalog/txn/").unwrap().len(), 3);
+        let (state, version) = store.recover_local().unwrap();
+        assert_eq!(version, TxnVersion(5));
+        assert_eq!(state.tables.len(), 5);
+        // Catch-up streaming crosses the batch boundary mid-file.
+        let recs = store.read_records_after(TxnVersion(2)).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.version.0).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn batches_sync_to_shared_and_raise_interval() {
+        let (local, shared) = fses();
+        let store = CatalogStore::new(local, shared.clone(), "inc0");
+        let cat = Catalog::new();
+        commit_batch(&cat, &store, &["t1", "t2", "t3"]);
+        let si = store.sync_to_shared().unwrap();
+        assert_eq!(si.hi, TxnVersion(3));
+        let (state, version) = store.recover_from_shared(TxnVersion(3)).unwrap();
+        assert_eq!(version, TxnVersion(3));
+        assert_eq!(state.tables.len(), 3);
+        // Truncating into the middle of the batch replays its prefix.
+        let (state, version) = store.recover_from_shared(TxnVersion(2)).unwrap();
+        assert_eq!(version, TxnVersion(2));
+        assert!(state.table_by_name("t3").is_none());
+    }
+
+    #[test]
+    fn planted_junk_key_is_ignored_by_recover() {
+        let (local, shared) = fses();
+        let local2 = local.clone();
+        let store = CatalogStore::new(local, shared, "inc0");
+        let cat = Catalog::new();
+        commit_table(&cat, &store, "t1");
+        // A stray numeric-suffixed object under the catalog prefix must
+        // not be ingested by list-based replay as a txn record.
+        local2
+            .write("catalog/junk/00000000000000000007", bytes::Bytes::from("x"))
+            .unwrap();
+        local2
+            .write("catalog/txn/junk/00000000000000000002", bytes::Bytes::from("x"))
+            .unwrap();
+        let (state, version) = store.recover_local().unwrap();
+        assert_eq!(version, TxnVersion(1));
+        assert_eq!(state.tables.len(), 1);
+    }
+
+    #[test]
+    fn truncate_rewrites_straddling_batch() {
+        let (local, shared) = fses();
+        let local2 = local.clone();
+        let store = CatalogStore::new(local, shared, "inc0");
+        let cat = Catalog::new();
+        commit_table(&cat, &store, "t1");
+        commit_batch(&cat, &store, &["t2", "t3", "t4"]);
+        // Truncate to version 2 — inside the batch file covering 2..=4.
+        let (state, v) = CatalogStore::recover_from(
+            local2.as_ref(),
+            "catalog/",
+            Some(TxnVersion(2)),
+        )
+        .unwrap();
+        assert_eq!(v, TxnVersion(2));
+        store.truncate_local(TxnVersion(2), &state).unwrap();
+        // No surviving file may reach past the truncation point.
+        for k in local2.list("catalog/txn/").unwrap() {
+            let (_, hi) = version_range_of_key(&k).unwrap();
+            assert!(hi <= TxnVersion(2), "{k} survived truncation");
+        }
+        let (rec_state, rec_v) = store.recover_local().unwrap();
+        assert_eq!(rec_v, TxnVersion(2));
+        assert_eq!(rec_state.tables.len(), 2);
+        assert!(rec_state.table_by_name("t3").is_none());
     }
 
     #[test]

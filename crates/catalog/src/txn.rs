@@ -225,6 +225,50 @@ impl Catalog {
         Ok(())
     }
 
+    /// Apply a consecutive run of records committed elsewhere with
+    /// **one** scratch clone — the group-commit distribution path, which
+    /// amortizes the copy-on-write cost [`Self::apply_committed`] pays
+    /// per record. All-or-nothing: the swap happens only after every
+    /// record applies, so a failure leaves the catalog at its prior
+    /// version (same contract a single failed `apply_committed` has).
+    pub fn apply_committed_batch(&self, records: &[TxnRecord]) -> Result<()> {
+        let Some(first) = records.first() else {
+            return Ok(());
+        };
+        let mut g = self.inner.lock();
+        if first.version != g.version.next() {
+            return Err(EonError::Catalog(format!(
+                "out-of-order log record {} applied at {}",
+                first.version, g.version
+            )));
+        }
+        let mut scratch = (*g.state).clone();
+        let mut version = g.version;
+        for record in records {
+            if record.version != version.next() {
+                return Err(EonError::Catalog(format!(
+                    "gap in batch: record {} after {}",
+                    record.version, version
+                )));
+            }
+            for op in &record.ops {
+                scratch.apply(op, record.version)?;
+            }
+            version = record.version;
+        }
+        g.state = Arc::new(scratch);
+        g.version = version;
+        drop(g);
+        for oid in records
+            .iter()
+            .flat_map(|r| r.ops.iter())
+            .flat_map(touched_oids)
+        {
+            self.bump_oid_floor(oid.0);
+        }
+        Ok(())
+    }
+
     /// Install a recovered snapshot (checkpoint load, revive, metadata
     /// transfer from a peer).
     pub fn install(&self, state: CatalogState, version: TxnVersion) {
@@ -356,6 +400,34 @@ mod tests {
         }
         assert_eq!(dst.version(), src.version());
         assert_eq!(*dst.snapshot(), *src.snapshot());
+    }
+
+    #[test]
+    fn apply_committed_batch_matches_serial_application() {
+        let src = Catalog::new();
+        let serial = Catalog::new();
+        let batched = Catalog::new();
+        let recs: Vec<TxnRecord> = ["t1", "t2", "t3"]
+            .iter()
+            .map(|name| {
+                let mut t = src.begin();
+                let (_, op) = table_op(&src, name);
+                t.push(op);
+                src.commit(t).unwrap()
+            })
+            .collect();
+        for r in &recs {
+            serial.apply_committed(r).unwrap();
+        }
+        batched.apply_committed_batch(&recs).unwrap();
+        assert_eq!(batched.version(), serial.version());
+        assert_eq!(*batched.snapshot(), *serial.snapshot());
+        // Out-of-order batch rejected without mutating state.
+        assert!(batched.apply_committed_batch(&recs).is_err());
+        assert_eq!(batched.version(), TxnVersion(3));
+        // Empty batch is a no-op.
+        batched.apply_committed_batch(&[]).unwrap();
+        assert_eq!(batched.version(), TxnVersion(3));
     }
 
     #[test]

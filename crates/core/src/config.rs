@@ -127,6 +127,21 @@ pub struct EonConfig {
     /// the supervisor re-admits it through the `restart_node` path.
     /// `0` disables auto-restart (detection and takeover still run).
     pub supervisor_restart_ticks: u64,
+    /// Group commit (DESIGN.md "Group commit"): how many deterministic
+    /// accumulation ticks the batch leader waits for followers to join
+    /// before closing the batch. `0` = serial commit, today's shape:
+    /// every statement pays its own log append and distribution
+    /// round-trip.
+    pub commit_group_window: u64,
+    /// Max statements per commit batch; the leader closes the batch
+    /// early when it fills. Ignored while the window is 0.
+    pub commit_group_max: usize,
+    /// Simulated per-append log fsync cost, microseconds (0 = off).
+    /// Models the fixed durable-write latency a real redo log pays per
+    /// append — the cost group commit amortizes. Needed for commit
+    /// throughput experiments because the in-process local log is a
+    /// MemFs with free writes (same reason `fragment_ms` exists).
+    pub commit_append_us: u64,
 }
 
 impl Default for EonConfig {
@@ -164,6 +179,9 @@ impl Default for EonConfig {
             health_down_after: 4,
             health_recover_after: 2,
             supervisor_restart_ticks: 4,
+            commit_group_window: 0,
+            commit_group_max: 16,
+            commit_append_us: 0,
         }
     }
 }
@@ -323,6 +341,24 @@ impl EonConfig {
     /// Supervisor auto-restart delay in ticks (`0` = off).
     pub fn supervisor_restart_ticks(mut self, ticks: u64) -> Self {
         self.supervisor_restart_ticks = ticks;
+        self
+    }
+
+    /// Group-commit accumulation window in ticks (`0` = serial commit).
+    pub fn commit_group_window(mut self, ticks: u64) -> Self {
+        self.commit_group_window = ticks;
+        self
+    }
+
+    /// Max statements per commit batch.
+    pub fn commit_group_max(mut self, n: usize) -> Self {
+        self.commit_group_max = n.max(1);
+        self
+    }
+
+    /// Simulated per-append log fsync cost, microseconds (`0` = off).
+    pub fn commit_append_us(mut self, us: u64) -> Self {
+        self.commit_append_us = us;
         self
     }
 }

@@ -43,6 +43,20 @@ pub struct EonDb {
     /// Self-healing supervisor state: the failure detector plus repair
     /// bookkeeping, driven by [`EonDb::supervise_tick`].
     pub(crate) supervisor: Mutex<crate::supervisor::SupervisorState>,
+    /// Group-commit accumulator (DESIGN.md "Group commit"); idle unless
+    /// the window is non-zero.
+    pub(crate) group_commit: crate::commit::GroupCommit,
+    /// Live group-commit window, ticks (`EonConfig::commit_group_window`
+    /// seeds it). Dynamic so a harness can bring the cluster up with
+    /// serial commits and then enable batching for the workload under
+    /// test — bootstrap DDL has no concurrency to amortize against and
+    /// would otherwise wait out the whole window alone.
+    pub(crate) commit_group_window: AtomicU64,
+    /// Set when metadata divergence is detected (§3.4): a node applied
+    /// a record in memory but could not persist it, or refused a record
+    /// its peers accepted. A halted cluster reports `Down` from
+    /// [`EonDb::cluster_health`] and admits nothing further.
+    pub(crate) halted: Mutex<Option<String>>,
 }
 
 impl EonDb {
@@ -79,6 +93,9 @@ impl EonDb {
             ),
             breaker,
             supervisor: Mutex::new(crate::supervisor::SupervisorState::new(&config)),
+            group_commit: crate::commit::GroupCommit::new(),
+            commit_group_window: AtomicU64::new(config.commit_group_window),
+            halted: Mutex::new(None),
             config,
         });
         for i in 0..db.config.num_nodes {
@@ -285,9 +302,50 @@ impl EonDb {
     /// record to every other up node (§3.2's eager metadata
     /// redistribution — all subscribers have the metadata at commit).
     /// Down nodes miss records and repair via re-subscription (§3.3).
-    pub(crate) fn commit_cluster(&self, txn: Txn, coordinator: &NodeRuntime) -> Result<TxnRecord> {
+    /// With a non-zero group window the statement instead joins the
+    /// group-commit accumulator (DESIGN.md "Group commit").
+    pub(crate) fn commit_cluster(
+        &self,
+        txn: Txn,
+        coordinator: &Arc<NodeRuntime>,
+    ) -> Result<TxnRecord> {
+        if self.commit_group_window() > 0 {
+            return self.commit_grouped(txn, coordinator.clone(), None);
+        }
         let _g = self.commit_lock.lock();
         self.commit_cluster_locked(txn, coordinator)
+    }
+
+    /// The live group-commit accumulation window, in ticks (`0` =
+    /// serial commit).
+    pub fn commit_group_window(&self) -> u64 {
+        self.commit_group_window.load(Ordering::Relaxed)
+    }
+
+    /// Change the group-commit window at runtime. `0` restores serial
+    /// commit; statements already parked in the accumulator finish
+    /// under the window they arrived with.
+    pub fn set_commit_group_window(&self, ticks: u64) {
+        self.commit_group_window.store(ticks, Ordering::Relaxed);
+    }
+
+    /// Record metadata divergence (§3.4: "the cluster shuts down" —
+    /// once nodes disagree, serving anything risks wrong answers) and
+    /// return the typed error. The halt flag makes every later
+    /// admission fail via [`EonDb::cluster_health`].
+    pub(crate) fn declare_divergence(&self, node: NodeId, e: &EonError) -> EonError {
+        let msg = format!("metadata divergence on {node}: {e}");
+        *self.halted.lock() = Some(msg.clone());
+        EonError::ClusterDown(msg)
+    }
+
+    /// Simulated fixed durable-append cost (`EonConfig::
+    /// commit_append_us`) — charged per log-file append so group commit
+    /// has the fsync economics the real redo log has.
+    pub(crate) fn charge_append_cost(&self) {
+        if self.config.commit_append_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.config.commit_append_us));
+        }
     }
 
     /// Commit with the lock already held (used by the load path, which
@@ -305,17 +363,30 @@ impl EonDb {
         // actually reaches zero.
         let dropped_keys = Self::dropped_keys(&txn);
         let rec = coordinator.catalog.commit(txn)?;
+        self.charge_append_cost();
         coordinator.store.append_local(&rec)?;
+        let metrics = crate::commit::CommitMetrics::register(&self.config.obs);
+        metrics.statements.inc();
+        metrics.appends.inc();
         for node in self.membership.up_nodes() {
             if node.id == coordinator.id {
                 continue;
             }
             // All up nodes advance in lockstep; failure here would mean
             // divergence, which §3.4 says must shut the cluster down.
-            node.catalog.apply_committed(&rec).map_err(|e| {
-                EonError::ClusterDown(format!("metadata divergence on {}: {e}", node.id))
-            })?;
-            node.store.append_local(&rec)?;
+            node.catalog
+                .apply_committed(&rec)
+                .map_err(|e| self.declare_divergence(node.id, &e))?;
+            // A peer that applied in memory but cannot persist the
+            // record is just as divergent: its next local recovery
+            // would silently rewind behind the cluster. Same §3.4
+            // classification — never a retryable storage error.
+            self.charge_append_cost();
+            self.config
+                .faults
+                .hit_node(eon_storage::fault::site::COMMIT_PEER_APPEND, node.id.0)
+                .and_then(|()| node.store.append_local(&rec))
+                .map_err(|e| self.declare_divergence(node.id, &e))?;
         }
         // Reference count (§6.5): only keys with no remaining catalog
         // reference become deletion candidates.
@@ -333,7 +404,7 @@ impl EonDb {
 
     /// Shared-storage keys orphaned by a transaction's drop ops,
     /// resolved against the transaction's snapshot (before apply).
-    fn dropped_keys(txn: &Txn) -> Vec<String> {
+    pub(crate) fn dropped_keys(txn: &Txn) -> Vec<String> {
         let snap = txn.snapshot();
         let mut keys = Vec::new();
         for op in txn.ops() {

@@ -21,6 +21,7 @@
 //!   and `revive` (§3.5).
 
 pub mod admission;
+pub mod commit;
 pub mod config;
 pub mod db;
 pub mod ddl;

@@ -140,6 +140,65 @@ impl EonDb {
         Ok(id)
     }
 
+    /// Whole-cluster process crash: every node's memory is lost at
+    /// once, local disks survive. The group-commit fault sites model
+    /// the batch *leader* dying, and in this in-process cluster the
+    /// leader's death takes every in-memory catalog with it — so unlike
+    /// [`EonDb::restart_node`], no surviving peer exists to snapshot
+    /// from, and recovery must come from the durable logs alone.
+    ///
+    /// Every node recovers from its own local log (§3.5's durability
+    /// point), then nodes behind the most-advanced *durable* log replay
+    /// its tail — never a surviving in-memory catalog, because there is
+    /// none. A mid-distribution crash (coordinator appended, some peers
+    /// did not) converges here: the batch append is one atomic file, so
+    /// each log holds the whole batch or nothing, and the laggards
+    /// stream the missing records. Returns the converged version.
+    pub fn cold_restart_all(&self) -> Result<TxnVersion> {
+        let mut nodes: Vec<Arc<NodeRuntime>> = Vec::new();
+        for old in self.membership.all() {
+            if old.is_up() {
+                old.kill();
+            }
+            let seed = self.instance_seed.fetch_add(1, Ordering::Relaxed);
+            let node = NodeRuntime::with_local_disk(
+                old.id,
+                old.local_disk.clone(),
+                self.shared.clone(),
+                &format!("{}/node{}", self.incarnation(), old.id.0),
+                self.config.cache_bytes,
+                self.config.exec_slots,
+                seed,
+            );
+            node.set_faults(self.config.faults.clone());
+            node.recover_local()?;
+            nodes.push(node);
+        }
+        let tip = nodes
+            .iter()
+            .max_by_key(|n| n.catalog.version())
+            .cloned()
+            .ok_or_else(|| EonError::ClusterDown("no nodes to cold-restart".into()))?;
+        for node in &nodes {
+            while node.catalog.version() < tip.catalog.version() {
+                let records = tip.store.read_records_after(node.catalog.version())?;
+                if records.is_empty() {
+                    return Err(EonError::Corrupt(format!(
+                        "cold restart: {} cannot reach v{} from durable logs",
+                        node.id,
+                        tip.catalog.version().0
+                    )));
+                }
+                for rec in records {
+                    node.catalog.apply_committed(&rec)?;
+                    node.store.append_local(&rec)?;
+                }
+            }
+            self.membership.add(node.clone());
+        }
+        Ok(tip.catalog.version())
+    }
+
     /// Remove a node (§6.4): move its responsibilities elsewhere first
     /// (REMOVING until safe, §3.3), then decommission.
     pub fn remove_node(&self, id: NodeId) -> Result<()> {
@@ -357,6 +416,9 @@ impl EonDb {
             ),
             breaker,
             supervisor: parking_lot::Mutex::new(crate::supervisor::SupervisorState::new(&config)),
+            group_commit: crate::commit::GroupCommit::new(),
+            commit_group_window: std::sync::atomic::AtomicU64::new(config.commit_group_window),
+            halted: parking_lot::Mutex::new(None),
             config,
         });
         for i in 0..db.config.num_nodes {

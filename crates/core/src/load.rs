@@ -99,7 +99,9 @@ pub(crate) struct StagedContainer {
 }
 
 /// The writers a staged load used, for §4.5 re-validation under the
-/// commit lock.
+/// commit lock. Cloned into the group-commit accumulator when the
+/// statement parks as a batch member.
+#[derive(Clone)]
 pub(crate) struct LoadWriters {
     assignment: HashMap<ShardId, NodeId>,
     replica_writer: Option<NodeId>,
@@ -496,8 +498,26 @@ impl EonDb {
         coord: &Arc<NodeRuntime>,
         writers: &LoadWriters,
     ) -> Result<eon_catalog::TxnRecord> {
+        if self.commit_group_window() > 0 {
+            // Group commit: the leader re-runs the §4.5 validation per
+            // statement under the lock (DESIGN.md "Group commit").
+            return self.commit_grouped(txn, coord.clone(), Some(writers.clone()));
+        }
         let _g = self.commit_lock.lock();
-        let now = coord.catalog.snapshot();
+        self.validate_writers(&coord.catalog.snapshot(), writers)?;
+        self.commit_cluster_locked(txn, coord)
+    }
+
+    /// The §4.5 commit-time invariant: every writer the staged load
+    /// used must still hold its subscription — the segment-shard
+    /// assignment *and* the replica-shard writer; a concurrent
+    /// rebalance forces a rollback. Checked against the snapshot
+    /// current under the commit lock.
+    pub(crate) fn validate_writers(
+        &self,
+        now: &eon_catalog::CatalogState,
+        writers: &LoadWriters,
+    ) -> Result<()> {
         for (shard, writer) in &writers.assignment {
             if !now.serving_subscribers(*shard).contains(writer) {
                 return Err(EonError::CommitInvariant(format!(
@@ -513,19 +533,25 @@ impl EonDb {
                 )));
             }
         }
-        self.commit_cluster_locked(txn, coord)
+        Ok(())
     }
 
     /// Graceful-rollback bookkeeping: a statement that uploaded files
     /// but will never commit hands its keys to the §6.5 reaper as
     /// deletable immediately — no query and no truncation version can
-    /// reference a never-committed file. An injected [`EonError::
-    /// FaultInjected`] crash is the exception: it models process death,
-    /// and a dead process runs no cleanup — those orphans are left for
-    /// the leak scan, exactly like a real crash (DESIGN.md "Fault
-    /// model").
+    /// reference a never-committed file. Two exceptions: an injected
+    /// [`EonError::FaultInjected`] crash models process death, and a
+    /// dead process runs no cleanup — those orphans are left for the
+    /// leak scan, exactly like a real crash (DESIGN.md "Fault model");
+    /// and a commit-path [`EonError::ClusterDown`] is metadata
+    /// divergence surfaced *after* the coordinator's durable append —
+    /// the statement may be durably committed, so reaping its files
+    /// would destroy committed data. The halted cluster's revive leak
+    /// scan owns that state instead.
     pub(crate) fn abort_uncommitted(&self, uploaded: Vec<String>, err: &EonError) {
-        if uploaded.is_empty() || matches!(err, EonError::FaultInjected(_)) {
+        if uploaded.is_empty()
+            || matches!(err, EonError::FaultInjected(_) | EonError::ClusterDown(_))
+        {
             return;
         }
         let metrics = LoadMetrics::register(&self.config.obs, "db");

@@ -123,6 +123,11 @@ impl EonDb {
     /// shard coverage dominates a storage brownout dominates a down
     /// node.
     pub fn cluster_health(&self) -> ClusterHealth {
+        // A divergence halt (§3.4) dominates everything: nodes disagree
+        // on metadata, so no answer can be trusted until revive.
+        if let Some(reason) = self.halted.lock().clone() {
+            return ClusterHealth::Down { reason };
+        }
         if let Err(e) = self.ensure_viable() {
             let reason = match e {
                 EonError::ClusterDown(r) => r,

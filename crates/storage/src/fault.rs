@@ -75,6 +75,30 @@ pub mod site {
     /// a typed error so the coordinator fails over instead of the
     /// whole process aborting.
     pub const QUERY_WORKER_PANIC: &str = "query.worker.panic";
+
+    // Commit-protocol sites. Deliberately NOT in [`SITES`]: the serial
+    // coverage sweep (`every_named_site_crashes_and_recovers`) never
+    // reaches the group-commit path, and `COMMIT_PEER_APPEND` models a
+    // peer disk failure (classified as metadata divergence), not a
+    // process death the generic recovery loop can retry through. The
+    // group-commit chaos schedule arms them from its own list.
+
+    /// Serial commit: a peer's durable `append_local` fails after it
+    /// applied the record in memory — §3.4 metadata divergence.
+    /// Node-scoped: the plan picks the failing peer.
+    pub const COMMIT_PEER_APPEND: &str = "commit.peer_append";
+    /// Group commit: the batch leader dies after committing the batch
+    /// in memory, before the coordinator's durable batch append —
+    /// nothing in the batch is durable.
+    pub const COMMIT_LEADER_APPEND: &str = "commit.leader_append";
+    /// Group commit: the leader dies mid-distribution, after the
+    /// coordinator's durable append but before this peer's — the batch
+    /// is durable, the peer catches up on restart (§3.3). Node-scoped.
+    pub const COMMIT_MID_DISTRIBUTION: &str = "commit.mid_distribution";
+    /// Group commit: the leader dies after every durable append,
+    /// before waking the parked members — the batch is fully durable
+    /// but every member observes a crash.
+    pub const COMMIT_POST_APPEND: &str = "commit.post_append";
 }
 
 /// Every named crash site, for seeded plans and coverage sweeps.
@@ -185,6 +209,19 @@ impl FaultPlan {
         let nth = rng.gen_range(0..3u64);
         let node = rng.gen_range(0..nodes.max(1));
         Self::armed(site, nth, Some(node))
+    }
+
+    /// Re-arm a (shared) plan in place: lets a test bring a database up
+    /// quietly and then schedule a crash for the operation under test.
+    /// Occurrence counters reset, so `nth` counts from this arming.
+    pub fn rearm(&self, site: &str, nth: u64, node: Option<u64>) {
+        let mut g = self.inner.lock();
+        g.armed = Some(Armed {
+            site: site.to_owned(),
+            nth,
+            node,
+        });
+        g.counts.clear();
     }
 
     /// Whether this plan can still fire.
