@@ -42,4 +42,5 @@ pub use config::EonConfig;
 pub use db::EonDb;
 pub use invariants::{check_crash_invariants, InvariantReport, TableModel};
 pub use query::SessionOpts;
+pub use sql_api::SqlResult;
 pub use supervisor::{ClusterHealth, SupervisorReport};

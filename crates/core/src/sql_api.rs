@@ -20,11 +20,31 @@ impl SchemaSource for SnapshotSchemas {
     }
 }
 
+/// A SQL result with its output column labels — the shape a network
+/// client renders as a table (see `eon-net`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlResult {
+    /// One label per output column (alias or rendered expression).
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
 impl EonDb {
     /// Run a SQL SELECT against the cluster. See `eon-sql` for the
     /// supported grammar.
     pub fn sql(&self, query: &str) -> Result<Vec<Vec<Value>>> {
         self.sql_with(query, &SessionOpts::default())
+    }
+
+    /// The serverable SQL surface: rows **plus column labels**, under
+    /// full session options. This is what `eon-server` calls per
+    /// request — everything (admission, slots, cancellation) rides the
+    /// same path as [`EonDb::sql_with`].
+    pub fn sql_query(&self, query: &str, opts: &SessionOpts) -> Result<SqlResult> {
+        let schemas = SnapshotSchemas(self.snapshot()?);
+        let (plan, columns) = eon_sql::compile_with_columns(query, &schemas)?;
+        let rows = self.query_with(&plan, opts)?;
+        Ok(SqlResult { columns, rows })
     }
 
     /// SQL with session options (subcluster, cache bypass, crunch).
@@ -174,6 +194,36 @@ mod tests {
             .sql("SELECT COUNT(DISTINCT price) FROM sales WHERE grp IN ('a', 'b')")
             .unwrap();
         assert_eq!(rows[0][0], Value::Int(50));
+    }
+
+    #[test]
+    fn sql_query_returns_column_labels() {
+        let db = db_loaded();
+        let res = db
+            .sql_query(
+                "SELECT grp, COUNT(*), SUM(price) AS total FROM sales GROUP BY grp ORDER BY grp",
+                &SessionOpts::default(),
+            )
+            .unwrap();
+        assert_eq!(res.columns, vec!["grp", "COUNT(*)", "total"]);
+        assert_eq!(res.rows.len(), 2);
+        assert_eq!(res.rows.len(), db.sql("SELECT grp, COUNT(*), SUM(price) AS total FROM sales GROUP BY grp ORDER BY grp").unwrap().len());
+    }
+
+    #[test]
+    fn multibyte_literals_execute_byte_exact() {
+        // The lexer round-trips UTF-8; the executor must match on the
+        // exact bytes, end to end.
+        let db = db_loaded();
+        db.copy_into(
+            "regions",
+            vec![vec![Value::Int(2), Value::Str("café ☕".into())]],
+        )
+        .unwrap();
+        let rows = db
+            .sql("SELECT region_id FROM regions WHERE region = 'café ☕'")
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(2)]]);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! `eon-client` — REPL + one-shot client for `eon-server`.
+//!
+//! ```text
+//! eon-client [--addr 127.0.0.1:5433] [--subcluster N] [--bypass] [--crunch]
+//!            [-e 'SELECT …']...
+//! ```
+//!
+//! Without `-e`, runs the interactive REPL. With one or more `-e`
+//! statements, executes them in order and exits non-zero if any fails
+//! (errors print with their stable wire code: `ERROR 14 SATURATED: …`).
+
+use eon_net::repl::{execute_and_render, run_repl};
+use eon_net::{ClientOpts, EonClient};
+
+struct Args {
+    addr: String,
+    opts: ClientOpts,
+    statements: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:5433".into(),
+        opts: ClientOpts::default(),
+        statements: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = it.next().ok_or("--addr expects a value")?;
+            }
+            "--subcluster" => {
+                let v = it.next().ok_or("--subcluster expects a value")?;
+                args.opts.subcluster =
+                    Some(v.parse().map_err(|e| format!("--subcluster: {e}"))?);
+            }
+            "--bypass" => args.opts.bypass_cache = true,
+            "--crunch" => args.opts.crunch = true,
+            "-e" | "--execute" => {
+                args.statements
+                    .push(it.next().ok_or("-e expects a SQL statement")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: eon-client [--addr HOST:PORT] [--subcluster N] [--bypass] [--crunch] \
+                     [-e 'SELECT …']..."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("eon-client: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut client = match EonClient::connect_opts(&args.addr, &args.opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("eon-client: cannot connect to {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+
+    let stdout = std::io::stdout();
+    if args.statements.is_empty() {
+        let stdin = std::io::stdin();
+        run_repl(&mut client, &mut stdin.lock(), &mut stdout.lock());
+        return;
+    }
+    let mut all_ok = true;
+    for sql in &args.statements {
+        all_ok &= execute_and_render(&mut client, sql, &mut stdout.lock());
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

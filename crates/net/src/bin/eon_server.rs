@@ -1,0 +1,148 @@
+//! `eon-server` — serve an Eon cluster over TCP.
+//!
+//! The storage layer is the in-repo S3 simulator, so the binary is
+//! self-contained: it boots a cluster, seeds a demo `sales` table, and
+//! serves the wire protocol (see DESIGN.md "Network service layer").
+//!
+//! ```text
+//! eon-server [--addr 127.0.0.1:5433] [--nodes 3] [--shards 3]
+//!            [--rows 10000] [--slots 4]
+//!            [--admission N] [--queue N] [--timeout-ms N]
+//! ```
+//!
+//! `--admission 0` (default) disables admission control; with a bound
+//! set, saturation returns typed `SATURATED` wire errors instead of
+//! queueing forever.
+
+use std::sync::Arc;
+
+use eon_columnar::Projection;
+use eon_core::{EonConfig, EonDb};
+use eon_net::{EonServer, ServerOpts};
+use eon_storage::{S3Config, S3SimFs};
+use eon_types::{schema, Value};
+
+struct Args {
+    addr: String,
+    nodes: usize,
+    shards: usize,
+    rows: usize,
+    slots: usize,
+    admission: usize,
+    queue: usize,
+    timeout_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:5433".into(),
+        nodes: 3,
+        shards: 3,
+        rows: 10_000,
+        slots: 4,
+        admission: 0,
+        queue: 0,
+        timeout_ms: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = val("--addr")?,
+            "--nodes" => args.nodes = val("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--shards" => args.shards = val("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--rows" => args.rows = val("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?,
+            "--slots" => args.slots = val("--slots")?.parse().map_err(|e| format!("--slots: {e}"))?,
+            "--admission" => args.admission = val("--admission")?.parse().map_err(|e| format!("--admission: {e}"))?,
+            "--queue" => args.queue = val("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?,
+            "--timeout-ms" => args.timeout_ms = val("--timeout-ms")?.parse().map_err(|e| format!("--timeout-ms: {e}"))?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: eon-server [--addr HOST:PORT] [--nodes N] [--shards N] [--rows N] \
+                     [--slots N] [--admission N] [--queue N] [--timeout-ms N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("eon-server: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let registry = eon_obs::Registry::new();
+    let s3 = Arc::new(S3SimFs::with_metrics(S3Config::default(), &registry));
+    let db = EonDb::create(
+        s3,
+        EonConfig::new(args.nodes, args.shards)
+            .exec_slots(args.slots)
+            .observability(registry)
+            .admission_max_concurrent(args.admission)
+            .admission_max_queue(args.queue)
+            .admission_timeout_ms(args.timeout_ms)
+            .slot_wait_ms(30_000),
+    )
+    .expect("cluster bootstrap");
+
+    // Demo dataset so a fresh server answers queries immediately.
+    let s = schema![("id", Int), ("grp", Str), ("price", Int), ("region_id", Int)];
+    db.create_table(
+        "sales",
+        s.clone(),
+        vec![Projection::super_projection("sales_super", &s, &[0], &[0])],
+    )
+    .expect("create sales");
+    let r = schema![("region_id", Int), ("region", Str)];
+    db.create_table(
+        "regions",
+        r.clone(),
+        vec![Projection::replicated("regions_rep", &r, &[0])],
+    )
+    .expect("create regions");
+    db.copy_into(
+        "regions",
+        vec![
+            vec![Value::Int(0), Value::Str("NA".into())],
+            vec![Value::Int(1), Value::Str("EU".into())],
+        ],
+    )
+    .expect("load regions");
+    db.copy_into(
+        "sales",
+        (0..args.rows as i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Str(if i % 3 == 0 { "a" } else { "b" }.into()),
+                    Value::Int(i % 50),
+                    Value::Int(i % 2),
+                ]
+            })
+            .collect(),
+    )
+    .expect("load sales");
+
+    let server = EonServer::bind(db, &args.addr, ServerOpts::default()).expect("bind");
+    let addr = server.local_addr();
+    eprintln!(
+        "eon-server: {} nodes / {} shards, {} demo rows — listening on {addr}",
+        args.nodes, args.shards, args.rows
+    );
+    let mut handle = server.spawn();
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+        let _ = &mut handle;
+    }
+}

@@ -1,0 +1,137 @@
+//! `eon-client`: the blocking wire-protocol client.
+//!
+//! [`EonClient::connect`] performs the Hello handshake; [`EonClient::sql`]
+//! sends one statement and waits for its response. Server-side errors
+//! come back as the **typed** [`EonError`] rebuilt from the stable
+//! wire code — callers match on the variant (`Saturated`,
+//! `DeadlineExceeded`, …), never on message text.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use eon_types::{EonError, Result, Value};
+
+use crate::wire::{
+    read_frame, write_frame, Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+
+/// Session options carried in the Hello frame.
+#[derive(Debug, Clone, Default)]
+pub struct ClientOpts {
+    /// Pin the session to a subcluster's admission pool (§4.3).
+    pub subcluster: Option<u64>,
+    /// Bypass the depot for this session's scans (§5.2).
+    pub bypass_cache: bool,
+    /// Crunch scaling (§4.4).
+    pub crunch: bool,
+}
+
+/// The outcome of one successful SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlOutcome {
+    /// SELECT: column labels + rows.
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    /// EXPLAIN: the plan tree.
+    Text(String),
+    /// EXPLAIN ANALYZE: rows plus the profile report.
+    RowsWithReport {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+        report: String,
+    },
+}
+
+/// A connected session. One statement in flight at a time (the server
+/// executes a session's requests serially anyway).
+pub struct EonClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// The server string from the Hello ack.
+    pub server: String,
+}
+
+impl EonClient {
+    /// Connect with default options.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<EonClient> {
+        Self::connect_opts(addr, &ClientOpts::default())
+    }
+
+    /// Connect and handshake with explicit session options.
+    pub fn connect_opts(addr: impl ToSocketAddrs, opts: &ClientOpts) -> Result<EonClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = EonClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            server: String::new(),
+        };
+        let hello = Request::Hello {
+            protocol_version: PROTOCOL_VERSION,
+            subcluster: opts.subcluster,
+            bypass_cache: opts.bypass_cache,
+            crunch: opts.crunch,
+        };
+        match client.round_trip(&hello)? {
+            Response::HelloAck { server, .. } => {
+                client.server = server;
+                Ok(client)
+            }
+            other => Err(EonError::Query(format!(
+                "unexpected handshake response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Bound how long a single response may take (e.g. for tests that
+    /// must never hang). `None` blocks indefinitely.
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(t)?;
+        Ok(())
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        match read_frame(&mut self.reader, MAX_FRAME_BYTES)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(EonError::NodeDown(
+                "server closed the connection".into(),
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(w) => Err(w.decode()),
+            other => Err(EonError::Query(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Execute one statement. A server-side failure is the typed
+    /// [`EonError`] decoded from its wire code.
+    pub fn sql(&mut self, sql: &str) -> Result<SqlOutcome> {
+        let req = Request::Sql {
+            sql: sql.to_owned(),
+        };
+        match self.round_trip(&req)? {
+            Response::Rows { columns, rows } => Ok(SqlOutcome::Rows { columns, rows }),
+            Response::Text { text } => Ok(SqlOutcome::Text(text)),
+            Response::RowsWithReport {
+                columns,
+                rows,
+                report,
+            } => Ok(SqlOutcome::RowsWithReport {
+                columns,
+                rows,
+                report,
+            }),
+            Response::Error(w) => Err(w.decode()),
+            other => Err(EonError::Query(format!("unexpected response: {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The network front door (DESIGN.md "Network service layer").
+//!
+//! Eon Mode's premise (§2–§4) is a shared-storage cluster serving many
+//! concurrent sessions; this crate is the boundary where that traffic
+//! arrives. It has three layers:
+//!
+//! * [`wire`] — the length-prefixed binary protocol. Typed errors
+//!   cross as **stable numeric codes** ([`eon_types::WireError`]);
+//!   malformed frames decode to typed `Corrupt` errors, never panics.
+//! * [`server`] — `eon-server`: one session per TCP connection, each
+//!   with its own `CancelToken`-carrying `SessionOpts`. A disconnect
+//!   fires the token, so a dropped client releases its admission
+//!   ticket, execution slots, and pool claims at the next boundary;
+//!   saturation returns `Saturated`/`DeadlineExceeded` on the wire
+//!   instead of parking the connection.
+//! * [`client`] + [`repl`] — `eon-client`: blocking client, an
+//!   interactive REPL, one-shot `-e` mode, tabular rendering, and
+//!   error-code-aware messages.
+
+pub mod client;
+pub mod repl;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientOpts, EonClient, SqlOutcome};
+pub use server::{EonServer, ServerHandle, ServerOpts};
+pub use wire::{Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION};

@@ -1,0 +1,188 @@
+//! The `eon-client` REPL: prompt, one-shot `-e` mode, tabular result
+//! rendering, and **error-code-aware** messages (`ERROR 14 SATURATED:
+//! …` with a shed-load hint) so a human sees the same typed contract
+//! a program would match on.
+
+use std::io::{BufRead, Write};
+
+use eon_types::{EonError, Value, WireError};
+
+use crate::client::{EonClient, SqlOutcome};
+
+/// Render one result set as a fixed-width table, pg-style.
+pub fn render_table(columns: &[String], rows: &[Vec<Value>]) -> String {
+    let render_cell = |v: &Value| v.to_string();
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.chars().count()).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(render_cell).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            } else {
+                widths.push(cell.chars().count());
+            }
+        }
+    }
+    let mut out = String::new();
+    let pad = |s: &str, w: usize| {
+        let mut p = s.to_string();
+        for _ in s.chars().count()..w {
+            p.push(' ');
+        }
+        p
+    };
+    if !columns.is_empty() {
+        let header: Vec<String> = columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| pad(c, widths[i]))
+            .collect();
+        out.push_str(&format!(" {}\n", header.join(" | ")));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("-{}\n", rule.join("-+-")));
+    }
+    for row in &rendered {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| pad(c, widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&format!(" {}\n", line.join(" | ")));
+    }
+    out.push_str(&format!(
+        "({} row{})\n",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+/// Render a typed error the code-aware way: stable code, stable name,
+/// message — plus an actionable hint for the backpressure codes.
+pub fn render_error(e: &EonError) -> String {
+    let w = e.to_wire();
+    let mut out = format!("ERROR {} {}: {e}", w.code, WireError::code_name(w.code));
+    match e {
+        EonError::Saturated { .. } => {
+            out.push_str("\nhint: the subcluster's admission pool and queue are full; retry with backoff or target another subcluster");
+        }
+        EonError::DeadlineExceeded(_) => {
+            out.push_str("\nhint: the statement waited out its queue/slot budget; the cluster is overloaded");
+        }
+        EonError::ClusterDown(_) => {
+            out.push_str("\nhint: the cluster is in a degraded state; check node health");
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Run one statement and render the outcome (shared by REPL and `-e`).
+/// Returns `false` if the statement failed.
+pub fn execute_and_render(client: &mut EonClient, sql: &str, out: &mut impl Write) -> bool {
+    match client.sql(sql) {
+        Ok(SqlOutcome::Rows { columns, rows }) => {
+            let _ = write!(out, "{}", render_table(&columns, &rows));
+            true
+        }
+        Ok(SqlOutcome::Text(text)) => {
+            let _ = writeln!(out, "{}", text.trim_end());
+            true
+        }
+        Ok(SqlOutcome::RowsWithReport {
+            columns,
+            rows,
+            report,
+        }) => {
+            let _ = write!(out, "{}", render_table(&columns, &rows));
+            let _ = writeln!(out, "{}", report.trim_end());
+            true
+        }
+        Err(e) => {
+            let _ = writeln!(out, "{}", render_error(&e));
+            false
+        }
+    }
+}
+
+/// The interactive loop: `eon> ` prompt, `\q` to quit, `\?` for help.
+/// Statements are one line each (the grammar has no semicolons).
+pub fn run_repl(client: &mut EonClient, input: &mut impl BufRead, out: &mut impl Write) {
+    let _ = writeln!(
+        out,
+        "connected to {} — \\q quits, \\? lists commands",
+        client.server
+    );
+    loop {
+        let _ = write!(out, "eon> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match input.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "\\q" | "\\quit" | "exit" | "quit" => break,
+            "\\?" | "\\h" | "help" => {
+                let _ = writeln!(
+                    out,
+                    "  SELECT …            run a query\n  EXPLAIN SELECT …    show the plan\n  EXPLAIN ANALYZE …   run + profile\n  \\ping               liveness probe\n  \\q                  quit"
+                );
+            }
+            "\\ping" => match client.ping() {
+                Ok(()) => {
+                    let _ = writeln!(out, "pong");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{}", render_error(&e));
+                }
+            },
+            sql => {
+                // A trailing semicolon is a human habit; strip it.
+                let sql = sql.strip_suffix(';').unwrap_or(sql);
+                execute_and_render(client, sql, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_multibyte() {
+        let cols = vec!["name".to_string(), "n".to_string()];
+        let rows = vec![
+            vec![Value::Str("café".into()), Value::Int(1)],
+            vec![Value::Str("a".into()), Value::Int(22)],
+        ];
+        let t = render_table(&cols, &rows);
+        assert!(t.contains("café"), "{t}");
+        assert!(t.contains("(2 rows)"), "{t}");
+        // Every data line pads to the same rendered width.
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(
+            lines[2].chars().count(),
+            lines[3].chars().count(),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn error_rendering_is_code_aware() {
+        let e = EonError::Saturated { queued: 4, depth: 4 };
+        let r = render_error(&e);
+        assert!(r.contains("ERROR 14 SATURATED"), "{r}");
+        assert!(r.contains("hint"), "{r}");
+        let q = render_error(&EonError::UnknownTable("ghost".into()));
+        assert!(q.contains("ERROR 6 UNKNOWN_TABLE"), "{q}");
+    }
+}

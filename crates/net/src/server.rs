@@ -1,0 +1,377 @@
+//! `eon-server`: the TCP front door (DESIGN.md "Network service
+//! layer").
+//!
+//! One connection = one session. Each accepted connection gets its own
+//! [`CancelToken`]-carrying [`SessionOpts`]; a **reader thread** turns
+//! frames into requests and — the load-shedding contract — **fires the
+//! token the moment the peer disconnects or desyncs**, so a dropped
+//! client releases its admission ticket, execution slots, and pool
+//! claims at the next cooperative boundary instead of running the
+//! query to completion for nobody.
+//!
+//! Requests ride the existing machinery end to end:
+//! [`EonDb::sql_query`] → admission pool (§4.3 per-subcluster) → slot
+//! semaphores → scan pools. Saturation therefore surfaces as a typed
+//! wire error (`SATURATED` / `DEADLINE_EXCEEDED`) rather than an
+//! unbounded park, and *every* [`EonError`] crosses the wire as its
+//! stable numeric code (see [`eon_types::WireError`]).
+//!
+//! Malformed input (junk tags, truncated or oversized frames) yields a
+//! typed `CORRUPT` error frame where a response is still possible,
+//! then a close — never a hang, never a panic.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use eon_core::{EonDb, SessionOpts};
+use eon_types::{CancelToken, EonError, Result};
+
+use crate::wire::{
+    read_frame, write_frame, Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOpts {
+    /// Per-frame payload cap; a junk length prefix beyond this is a
+    /// typed `Corrupt` error, rejected before allocation.
+    pub max_frame: u32,
+}
+
+impl Default for ServerOpts {
+    fn default() -> Self {
+        ServerOpts {
+            max_frame: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving server. [`EonServer::spawn`] starts the
+/// accept loop on a background thread and returns the stop handle.
+pub struct EonServer {
+    db: Arc<EonDb>,
+    listener: TcpListener,
+    opts: ServerOpts,
+}
+
+/// Handle to a running server: address, live-session count, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl EonServer {
+    /// Bind the listener. `addr` like `"127.0.0.1:5433"`; port 0 picks
+    /// a free port (see [`EonServer::local_addr`]).
+    pub fn bind(db: Arc<EonDb>, addr: impl ToSocketAddrs, opts: ServerOpts) -> Result<EonServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(EonServer { db, listener, opts })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Start the accept loop on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let (stop2, active2) = (stop.clone(), active.clone());
+        let join = std::thread::spawn(move || self.accept_loop(stop2, active2));
+        ServerHandle {
+            addr,
+            stop,
+            active,
+            join: Some(join),
+        }
+    }
+
+    fn accept_loop(self, stop: Arc<AtomicBool>, active: Arc<AtomicUsize>) {
+        let obs = &self.db.config().obs;
+        let labels: &[(&str, &str)] = &[("subsystem", "server")];
+        // Connection-schedule dependent, so never part of deterministic
+        // snapshots (DESIGN.md "Determinism rules").
+        let connections =
+            obs.counter_with("server_connections_total", labels, eon_obs::Determinism::WallClock);
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            connections.inc();
+            active.fetch_add(1, Ordering::SeqCst);
+            let db = self.db.clone();
+            let opts = self.opts.clone();
+            let active = active.clone();
+            std::thread::spawn(move || {
+                let _ = serve_connection(&db, stream, &opts);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    }
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served (sessions not yet quiesced).
+    pub fn active_sessions(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting. Live sessions drain on their own; poll
+    /// [`ServerHandle::active_sessions`] to wait for quiesce.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// What the reader thread hands the session executor.
+enum Event {
+    Req(Request),
+    /// Framing is broken (decode failure / truncation): respond typed,
+    /// then close — the byte stream can't be resynced.
+    Fatal(EonError),
+}
+
+fn serve_connection(db: &Arc<EonDb>, stream: TcpStream, opts: &ServerOpts) -> Result<()> {
+    let _ = stream.set_nodelay(true);
+    let obs = &db.config().obs;
+    let labels: &[(&str, &str)] = &[("subsystem", "server")];
+    let wc = eon_obs::Determinism::WallClock;
+    let requests = obs.counter_with("server_requests_total", labels, wc);
+    let wire_errors = obs.counter_with("server_wire_errors_total", labels, wc);
+    let disconnect_cancels = obs.counter_with("server_disconnect_cancels_total", labels, wc);
+
+    let cancel = CancelToken::new();
+    let reader_stream = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<Event>();
+    let reader = {
+        let cancel = cancel.clone();
+        let max_frame = opts.max_frame;
+        std::thread::spawn(move || {
+            let mut r = BufReader::new(reader_stream);
+            loop {
+                match read_frame(&mut r, max_frame) {
+                    Ok(None) => break, // clean disconnect
+                    Ok(Some(payload)) => match Request::decode(&payload) {
+                        Ok(req) => {
+                            if tx.send(Event::Req(req)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Event::Fatal(e));
+                            break;
+                        }
+                    },
+                    Err(e) => {
+                        let _ = tx.send(Event::Fatal(e));
+                        break;
+                    }
+                }
+            }
+            // The peer is gone (or unintelligible): whatever this
+            // session holds — admission ticket, slots, pool claims —
+            // must come back at the next cooperative boundary.
+            cancel.cancel();
+        })
+    };
+
+    let mut w = BufWriter::new(stream.try_clone()?);
+    let outcome = session_loop(
+        db,
+        &rx,
+        &cancel,
+        &mut w,
+        &requests,
+        &wire_errors,
+        &disconnect_cancels,
+    );
+
+    // Unblock and reap the reader before returning.
+    let _ = stream.shutdown(Shutdown::Both);
+    drop(rx);
+    let _ = reader.join();
+    outcome
+}
+
+#[allow(clippy::too_many_arguments)]
+fn session_loop(
+    db: &Arc<EonDb>,
+    rx: &mpsc::Receiver<Event>,
+    cancel: &CancelToken,
+    w: &mut impl Write,
+    requests: &Arc<eon_obs::Counter>,
+    wire_errors: &Arc<eon_obs::Counter>,
+    disconnect_cancels: &Arc<eon_obs::Counter>,
+) -> Result<()> {
+    // Handshake: the first frame must be a version-compatible Hello.
+    let session = match rx.recv() {
+        Ok(Event::Req(Request::Hello {
+            protocol_version,
+            subcluster,
+            bypass_cache,
+            crunch,
+        })) => {
+            if protocol_version != PROTOCOL_VERSION {
+                let e = EonError::Query(format!(
+                    "protocol version mismatch: client {protocol_version}, server {PROTOCOL_VERSION}"
+                ));
+                wire_errors.inc();
+                write_frame(w, &Response::Error(e.to_wire()).encode())?;
+                return Ok(());
+            }
+            write_frame(
+                w,
+                &Response::HelloAck {
+                    protocol_version: PROTOCOL_VERSION,
+                    server: format!("eon-server {}", env!("CARGO_PKG_VERSION")),
+                }
+                .encode(),
+            )?;
+            SessionOpts {
+                subcluster,
+                bypass_cache,
+                crunch,
+                cancel: Some(cancel.clone()),
+            }
+        }
+        Ok(Event::Req(_)) => {
+            let e = EonError::Query("first frame must be HELLO".into());
+            wire_errors.inc();
+            write_frame(w, &Response::Error(e.to_wire()).encode())?;
+            return Ok(());
+        }
+        Ok(Event::Fatal(e)) => {
+            wire_errors.inc();
+            let _ = write_frame(w, &Response::Error(e.to_wire()).encode());
+            return Ok(());
+        }
+        Err(_) => return Ok(()), // disconnected before Hello
+    };
+
+    for ev in rx.iter() {
+        match ev {
+            Event::Req(req) => {
+                // The client already hung up: don't run queued work for
+                // nobody.
+                if cancel.is_cancelled() {
+                    disconnect_cancels.inc();
+                    break;
+                }
+                requests.inc();
+                let resp = respond(db, &req, &session);
+                if let Response::Error(we) = &resp {
+                    wire_errors.inc();
+                    // A disconnect that killed a query mid-flight — the
+                    // load-shedding event worth counting (a clean close
+                    // between statements is not).
+                    if cancel.is_cancelled() && matches!(we.decode(), EonError::Cancelled(_)) {
+                        disconnect_cancels.inc();
+                    }
+                }
+                if write_frame(w, &resp.encode()).is_err() {
+                    break;
+                }
+            }
+            Event::Fatal(e) => {
+                wire_errors.inc();
+                let _ = write_frame(w, &Response::Error(e.to_wire()).encode());
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute one request under the session's options. Every error comes
+/// back as a typed wire code — this function never fails the
+/// connection.
+fn respond(db: &Arc<EonDb>, req: &Request, session: &SessionOpts) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Hello { .. } => Response::Error(
+            EonError::Query("HELLO is only valid as the first frame".into()).to_wire(),
+        ),
+        Request::Sql { sql } => match run_sql(db, sql, session) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error(e.to_wire()),
+        },
+    }
+}
+
+/// Strip a leading keyword (case-insensitive), returning the rest.
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    let t = s.trim_start();
+    if t.len() >= kw.len() && t[..kw.len()].eq_ignore_ascii_case(kw) {
+        let rest = &t[kw.len()..];
+        // Must be a word boundary.
+        if rest.is_empty() || rest.starts_with(|c: char| c.is_whitespace()) {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+fn run_sql(db: &Arc<EonDb>, sql: &str, session: &SessionOpts) -> Result<Response> {
+    if let Some(rest) = strip_keyword(sql, "EXPLAIN") {
+        if let Some(inner) = strip_keyword(rest, "ANALYZE") {
+            // Column labels come from a parse of the inner statement;
+            // execution rides the profiled path.
+            let columns = eon_sql::parse(inner)?.output_columns();
+            let (rows, report) = db.sql_explain_analyze(inner, session)?;
+            return Ok(Response::RowsWithReport {
+                columns,
+                rows,
+                report,
+            });
+        }
+        let text = db.sql_explain(rest)?;
+        return Ok(Response::Text { text });
+    }
+    let res = db.sql_query(sql, session)?;
+    Ok(Response::Rows {
+        columns: res.columns,
+        rows: res.rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_stripping_is_case_insensitive_and_boundary_safe() {
+        assert!(strip_keyword("EXPLAIN SELECT 1", "EXPLAIN").is_some());
+        assert!(strip_keyword("  explain analyze SELECT 1", "EXPLAIN").is_some());
+        // EXPLAINX is an identifier, not the keyword.
+        assert!(strip_keyword("EXPLAINX", "EXPLAIN").is_none());
+        let rest = strip_keyword("Explain Analyze SELECT 1", "EXPLAIN").unwrap();
+        assert_eq!(strip_keyword(rest, "ANALYZE").unwrap().trim(), "SELECT 1");
+    }
+}

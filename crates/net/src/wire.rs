@@ -1,0 +1,593 @@
+//! The wire protocol: length-prefixed binary frames (DESIGN.md
+//! "Network service layer").
+//!
+//! Every message is one **frame**: a 4-byte big-endian payload length
+//! followed by that many payload bytes. The first payload byte is a
+//! message tag; the rest is the tag's body, built from four
+//! primitives — `u8`, big-endian `u32`/`u64`, and `str` (u32 length +
+//! UTF-8 bytes). Strings are length-delimited raw bytes, so multi-byte
+//! SQL text and result values round-trip **byte-exact**.
+//!
+//! Decode is total: malformed input (oversized length prefix,
+//! truncated body, junk tags, invalid UTF-8) is a typed
+//! [`EonError::Corrupt`], never a panic and never an over-read — every
+//! count is bounds-checked against the remaining buffer before any
+//! allocation.
+//!
+//! Errors cross the wire as their **stable numeric code** plus payload
+//! (see [`eon_types::WireError`]); clients rebuild the typed
+//! [`EonError`] and dispatch on the variant, never on message text.
+
+use std::io::{Read, Write};
+
+use eon_types::{EonError, Result, Value, WireError};
+
+/// Protocol version sent in `Hello` / `HelloAck`. Bump on any frame
+/// layout change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default cap on one frame's payload. Generous for result sets while
+/// keeping a junk length prefix from provoking a giant allocation.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Session handshake: first frame on every connection.
+    Hello {
+        protocol_version: u32,
+        /// Pin the session to a subcluster's admission pool (§4.3).
+        subcluster: Option<u64>,
+        /// §5.2 shaping: bypass the depot for this session's scans.
+        bypass_cache: bool,
+        /// §4.4 crunch scaling.
+        crunch: bool,
+    },
+    /// Execute one SQL statement (SELECT / EXPLAIN / EXPLAIN ANALYZE).
+    Sql { sql: String },
+    /// Liveness probe.
+    Ping,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    HelloAck {
+        protocol_version: u32,
+        server: String,
+    },
+    /// A result set with its column labels.
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    /// Plain text (EXPLAIN output).
+    Text { text: String },
+    /// EXPLAIN ANALYZE: rows plus the profile report.
+    RowsWithReport {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+        report: String,
+    },
+    Pong,
+    /// A typed error: stable code + payload (`EonError` round-trips).
+    Error(WireError),
+}
+
+// ---------------------------------------------------------------- codec
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_SQL: u8 = 0x02;
+const TAG_PING: u8 = 0x03;
+
+const TAG_HELLO_ACK: u8 = 0x81;
+const TAG_ROWS: u8 = 0x82;
+const TAG_TEXT: u8 = 0x83;
+const TAG_ROWS_REPORT: u8 = 0x84;
+const TAG_PONG: u8 = 0x85;
+const TAG_ERROR: u8 = 0xEE;
+
+const VAL_NULL: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_STR: u8 = 3;
+const VAL_BOOL: u8 = 4;
+const VAL_DATE: u8 = 5;
+
+fn corrupt(what: &str) -> EonError {
+    EonError::Corrupt(format!("frame: {what}"))
+}
+
+/// Bounds-checked cursor over one frame's payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt(&format!(
+                "{what}: need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| corrupt(&format!("{what}: invalid UTF-8")))
+    }
+
+    fn finish(&self, what: &str) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(corrupt(&format!(
+                "{what}: {} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+struct Builder {
+    buf: Vec<u8>,
+}
+
+impl Builder {
+    fn new(tag: u8) -> Self {
+        Builder { buf: vec![tag] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+fn encode_value(b: &mut Builder, v: &Value) {
+    match v {
+        Value::Null => b.u8(VAL_NULL),
+        Value::Int(i) => {
+            b.u8(VAL_INT);
+            b.u64(*i as u64);
+        }
+        Value::Float(f) => {
+            b.u8(VAL_FLOAT);
+            b.u64(f.to_bits());
+        }
+        Value::Str(s) => {
+            b.u8(VAL_STR);
+            b.str(s);
+        }
+        Value::Bool(x) => {
+            b.u8(VAL_BOOL);
+            b.u8(*x as u8);
+        }
+        Value::Date(d) => {
+            b.u8(VAL_DATE);
+            b.u32(*d as u32);
+        }
+    }
+}
+
+fn decode_value(c: &mut Cursor) -> Result<Value> {
+    Ok(match c.u8("value tag")? {
+        VAL_NULL => Value::Null,
+        VAL_INT => Value::Int(c.u64("int value")? as i64),
+        VAL_FLOAT => Value::Float(f64::from_bits(c.u64("float value")?)),
+        VAL_STR => Value::Str(c.str("str value")?),
+        VAL_BOOL => Value::Bool(c.u8("bool value")? != 0),
+        VAL_DATE => Value::Date(c.u32("date value")? as i32),
+        t => return Err(corrupt(&format!("unknown value tag {t}"))),
+    })
+}
+
+fn encode_rows(b: &mut Builder, columns: &[String], rows: &[Vec<Value>]) {
+    b.u32(columns.len() as u32);
+    for col in columns {
+        b.str(col);
+    }
+    b.u32(rows.len() as u32);
+    for row in rows {
+        b.u32(row.len() as u32);
+        for v in row {
+            encode_value(b, v);
+        }
+    }
+}
+
+fn decode_rows(c: &mut Cursor) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    let ncols = c.u32("column count")? as usize;
+    if ncols > c.remaining() {
+        return Err(corrupt("column count exceeds frame"));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        columns.push(c.str("column label")?);
+    }
+    let nrows = c.u32("row count")? as usize;
+    if nrows > c.remaining() {
+        return Err(corrupt("row count exceeds frame"));
+    }
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let nvals = c.u32("row width")? as usize;
+        if nvals > c.remaining() {
+            return Err(corrupt("row width exceeds frame"));
+        }
+        let mut row = Vec::with_capacity(nvals);
+        for _ in 0..nvals {
+            row.push(decode_value(c)?);
+        }
+        rows.push(row);
+    }
+    Ok((columns, rows))
+}
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hello {
+                protocol_version,
+                subcluster,
+                bypass_cache,
+                crunch,
+            } => {
+                let mut b = Builder::new(TAG_HELLO);
+                b.u32(*protocol_version);
+                match subcluster {
+                    Some(sc) => {
+                        b.u8(1);
+                        b.u64(*sc);
+                    }
+                    None => b.u8(0),
+                }
+                b.u8(*bypass_cache as u8);
+                b.u8(*crunch as u8);
+                b.buf
+            }
+            Request::Sql { sql } => {
+                let mut b = Builder::new(TAG_SQL);
+                b.str(sql);
+                b.buf
+            }
+            Request::Ping => Builder::new(TAG_PING).buf,
+        }
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8("request tag")? {
+            TAG_HELLO => {
+                let protocol_version = c.u32("hello version")?;
+                let subcluster = match c.u8("hello subcluster flag")? {
+                    0 => None,
+                    1 => Some(c.u64("hello subcluster")?),
+                    f => return Err(corrupt(&format!("bad option flag {f}"))),
+                };
+                let bypass_cache = c.u8("hello bypass")? != 0;
+                let crunch = c.u8("hello crunch")? != 0;
+                Request::Hello {
+                    protocol_version,
+                    subcluster,
+                    bypass_cache,
+                    crunch,
+                }
+            }
+            TAG_SQL => Request::Sql {
+                sql: c.str("sql text")?,
+            },
+            TAG_PING => Request::Ping,
+            t => return Err(corrupt(&format!("unknown request tag {t:#04x}"))),
+        };
+        c.finish("request")?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::HelloAck {
+                protocol_version,
+                server,
+            } => {
+                let mut b = Builder::new(TAG_HELLO_ACK);
+                b.u32(*protocol_version);
+                b.str(server);
+                b.buf
+            }
+            Response::Rows { columns, rows } => {
+                let mut b = Builder::new(TAG_ROWS);
+                encode_rows(&mut b, columns, rows);
+                b.buf
+            }
+            Response::Text { text } => {
+                let mut b = Builder::new(TAG_TEXT);
+                b.str(text);
+                b.buf
+            }
+            Response::RowsWithReport {
+                columns,
+                rows,
+                report,
+            } => {
+                let mut b = Builder::new(TAG_ROWS_REPORT);
+                encode_rows(&mut b, columns, rows);
+                b.str(report);
+                b.buf
+            }
+            Response::Pong => Builder::new(TAG_PONG).buf,
+            Response::Error(w) => {
+                let mut b = Builder::new(TAG_ERROR);
+                b.u32(w.code as u32);
+                b.str(&w.detail);
+                b.u64(w.a);
+                b.u64(w.b);
+                b.buf
+            }
+        }
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8("response tag")? {
+            TAG_HELLO_ACK => Response::HelloAck {
+                protocol_version: c.u32("ack version")?,
+                server: c.str("ack server")?,
+            },
+            TAG_ROWS => {
+                let (columns, rows) = decode_rows(&mut c)?;
+                Response::Rows { columns, rows }
+            }
+            TAG_TEXT => Response::Text {
+                text: c.str("text body")?,
+            },
+            TAG_ROWS_REPORT => {
+                let (columns, rows) = decode_rows(&mut c)?;
+                Response::RowsWithReport {
+                    columns,
+                    rows,
+                    report: c.str("report")?,
+                }
+            }
+            TAG_PONG => Response::Pong,
+            TAG_ERROR => Response::Error(WireError {
+                code: c.u32("error code")? as u16,
+                detail: c.str("error detail")?,
+                a: c.u64("error a")?,
+                b: c.u64("error b")?,
+            }),
+            t => return Err(corrupt(&format!("unknown response tag {t:#04x}"))),
+        };
+        c.finish("response")?;
+        Ok(resp)
+    }
+}
+
+// --------------------------------------------------------------- frames
+
+/// Write one frame: 4-byte big-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. `Ok(None)` on a clean EOF *between* frames (the
+/// peer closed); `Corrupt` on a truncated frame, an oversized length
+/// prefix (rejected **before** allocating), or any other malformation.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no more frames" from "died mid-prefix".
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) if n < 4 => {
+            r.read_exact(&mut len_buf[n..])
+                .map_err(|_| corrupt("truncated length prefix"))?;
+        }
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            return read_frame(r, max_frame)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > max_frame {
+        return Err(corrupt(&format!(
+            "length prefix {len} exceeds max frame {max_frame}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|_| corrupt("truncated frame body"))?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eon_types::all_error_exemplars;
+
+    fn roundtrip_req(r: &Request) {
+        assert_eq!(&Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    fn roundtrip_resp(r: &Response) {
+        assert_eq!(&Response::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_req(&Request::Hello {
+            protocol_version: PROTOCOL_VERSION,
+            subcluster: Some(7),
+            bypass_cache: true,
+            crunch: false,
+        });
+        roundtrip_req(&Request::Hello {
+            protocol_version: PROTOCOL_VERSION,
+            subcluster: None,
+            bypass_cache: false,
+            crunch: true,
+        });
+        roundtrip_req(&Request::Sql {
+            sql: "SELECT 'café ☕ 名前' FROM t".into(),
+        });
+        roundtrip_req(&Request::Ping);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        roundtrip_resp(&Response::HelloAck {
+            protocol_version: 1,
+            server: "eon-server 0.1".into(),
+        });
+        roundtrip_resp(&Response::Rows {
+            columns: vec!["grp".into(), "SUM(price)".into()],
+            rows: vec![
+                vec![Value::Str("café".into()), Value::Int(-5)],
+                vec![Value::Null, Value::Float(f64::NAN)],
+                vec![Value::Bool(true), Value::Date(-3)],
+            ],
+        });
+        roundtrip_resp(&Response::Text {
+            text: "Scan sales\n".into(),
+        });
+        roundtrip_resp(&Response::RowsWithReport {
+            columns: vec!["a".into()],
+            rows: vec![vec![Value::Int(1)]],
+            report: "Query Profile…".into(),
+        });
+        roundtrip_resp(&Response::Pong);
+    }
+
+    #[test]
+    fn nan_float_round_trips_by_bits() {
+        let odd_nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let r = Response::Rows {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Float(odd_nan)]],
+        };
+        match Response::decode(&r.encode()).unwrap() {
+            Response::Rows { rows, .. } => match rows[0][0] {
+                Value::Float(f) => assert_eq!(f.to_bits(), odd_nan.to_bits()),
+                ref v => panic!("wrong value {v:?}"),
+            },
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_eon_error_round_trips_on_the_wire() {
+        for e in all_error_exemplars() {
+            let resp = Response::Error(e.to_wire());
+            match Response::decode(&resp.encode()).unwrap() {
+                Response::Error(w) => assert_eq!(w.decode(), e),
+                other => panic!("wrong response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn junk_payloads_are_typed_errors() {
+        // Unknown tags.
+        assert!(matches!(
+            Request::decode(&[0x7f]),
+            Err(EonError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Response::decode(&[0x00]),
+            Err(EonError::Corrupt(_))
+        ));
+        // Empty payload.
+        assert!(Request::decode(&[]).is_err());
+        // Truncated string length.
+        assert!(Request::decode(&[TAG_SQL, 0xff, 0xff]).is_err());
+        // String length pointing past the end.
+        assert!(Request::decode(&[TAG_SQL, 0xff, 0xff, 0xff, 0xff]).is_err());
+        // Invalid UTF-8 in a string.
+        assert!(Request::decode(&[TAG_SQL, 0, 0, 0, 2, 0xc3, 0x28]).is_err());
+        // Trailing garbage after a valid message.
+        let mut ok = Request::Ping.encode();
+        ok.push(0xaa);
+        assert!(Request::decode(&ok).is_err());
+        // Row/column counts that exceed the frame never allocate.
+        let mut b = Builder::new(TAG_ROWS);
+        b.u32(u32::MAX);
+        assert!(Response::decode(&b.buf).is_err());
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_rejects_oversize() {
+        let payload = Request::Sql {
+            sql: "SELECT 1".into(),
+        }
+        .encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().is_none());
+
+        // Oversized length prefix: typed error before any allocation.
+        let huge = (u32::MAX).to_be_bytes();
+        let err = read_frame(&mut &huge[..], 1024).unwrap_err();
+        assert!(matches!(err, EonError::Corrupt(_)), "{err}");
+
+        // Truncated body.
+        let mut short = Vec::new();
+        write_frame(&mut short, &payload).unwrap();
+        short.truncate(6);
+        let err = read_frame(&mut &short[..], 1024).unwrap_err();
+        assert!(matches!(err, EonError::Corrupt(_)), "{err}");
+
+        // Truncated length prefix.
+        let err = read_frame(&mut &[0u8, 0][..], 1024).unwrap_err();
+        assert!(matches!(err, EonError::Corrupt(_)), "{err}");
+    }
+}

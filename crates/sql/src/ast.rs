@@ -127,3 +127,77 @@ pub struct SelectStmt {
     pub order_by: Vec<OrderItem>,
     pub limit: Option<usize>,
 }
+
+impl SelectStmt {
+    /// Output column labels, one per SELECT-list item: the alias when
+    /// given, otherwise a rendering of the expression (`SUM(price)`,
+    /// `t.c`, `?column?` for anything structural). This is what a
+    /// network client shows as the result-table header.
+    pub fn output_columns(&self) -> Vec<String> {
+        self.items.iter().map(column_label).collect()
+    }
+}
+
+/// Label for one SELECT-list item (alias, else rendered expression).
+fn column_label(item: &SelectItem) -> String {
+    match &item.alias {
+        Some(a) => a.clone(),
+        None => render_expr(&item.expr),
+    }
+}
+
+fn render_colref(c: &ColRef) -> String {
+    match &c.table {
+        Some(t) => format!("{t}.{}", c.column),
+        None => c.column.clone(),
+    }
+}
+
+fn render_expr(e: &SqlExpr) -> String {
+    match e {
+        SqlExpr::Col(c) => render_colref(c),
+        SqlExpr::Lit(v) => v.to_string(),
+        SqlExpr::Binary { op, l, r } => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+            };
+            format!("{} {sym} {}", render_expr(l), render_expr(r))
+        }
+        SqlExpr::Agg { func, arg, distinct } => {
+            let name = match func {
+                AggCall::Sum => "SUM",
+                AggCall::Count => "COUNT",
+                AggCall::Avg => "AVG",
+                AggCall::Min => "MIN",
+                AggCall::Max => "MAX",
+            };
+            let inner = match arg {
+                Some(a) => format!(
+                    "{}{}",
+                    if *distinct { "DISTINCT " } else { "" },
+                    render_expr(a)
+                ),
+                None => "*".to_string(),
+            };
+            format!("{name}({inner})")
+        }
+        // Predicates in a SELECT list are rare; a generic label keeps
+        // headers short without losing the positional mapping.
+        SqlExpr::And(_)
+        | SqlExpr::Or(_)
+        | SqlExpr::Not(_)
+        | SqlExpr::IsNull { .. }
+        | SqlExpr::Like { .. }
+        | SqlExpr::InList { .. }
+        | SqlExpr::Between { .. } => "?column?".to_string(),
+    }
+}

@@ -1,10 +1,16 @@
 //! SQL tokenizer: case-insensitive keywords, single-quoted strings
 //! (with `''` escaping), integer/float literals, identifiers with
 //! optional `table.column` qualification handled at the parser level.
+//!
+//! The scanner walks **char boundaries**, never raw bytes: string
+//! literals may contain arbitrary UTF-8 (`'café'`, `'名前'`) and
+//! round-trip byte-exact, while non-ASCII *outside* a literal is a
+//! typed [`EonError::Query`] — never mojibake, never a panic on a
+//! multi-byte boundary.
 
 use eon_types::{EonError, Result};
 
-/// One token with its uppercase form cached for keyword matching.
+/// One token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
     /// Identifier or keyword (original case preserved).
@@ -36,6 +42,7 @@ pub enum Sym {
 
 impl Token {
     /// Uppercased view for keyword comparison; empty for non-words.
+    /// Allocates — use [`Token::is_kw`] on hot paths.
     pub fn upper(&self) -> String {
         match self {
             Token::Word(w) => w.to_ascii_uppercase(),
@@ -43,63 +50,79 @@ impl Token {
         }
     }
 
+    /// Allocation-free case-insensitive keyword test. `kw` must be the
+    /// uppercase keyword spelling (how the parser calls it).
     pub fn is_kw(&self, kw: &str) -> bool {
-        self.upper() == kw
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
     }
 }
 
 /// Tokenize a SQL string.
 pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
-    let bytes = sql.as_bytes();
     let mut out = Vec::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
+    let mut chars = sql.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
         match c {
-            c if c.is_whitespace() => i += 1,
-            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' if sql[i..].starts_with("--") => {
                 // -- line comment
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
+                for (_, c) in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
                 }
             }
             '\'' => {
+                chars.next(); // opening quote
                 let mut s = String::new();
-                i += 1;
                 loop {
-                    if i >= bytes.len() {
-                        return Err(EonError::Query("unterminated string literal".into()));
-                    }
-                    if bytes[i] == b'\'' {
-                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
-                            s.push('\'');
-                            i += 2;
-                            continue;
+                    match chars.next() {
+                        None => {
+                            return Err(EonError::Query("unterminated string literal".into()))
                         }
-                        i += 1;
-                        break;
+                        Some((_, '\'')) => {
+                            // '' escapes to a literal quote; anything
+                            // else ends the string.
+                            if matches!(chars.peek(), Some(&(_, '\''))) {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some((_, c)) => s.push(c),
                     }
-                    s.push(bytes[i] as char);
-                    i += 1;
                 }
                 out.push(Token::Str(s));
             }
             c if c.is_ascii_digit() => {
                 let start = i;
+                let mut end = i;
                 let mut is_float = false;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
-                    if bytes[i] == b'.' {
+                while let Some(&(j, c)) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        end = j + 1;
+                        chars.next();
+                    } else if c == '.' && !is_float {
                         // `1.` followed by non-digit is "1" then Dot.
-                        if i + 1 >= bytes.len() || !(bytes[i + 1] as char).is_ascii_digit() {
+                        let next_is_digit = sql[j + 1..]
+                            .chars()
+                            .next()
+                            .map(|d| d.is_ascii_digit())
+                            .unwrap_or(false);
+                        if !next_is_digit {
                             break;
                         }
                         is_float = true;
+                        end = j + 1;
+                        chars.next();
+                    } else {
+                        break;
                     }
-                    i += 1;
                 }
-                let text = &sql[start..i];
+                let text = &sql[start..end];
                 if is_float {
                     out.push(Token::Float(text.parse().map_err(|_| {
                         EonError::Query(format!("bad float literal {text}"))
@@ -112,38 +135,58 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
-                    i += 1;
+                let mut end = i;
+                while let Some(&(j, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        end = j + c.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
                 }
-                out.push(Token::Word(sql[start..i].to_owned()));
+                out.push(Token::Word(sql[start..end].to_owned()));
             }
             _ => {
-                let (sym, len) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
-                    (',', _) => (Sym::Comma, 1),
-                    ('.', _) => (Sym::Dot, 1),
-                    ('*', _) => (Sym::Star, 1),
-                    ('(', _) => (Sym::LParen, 1),
-                    (')', _) => (Sym::RParen, 1),
-                    ('+', _) => (Sym::Plus, 1),
-                    ('-', _) => (Sym::Minus, 1),
-                    ('/', _) => (Sym::Slash, 1),
-                    ('<', Some('=')) => (Sym::Le, 2),
-                    ('<', Some('>')) => (Sym::Ne, 2),
-                    ('<', _) => (Sym::Lt, 1),
-                    ('>', Some('=')) => (Sym::Ge, 2),
-                    ('>', _) => (Sym::Gt, 1),
-                    ('!', Some('=')) => (Sym::Ne, 2),
-                    ('=', _) => (Sym::Eq, 1),
-                    _ => {
-                        return Err(EonError::Query(format!(
-                            "unexpected character {c:?} at byte {i}"
-                        )))
-                    }
+                if !c.is_ascii() {
+                    // A multi-byte char outside a string literal can
+                    // never start a valid token; name it precisely
+                    // instead of corrupting it byte-by-byte.
+                    return Err(EonError::Query(format!(
+                        "unexpected non-ASCII character {c:?} at byte {i} \
+                         (only string literals may contain non-ASCII text)"
+                    )));
+                }
+                // `get` (not slicing) so a multi-byte char right after
+                // the symbol can't split a char boundary.
+                let two = sql.get(i..i + 2).unwrap_or("");
+                let (sym, len) = match two {
+                    "<=" => (Sym::Le, 2),
+                    "<>" => (Sym::Ne, 2),
+                    ">=" => (Sym::Ge, 2),
+                    "!=" => (Sym::Ne, 2),
+                    _ => match c {
+                        ',' => (Sym::Comma, 1),
+                        '.' => (Sym::Dot, 1),
+                        '*' => (Sym::Star, 1),
+                        '(' => (Sym::LParen, 1),
+                        ')' => (Sym::RParen, 1),
+                        '+' => (Sym::Plus, 1),
+                        '-' => (Sym::Minus, 1),
+                        '/' => (Sym::Slash, 1),
+                        '<' => (Sym::Lt, 1),
+                        '>' => (Sym::Gt, 1),
+                        '=' => (Sym::Eq, 1),
+                        _ => {
+                            return Err(EonError::Query(format!(
+                                "unexpected character {c:?} at byte {i}"
+                            )))
+                        }
+                    },
                 };
                 out.push(Token::Symbol(sym));
-                i += len;
+                for _ in 0..len {
+                    chars.next();
+                }
             }
         }
     }
@@ -190,12 +233,56 @@ mod tests {
     fn keyword_matching_is_case_insensitive() {
         let t = tokenize("select").unwrap();
         assert!(t[0].is_kw("SELECT"));
+        assert!(!t[0].is_kw("FROM"));
+        assert!(!Token::Int(1).is_kw("SELECT"));
+        assert_eq!(t[0].upper(), "SELECT");
     }
 
     #[test]
     fn errors_are_reported() {
         assert!(tokenize("SELECT 'oops").is_err());
         assert!(tokenize("a ; b").is_err()); // ; unsupported
+    }
+
+    #[test]
+    fn multibyte_string_literals_round_trip() {
+        // Each literal must come back byte-exact: accented latin, CJK,
+        // an emoji (4-byte scalar), and combining marks.
+        for lit in ["café", "名前", "🦀 crab", "e\u{301}tude", "ß", "ñandú"] {
+            let t = tokenize(&format!("SELECT '{lit}'")).unwrap();
+            assert_eq!(t[1], Token::Str(lit.to_string()), "literal {lit:?}");
+        }
+    }
+
+    #[test]
+    fn quote_escape_adjacent_to_multibyte() {
+        // '' escapes flush against multi-byte chars on either side.
+        let t = tokenize("SELECT 'café''s 名前'").unwrap();
+        assert_eq!(t[1], Token::Str("café's 名前".to_string()));
+        let t = tokenize("SELECT '''🦀'''").unwrap();
+        assert_eq!(t[1], Token::Str("'🦀'".to_string()));
+    }
+
+    #[test]
+    fn unterminated_multibyte_literal_is_typed_error() {
+        let err = tokenize("SELECT 'café").unwrap_err();
+        assert!(
+            matches!(err, EonError::Query(ref m) if m.contains("unterminated")),
+            "{err}"
+        );
+        // Unterminated by a dangling escape quote, too.
+        assert!(tokenize("SELECT 'a''").is_err());
+    }
+
+    #[test]
+    fn non_ascii_outside_literal_is_typed_error_not_garbage() {
+        for sql in ["SELECT café FROM t", "SELECT 1 ⚡ 2", "名前", "SELECT a — b"] {
+            let err = tokenize(sql).unwrap_err();
+            assert!(
+                matches!(err, EonError::Query(ref m) if m.contains("non-ASCII")),
+                "{sql:?} → {err}"
+            );
+        }
     }
 
     #[test]
@@ -211,6 +298,20 @@ mod tests {
                 Token::Int(2),
                 Token::Symbol(Sym::Dot),
                 Token::Word("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comment_with_multibyte_body_is_skipped() {
+        let t = tokenize("SELECT 1 -- café ☕ comment\n + 2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Int(1),
+                Token::Symbol(Sym::Plus),
+                Token::Int(2),
             ]
         );
     }

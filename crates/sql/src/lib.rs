@@ -42,6 +42,19 @@ pub fn compile(
     plan(&parse(sql)?, schemas)
 }
 
+/// [`compile`], additionally returning the output column labels (alias
+/// or rendered expression, positionally aligned with result rows) —
+/// the serverable surface: a network client needs headers to draw a
+/// result table.
+pub fn compile_with_columns(
+    sql: &str,
+    schemas: &dyn SchemaSource,
+) -> eon_types::Result<(eon_exec::Plan, Vec<String>)> {
+    let stmt = parse(sql)?;
+    let columns = stmt.output_columns();
+    Ok((plan(&stmt, schemas)?, columns))
+}
+
 /// `EXPLAIN`: compile the statement and render the plan tree without
 /// executing it. Shows pushdown and distribution decisions per scan.
 pub fn explain(sql: &str, schemas: &dyn SchemaSource) -> eon_types::Result<String> {

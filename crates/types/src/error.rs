@@ -133,6 +133,187 @@ impl EonError {
     }
 }
 
+/// The serialized form of an [`EonError`]: a **stable numeric code**
+/// plus the variant's payload, flattened to one string and two
+/// integers. This is what the network layer puts on the wire — clients
+/// dispatch on `code`, never on message text, so error messages can be
+/// reworded without breaking anyone.
+///
+/// Codes are append-only: a retired variant's code is never reused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable numeric code (see [`EonError::wire_code`]).
+    pub code: u16,
+    /// The variant's string payload (empty for payload-free variants).
+    pub detail: String,
+    /// First integer payload (`Saturated.queued`); 0 otherwise.
+    pub a: u64,
+    /// Second integer payload (`Saturated.depth`); 0 otherwise.
+    pub b: u64,
+}
+
+impl EonError {
+    /// The stable numeric wire code for this variant.
+    ///
+    /// The match is deliberately exhaustive with **no wildcard arm**:
+    /// adding an `EonError` variant breaks this build until it gets a
+    /// code here *and* a decode arm in [`WireError::decode`].
+    pub fn wire_code(&self) -> u16 {
+        use EonError::*;
+        match self {
+            Storage(_) => 1,
+            NotFound(_) => 2,
+            Throttled => 3,
+            SchemaMismatch(_) => 4,
+            UnknownColumn(_) => 5,
+            UnknownTable(_) => 6,
+            Catalog(_) => 7,
+            WriteConflict(_) => 8,
+            CommitInvariant(_) => 9,
+            ClusterDown(_) => 10,
+            NodeDown(_) => 11,
+            Revive(_) => 12,
+            Query(_) => 13,
+            Saturated { .. } => 14,
+            DeadlineExceeded(_) => 15,
+            Cancelled(_) => 16,
+            Corrupt(_) => 17,
+            StoreUnavailable(_) => 18,
+            PreconditionFailed(_) => 19,
+            FaultInjected(_) => 20,
+            Internal(_) => 21,
+        }
+    }
+
+    /// Flatten into the wire form. Inverse of [`WireError::decode`];
+    /// the pair round-trips every variant payload-exactly (enforced by
+    /// an exhaustive-variant test below and a proptest in `eon-net`).
+    pub fn to_wire(&self) -> WireError {
+        use EonError::*;
+        let code = self.wire_code();
+        let (detail, a, b) = match self {
+            Throttled => (String::new(), 0, 0),
+            Saturated { queued, depth } => (String::new(), *queued as u64, *depth as u64),
+            Storage(s) | NotFound(s) | SchemaMismatch(s) | UnknownColumn(s)
+            | UnknownTable(s) | Catalog(s) | WriteConflict(s) | CommitInvariant(s)
+            | ClusterDown(s) | NodeDown(s) | Revive(s) | Query(s) | DeadlineExceeded(s)
+            | Cancelled(s) | Corrupt(s) | StoreUnavailable(s) | PreconditionFailed(s)
+            | FaultInjected(s) | Internal(s) => (s.clone(), 0, 0),
+        };
+        WireError { code, detail, a, b }
+    }
+}
+
+impl WireError {
+    /// Reconstruct the typed error. Unknown codes (a newer server
+    /// talking to an older client) degrade to `Internal` with the code
+    /// preserved in the message — never a panic, never a silent drop.
+    pub fn decode(&self) -> EonError {
+        use EonError::*;
+        let s = || self.detail.clone();
+        match self.code {
+            1 => Storage(s()),
+            2 => NotFound(s()),
+            3 => Throttled,
+            4 => SchemaMismatch(s()),
+            5 => UnknownColumn(s()),
+            6 => UnknownTable(s()),
+            7 => Catalog(s()),
+            8 => WriteConflict(s()),
+            9 => CommitInvariant(s()),
+            10 => ClusterDown(s()),
+            11 => NodeDown(s()),
+            12 => Revive(s()),
+            13 => Query(s()),
+            14 => Saturated {
+                queued: self.a as usize,
+                depth: self.b as usize,
+            },
+            15 => DeadlineExceeded(s()),
+            16 => Cancelled(s()),
+            17 => Corrupt(s()),
+            18 => StoreUnavailable(s()),
+            19 => PreconditionFailed(s()),
+            20 => FaultInjected(s()),
+            21 => Internal(s()),
+            other => Internal(format!("unknown wire error code {other}: {}", self.detail)),
+        }
+    }
+
+    /// Short stable name for the code — what `eon-client` prints next
+    /// to the message (`ERROR 14 SATURATED: …`).
+    pub fn code_name(code: u16) -> &'static str {
+        match code {
+            1 => "STORAGE",
+            2 => "NOT_FOUND",
+            3 => "THROTTLED",
+            4 => "SCHEMA_MISMATCH",
+            5 => "UNKNOWN_COLUMN",
+            6 => "UNKNOWN_TABLE",
+            7 => "CATALOG",
+            8 => "WRITE_CONFLICT",
+            9 => "COMMIT_INVARIANT",
+            10 => "CLUSTER_DOWN",
+            11 => "NODE_DOWN",
+            12 => "REVIVE",
+            13 => "QUERY",
+            14 => "SATURATED",
+            15 => "DEADLINE_EXCEEDED",
+            16 => "CANCELLED",
+            17 => "CORRUPT",
+            18 => "STORE_UNAVAILABLE",
+            19 => "PRECONDITION_FAILED",
+            20 => "FAULT_INJECTED",
+            21 => "INTERNAL",
+            _ => "UNKNOWN",
+        }
+    }
+}
+
+/// One exemplar of **every** `EonError` variant, for round-trip tests.
+/// Built with an exhaustive `match` over a probe value so a new variant
+/// breaks this function's build until the exemplar (and therefore the
+/// wire mapping tests) covers it.
+pub fn all_error_exemplars() -> Vec<EonError> {
+    use EonError::*;
+    let exemplars = vec![
+        Storage("s3 503".into()),
+        NotFound("depot/k".into()),
+        Throttled,
+        SchemaMismatch("col count".into()),
+        UnknownColumn("nope".into()),
+        UnknownTable("ghost".into()),
+        Catalog("version skew".into()),
+        WriteConflict("t1".into()),
+        CommitInvariant("shard 2".into()),
+        ClusterDown("quorum lost".into()),
+        NodeDown("node 3".into()),
+        Revive("lease live".into()),
+        Query("parse error".into()),
+        Saturated { queued: 7, depth: 9 },
+        DeadlineExceeded("admission".into()),
+        Cancelled("slot wait".into()),
+        Corrupt("bad magic".into()),
+        StoreUnavailable("breaker open".into()),
+        PreconditionFailed("immutable overwrite".into()),
+        FaultInjected("load.pre_commit".into()),
+        Internal("bug".into()),
+    ];
+    // Exhaustiveness guard: every variant constructed above must appear
+    // in this match, and the match has no wildcard — adding a variant
+    // without an exemplar fails to compile.
+    for e in &exemplars {
+        match e {
+            Storage(_) | NotFound(_) | Throttled | SchemaMismatch(_) | UnknownColumn(_)
+            | UnknownTable(_) | Catalog(_) | WriteConflict(_) | CommitInvariant(_)
+            | ClusterDown(_) | NodeDown(_) | Revive(_) | Query(_) | Saturated { .. }
+            | DeadlineExceeded(_) | Cancelled(_) | Corrupt(_) | StoreUnavailable(_)
+            | PreconditionFailed(_) | FaultInjected(_) | Internal(_) => {}
+        }
+    }
+    exemplars
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +348,33 @@ mod tests {
         assert!(!EonError::Saturated { queued: 1, depth: 1 }.is_transient());
         assert!(!EonError::DeadlineExceeded("q".into()).is_transient());
         assert!(!EonError::Cancelled("q".into()).is_transient());
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_the_wire_form() {
+        let exemplars = all_error_exemplars();
+        // Distinct codes (stable numbering never collides)...
+        let codes: std::collections::HashSet<u16> =
+            exemplars.iter().map(|e| e.wire_code()).collect();
+        assert_eq!(codes.len(), exemplars.len(), "duplicate wire codes");
+        // ...and payload-exact decode for every variant.
+        for e in &exemplars {
+            let w = e.to_wire();
+            assert_eq!(&w.decode(), e, "code {} lost its payload", w.code);
+            assert_ne!(WireError::code_name(w.code), "UNKNOWN", "code {}", w.code);
+        }
+    }
+
+    #[test]
+    fn unknown_wire_code_degrades_to_internal() {
+        let w = WireError {
+            code: 9999,
+            detail: "from the future".into(),
+            a: 0,
+            b: 0,
+        };
+        let e = w.decode();
+        assert!(matches!(&e, EonError::Internal(m) if m.contains("9999")), "{e}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod schema;
 pub mod value;
 
 pub use cancel::CancelToken;
-pub use error::{EonError, Result};
+pub use error::{all_error_exemplars, EonError, Result, WireError};
 pub use hashspace::{hash_row_32, hash_value, HashRange, HASH_SPACE_BITS};
 pub use ids::{NodeId, Oid, ShardId, TxnVersion};
 pub use row::Row;
